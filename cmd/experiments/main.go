@@ -1,0 +1,74 @@
+// Command experiments regenerates the paper's evaluation tables and figures
+// (Section V) and prints them as text.
+//
+// Usage:
+//
+//	experiments -exp all            # everything, full budgets (minutes)
+//	experiments -exp fig8 -quick    # one figure, CI-speed budgets
+//
+// Experiments: table1, table3, fig6, fig7, fig8, table6, fig9, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"sunstone/internal/experiments"
+)
+
+var (
+	exp   = flag.String("exp", "all", "experiment: table1 | table3 | fig6 | fig7 | fig8 | table6 | fig9 | spread | all")
+	quick = flag.Bool("quick", false, "shrink layer sets and search budgets")
+	seed  = flag.Int64("seed", 1, "seed for randomized baselines")
+	csv   = flag.Bool("csv", false, "emit fig6/fig7/fig8 rows as CSV instead of text")
+)
+
+func main() {
+	flag.Parse()
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+
+	run := func(name string, f func()) {
+		if *exp == name || *exp == "all" {
+			f()
+			fmt.Println()
+		}
+	}
+
+	run("table1", func() { fmt.Print(experiments.Table1()) })
+	run("table3", func() { fmt.Print(experiments.Table3()) })
+	figure := func(title string, runs []experiments.ToolRun) {
+		if *csv {
+			fmt.Print(experiments.RunsCSV(runs))
+			return
+		}
+		fmt.Print(experiments.RenderRuns(title, runs))
+		fmt.Print(experiments.RenderSummaries(experiments.Summarize(runs)))
+	}
+	run("fig6", func() {
+		figure("Fig. 6 — non-DNN workloads on the conventional accelerator", experiments.Fig6(cfg))
+	})
+	run("fig7", func() {
+		figure("Fig. 7 — Inception-v3 weight update (batch 16), conventional accelerator", experiments.Fig7(cfg))
+	})
+	run("fig8", func() {
+		figure("Fig. 8 — ResNet-18 inference (batch 16), Simba-like accelerator", experiments.Fig8(cfg))
+	})
+	run("table6", func() { fmt.Print(experiments.RenderTable6(experiments.Table6(cfg))) })
+	run("spread", func() { fmt.Print(experiments.RenderSpread(experiments.DataflowSpread(cfg))) })
+	run("fig9", func() {
+		r, err := experiments.Fig9(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fig9:", err)
+			os.Exit(1)
+		}
+		fmt.Print(experiments.RenderFig9(r))
+	})
+
+	switch *exp {
+	case "table1", "table3", "fig6", "fig7", "fig8", "table6", "fig9", "spread", "all":
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

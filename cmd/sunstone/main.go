@@ -1,0 +1,336 @@
+// Command sunstone optimizes a tensor-algebra workload for a spatial
+// accelerator and prints the best mapping found with its cost report.
+//
+// Usage examples:
+//
+//	sunstone -arch simba -net resnet18 -layer conv2_x -batch 16
+//	sunstone -arch conventional -workload mttkrp -dataset nell2
+//	sunstone -arch conventional -workload conv -dims N=16,K=64,C=64,P=56,Q=56,R=3,S=3
+//	sunstone -arch conventional -net inception -layer 1x7_deep -weight-update
+//	sunstone -arch simba -net resnet18 -layer conv3_1 -compare
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"sunstone"
+)
+
+var (
+	archName  = flag.String("arch", "conventional", "architecture: conventional | simba | diannao | tiny")
+	workload  = flag.String("workload", "", "kernel: conv | mttkrp | ttmc | sddmm | mmc | tcl | fc")
+	dataset   = flag.String("dataset", "nell2", "dataset for mttkrp/ttmc: nell2 | netflix | poisson1; for sddmm: bcsstk17 | cant")
+	net       = flag.String("net", "", "layer table: resnet18 | inception | alexnet | vgg16")
+	layer     = flag.String("layer", "", "layer name from -net (empty = list layers)")
+	allLayers = flag.Bool("all-layers", false, "schedule every layer of -net and print network totals")
+	batch     = flag.Int("batch", 16, "batch size for -net layers")
+	wu        = flag.Bool("weight-update", false, "use the weight-update (training) form of the layer")
+	dims      = flag.String("dims", "", "explicit conv dims, e.g. N=16,K=64,C=64,P=56,Q=56,R=3,S=3")
+	wfile     = flag.String("workload-file", "", "load the workload from a JSON description")
+	describe  = flag.String("describe", "", "load the workload from a paper-style textual description file")
+	afile     = flag.String("arch-file", "", "load the architecture from a JSON description")
+	saveMap   = flag.String("save-mapping", "", "write the best mapping to this JSON file")
+	topDown   = flag.Bool("top-down", false, "optimize top-down instead of bottom-up (Table VI)")
+	objective = flag.String("objective", "edp", "figure of merit: edp | energy | delay | ed2p")
+	beam      = flag.Int("beam", 0, "beam width (0 = default)")
+	compare   = flag.Bool("compare", false, "also run the baseline mappers on the same problem")
+	showBreak = flag.Bool("breakdown", false, "print the per-component energy breakdown")
+	accesses  = flag.Bool("accesses", false, "print per-level, per-tensor access counts")
+	explain   = flag.Bool("explain", false, "print the workload's reuse table, pruned loop orderings, and the mapping's loop nest")
+	verify    = flag.Bool("verify", false, "functionally execute the mapping and check it against the reference result")
+)
+
+func main() {
+	flag.Parse()
+	var a *sunstone.Arch
+	var err error
+	if *afile != "" {
+		data, rerr := os.ReadFile(*afile)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		a, err = sunstone.DecodeArch(data)
+	} else {
+		a, err = pickArch(*archName)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if *allLayers {
+		runAllLayers()
+		return
+	}
+	var w *sunstone.Workload
+	switch {
+	case *describe != "":
+		data, rerr := os.ReadFile(*describe)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		w, err = sunstone.ParseWorkload(string(data))
+	case *wfile != "":
+		data, rerr := os.ReadFile(*wfile)
+		if rerr != nil {
+			fatal(rerr)
+		}
+		w, err = sunstone.DecodeWorkload(data)
+	default:
+		w, err = pickWorkload()
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	opt := sunstone.Options{BeamWidth: *beam}
+	if *topDown {
+		opt.Direction = sunstone.TopDown
+	}
+	switch *objective {
+	case "edp":
+		opt.Objective = sunstone.MinEDP
+	case "energy":
+		opt.Objective = sunstone.MinEnergy
+	case "delay":
+		opt.Objective = sunstone.MinDelay
+	case "ed2p":
+		opt.Objective = sunstone.MinED2P
+	default:
+		fatal(fmt.Errorf("unknown objective %q", *objective))
+	}
+	res, err := sunstone.Optimize(w, a, opt)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("workload: %s\narch: %s (%d MACs)\n\n", w.Name, a.Name, a.TotalMACs())
+	fmt.Printf("best mapping:\n%s\n\n", indent(res.Mapping.String()))
+	fmt.Printf("EDP      %.4e pJ*cycle\nenergy   %.4e pJ\ncycles   %.0f\nsearch   %v, %d candidates, %d orderings\n",
+		res.Report.EDP, res.Report.EnergyPJ, res.Report.Cycles,
+		res.Elapsed, res.SpaceSize, res.OrderingsConsidered)
+	if *explain {
+		fmt.Printf("\ninferred reuse (Table III view):\n%s", indent(w.ReuseTable()))
+		fmt.Printf("\npruned loop orderings (Fig. 4 view):\n%s", indent(sunstone.ExplainOrderings(w)))
+		fmt.Printf("\nmapped loop nest:\n%s", indent(res.Mapping.PseudoCode()))
+	}
+	if *verify {
+		ok, verr := sunstone.VerifyMapping(res.Mapping)
+		if verr != nil {
+			fatal(verr)
+		}
+		if ok {
+			fmt.Println("\nverification: mapped execution matches the reference result")
+		} else {
+			fmt.Println("\nverification: MISMATCH — mapped execution differs from the reference!")
+			os.Exit(1)
+		}
+	}
+	if *saveMap != "" {
+		data, merr := sunstone.EncodeMapping(res.Mapping)
+		if merr != nil {
+			fatal(merr)
+		}
+		if werr := os.WriteFile(*saveMap, data, 0o644); werr != nil {
+			fatal(werr)
+		}
+		fmt.Printf("mapping saved to %s\n", *saveMap)
+	}
+	if *showBreak {
+		fmt.Printf("\nenergy breakdown:\n%s", indent(res.Report.BreakdownString()))
+	}
+	if *accesses {
+		fmt.Printf("\naccess counts:\n%s", indent(res.Report.AccessTable()))
+	}
+	if *compare {
+		fmt.Println("\nbaselines:")
+		for _, bl := range []sunstone.BaselineMapper{
+			sunstone.TimeloopFast(), sunstone.DMazeFast(), sunstone.Interstellar(), sunstone.CoSA(),
+		} {
+			r := bl.Map(w, a)
+			if !r.Valid {
+				fmt.Printf("  %-10s INVALID (%s) in %v\n", bl.Name(), r.InvalidReason, r.Elapsed.Round(1e6))
+				continue
+			}
+			fmt.Printf("  %-10s EDP %.4e (%.2fx Sunstone) in %v\n",
+				bl.Name(), r.Report.EDP, r.Report.EDP/res.Report.EDP, r.Elapsed.Round(1e6))
+		}
+	}
+}
+
+// runAllLayers schedules the whole -net table and prints network totals.
+func runAllLayers() {
+	a, err := pickArch(*archName)
+	if err != nil {
+		fatal(err)
+	}
+	var table []sunstone.ConvShape
+	var repeats []int
+	switch *net {
+	case "resnet18":
+		table, repeats = sunstone.ResNet18Layers, sunstone.ResNet18Repeats()
+	case "inception":
+		table = sunstone.InceptionV3Layers
+	case "alexnet":
+		table = sunstone.AlexNetLayers
+	case "vgg16":
+		table = sunstone.VGG16Layers
+	default:
+		fatal(fmt.Errorf("-all-layers needs -net resnet18|inception|alexnet|vgg16"))
+	}
+	sched, err := sunstone.ScheduleNetwork(*net, table, *batch, repeats, a, sunstone.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%-12s %-3s %-12s %-12s %s\n", "layer", "x", "EDP", "energy pJ", "cycles")
+	for _, l := range sched.Layers {
+		fmt.Printf("%-12s %-3d %-12.3e %-12.3e %.0f\n",
+			l.Layer, l.Repeats, l.Result.Report.EDP, l.Result.Report.EnergyPJ, l.Result.Report.Cycles)
+	}
+	fmt.Printf("\nnetwork totals: %.4e pJ, %.3e cycles, EDP %.4e (scheduled in %v)\n",
+		sched.TotalEnergyPJ, sched.TotalCycles, sched.EDP, sched.Elapsed.Round(1e6))
+}
+
+func pickArch(name string) (*sunstone.Arch, error) {
+	switch name {
+	case "conventional":
+		return sunstone.Conventional(), nil
+	case "simba":
+		return sunstone.Simba(), nil
+	case "diannao":
+		return sunstone.DianNao(), nil
+	case "tiny":
+		return sunstone.Tiny(256), nil
+	}
+	return nil, fmt.Errorf("unknown arch %q", name)
+}
+
+func pickWorkload() (*sunstone.Workload, error) {
+	if *net != "" {
+		return pickLayer()
+	}
+	switch *workload {
+	case "conv":
+		d, err := parseDims(*dims, []string{"N", "K", "C", "P", "Q", "R", "S"})
+		if err != nil {
+			return nil, err
+		}
+		return sunstone.Conv2D("conv", d["N"], d["K"], d["C"], d["P"], d["Q"], d["R"], d["S"], 1, 1), nil
+	case "mttkrp":
+		ds, err := pickTensorDataset(*dataset)
+		if err != nil {
+			return nil, err
+		}
+		return sunstone.MTTKRP("mttkrp_"+ds.name, ds.i, ds.j, ds.k, 32), nil
+	case "ttmc":
+		ds, err := pickTensorDataset(*dataset)
+		if err != nil {
+			return nil, err
+		}
+		return sunstone.TTMc("ttmc_"+ds.name, ds.i, ds.j, ds.k, 8), nil
+	case "sddmm":
+		switch *dataset {
+		case "bcsstk17":
+			return sunstone.SDDMM("sddmm_bcsstk17", 10974, 10974, 512), nil
+		case "cant":
+			return sunstone.SDDMM("sddmm_cant", 62451, 62451, 512), nil
+		}
+		return nil, fmt.Errorf("unknown sddmm dataset %q", *dataset)
+	case "mmc":
+		return sunstone.MMc("attention_mmc", 512, 64, 512, 64), nil
+	case "tcl":
+		return sunstone.TCL("tcl_vgg", 512, 7, 7, 32, 32, 32), nil
+	case "fc":
+		d, err := parseDims(*dims, []string{"N", "K", "C"})
+		if err != nil {
+			return nil, err
+		}
+		return sunstone.FC("fc", d["N"], d["K"], d["C"]), nil
+	case "":
+		return nil, fmt.Errorf("pick a -workload or a -net layer (see -h)")
+	}
+	return nil, fmt.Errorf("unknown workload %q", *workload)
+}
+
+type tdataset struct {
+	name    string
+	i, j, k int
+}
+
+func pickTensorDataset(name string) (tdataset, error) {
+	switch name {
+	case "nell2":
+		return tdataset{"nell2", 12092, 9184, 28818}, nil
+	case "netflix":
+		return tdataset{"netflix", 480189, 17770, 2182}, nil
+	case "poisson1":
+		return tdataset{"poisson1", 1024, 1024, 1024}, nil
+	}
+	return tdataset{}, fmt.Errorf("unknown dataset %q", name)
+}
+
+func pickLayer() (*sunstone.Workload, error) {
+	var table []sunstone.ConvShape
+	switch *net {
+	case "resnet18":
+		table = sunstone.ResNet18Layers
+	case "inception":
+		table = sunstone.InceptionV3Layers
+	case "alexnet":
+		table = sunstone.AlexNetLayers
+	case "vgg16":
+		table = sunstone.VGG16Layers
+	default:
+		return nil, fmt.Errorf("unknown net %q", *net)
+	}
+	if *layer == "" {
+		var names []string
+		for _, cs := range table {
+			names = append(names, cs.Name)
+		}
+		return nil, fmt.Errorf("pick a -layer from %s: %s", *net, strings.Join(names, ", "))
+	}
+	for _, cs := range table {
+		if cs.Name == *layer {
+			if *wu {
+				return cs.WeightUpdate(*batch), nil
+			}
+			return cs.Inference(*batch), nil
+		}
+	}
+	return nil, fmt.Errorf("layer %q not in %s", *layer, *net)
+}
+
+func parseDims(s string, required []string) (map[string]int, error) {
+	out := map[string]int{}
+	if s == "" {
+		return nil, fmt.Errorf("-dims required, e.g. -dims %s=..,...", required[0])
+	}
+	for _, kv := range strings.Split(s, ",") {
+		parts := strings.SplitN(strings.TrimSpace(kv), "=", 2)
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad dim %q", kv)
+		}
+		n, err := strconv.Atoi(parts[1])
+		if err != nil || n <= 0 {
+			return nil, fmt.Errorf("bad dim size %q", kv)
+		}
+		out[strings.ToUpper(parts[0])] = n
+	}
+	for _, r := range required {
+		if out[r] == 0 {
+			return nil, fmt.Errorf("missing dim %s", r)
+		}
+	}
+	return out, nil
+}
+
+func indent(s string) string {
+	return "  " + strings.ReplaceAll(strings.TrimRight(s, "\n"), "\n", "\n  ") + "\n"
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sunstone:", err)
+	os.Exit(2)
+}

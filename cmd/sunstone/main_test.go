@@ -1,0 +1,40 @@
+package main
+
+import "testing"
+
+func TestParseDims(t *testing.T) {
+	d, err := parseDims("N=1,K=64,c=32", []string{"N", "K", "C"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d["N"] != 1 || d["K"] != 64 || d["C"] != 32 {
+		t.Errorf("parsed %v", d)
+	}
+	for _, bad := range []string{"", "K=0", "K=x", "K", "K=64"} {
+		if _, err := parseDims(bad, []string{"K", "C"}); err == nil {
+			t.Errorf("parseDims(%q) should fail", bad)
+		}
+	}
+}
+
+func TestPickArch(t *testing.T) {
+	for _, name := range []string{"conventional", "simba", "diannao", "tiny"} {
+		if _, err := pickArch(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := pickArch("nope"); err == nil {
+		t.Error("unknown arch should fail")
+	}
+}
+
+func TestPickTensorDataset(t *testing.T) {
+	for _, name := range []string{"nell2", "netflix", "poisson1"} {
+		if _, err := pickTensorDataset(name); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := pickTensorDataset("nope"); err == nil {
+		t.Error("unknown dataset should fail")
+	}
+}

@@ -1,0 +1,62 @@
+package sunstone
+
+import (
+	"sunstone/internal/diannao"
+	"sunstone/internal/dncompiler"
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
+)
+
+// DianNaoRun is the outcome of compiling a mapping to DianNao-style
+// instructions and executing it on the event-counting simulator (the
+// Section V-D overhead-analysis pipeline).
+type DianNaoRun struct {
+	// Instructions is the number of 256-bit instructions executed.
+	Instructions int64
+	// Passes is the number of processing passes (tile load/compute/store
+	// rounds).
+	Passes int64
+	// ReorderWords is the one-time data-layout rearrangement volume.
+	ReorderWords int64
+	// DRAMReads / DRAMWrites are data words moved across the DRAM boundary.
+	DRAMReads, DRAMWrites int64
+	MACs                  int64
+	Cycles                int64
+	// EnergyPJ is the per-component energy breakdown (MAC, DRAM, NBin, SB,
+	// NBout, Instr, Reorder) with DRAM-resident instructions.
+	EnergyPJ map[string]float64
+}
+
+// TotalEnergyPJ sums the breakdown.
+func (r DianNaoRun) TotalEnergyPJ() float64 { return diannao.Total(r.EnergyPJ) }
+
+// RunOnDianNao compiles a convolution mapping targeted at the DianNao()
+// architecture into the machine's instruction stream and simulates it.
+func RunOnDianNao(m *mapping.Mapping) (DianNaoRun, error) {
+	sim := diannao.NewSim(diannao.Default())
+	sum, err := dncompiler.Compile(m, sim.Exec)
+	if err != nil {
+		return DianNaoRun{}, err
+	}
+	if sim.Err() != nil {
+		return DianNaoRun{}, sim.Err()
+	}
+	st := sim.Stats
+	return DianNaoRun{
+		Instructions: sum.Instructions,
+		Passes:       sum.Passes,
+		ReorderWords: sum.ReorderWords,
+		DRAMReads:    st.DRAMReads,
+		DRAMWrites:   st.DRAMWrites,
+		MACs:         st.MACs,
+		Cycles:       st.Cycles,
+		EnergyPJ:     st.Energy(diannao.Default(), true, sum.ReorderWords),
+	}, nil
+}
+
+// NaiveDianNaoEnergy returns the energy of executing w on the DianNao-like
+// machine with no tiling or unrolling: everything streamed from DRAM (the
+// Fig. 9a baseline).
+func NaiveDianNaoEnergy(w *tensor.Workload) map[string]float64 {
+	return dncompiler.NaiveEnergy(w)
+}

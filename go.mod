@@ -1,0 +1,3 @@
+module sunstone
+
+go 1.23

@@ -1,0 +1,39 @@
+// Package baselines defines the common interface implemented by the four
+// prior-art mappers the paper compares against — Timeloop (random search),
+// dMazeRunner (utilization-threshold directed search), Interstellar
+// (CK-preset unrolling), and CoSA (one-shot linear-relaxation) — each rebuilt
+// from its published search strategy (see DESIGN.md substitution table).
+// Every baseline is scored by the same cost model as Sunstone.
+package baselines
+
+import (
+	"time"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/cost"
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
+)
+
+// Result is the outcome of one baseline mapping run.
+type Result struct {
+	// Mapping is the best mapping found (may be invalid — the paper's
+	// evaluation explicitly reports baselines returning invalid mappings).
+	Mapping *mapping.Mapping
+	Report  cost.Report
+	// Valid mirrors Report.Valid; false means the tool returned a mapping
+	// whose tiles do not fit, could not satisfy its own constraints, or
+	// does not support the workload.
+	Valid bool
+	// InvalidReason explains a Valid == false result.
+	InvalidReason string
+	// Evaluated counts the candidate mappings the tool examined.
+	Evaluated int
+	Elapsed   time.Duration
+}
+
+// Mapper is a dataflow optimizer under comparison.
+type Mapper interface {
+	Name() string
+	Map(w *tensor.Workload, a *arch.Arch) Result
+}

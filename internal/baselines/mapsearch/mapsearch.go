@@ -1,0 +1,120 @@
+// Package mapsearch provides the search-space helpers shared by the
+// directed-search baseline mappers (dMazeRunner, Interstellar): unrestricted
+// maximal-tile enumeration, tile application, and mapping completion with a
+// chosen loop ordering. Sunstone's own search (internal/core) deliberately
+// does not use these — its enumerations are principle-restricted.
+package mapsearch
+
+import (
+	"sunstone/internal/arch"
+	"sunstone/internal/mapping"
+	"sunstone/internal/order"
+	"sunstone/internal/tensor"
+	"sunstone/internal/tile"
+)
+
+// TilesAt enumerates maximal fitting tiles at level lvl of partial mapping m
+// with no ordering-principle restriction (all dimensions may grow), capped
+// at maxCandidates largest tiles.
+func TilesAt(m *mapping.Mapping, lvl, maxCandidates int) []tile.Candidate {
+	scratch := m.Clone()
+	fits := func(c tile.Candidate) bool {
+		for d := range m.Workload.Dims {
+			delete(scratch.Levels[lvl].Temporal, d)
+		}
+		for d, f := range c {
+			scratch.Levels[lvl].Temporal[d] = f
+		}
+		ext := scratch.Extents(lvl)
+		al := &scratch.Arch.Levels[lvl]
+		for bi := range al.Buffers {
+			buf := &al.Buffers[bi]
+			if buf.Bytes == 0 {
+				continue
+			}
+			var usedBits int64
+			for _, t := range m.Workload.Tensors {
+				if buf.Holds(t.Name) {
+					usedBits += int64(t.Footprint(ext)) * int64(m.Arch.Bits(t.Name))
+				}
+			}
+			if usedBits > buf.Bytes*8 {
+				return false
+			}
+		}
+		return true
+	}
+	quota := make(map[tensor.Dim]int, len(m.Workload.Dims))
+	for d, bound := range m.Workload.Dims {
+		quota[d] = ceilDiv(bound, m.Extent(d, lvl))
+	}
+	cands, _ := tile.Enumerate(tile.Space{Quota: quota, Fits: fits, MaxCandidates: maxCandidates})
+	return cands
+}
+
+// ApplyTile returns m with the tile's factors set at level lvl.
+func ApplyTile(m *mapping.Mapping, lvl int, c tile.Candidate) *mapping.Mapping {
+	out := m.Clone()
+	for d, f := range c {
+		if f > 1 {
+			out.Levels[lvl].Temporal[d] = f
+		}
+	}
+	return out
+}
+
+// CompleteWith places each dimension's remaining factors at the top level
+// and applies ordering o at every level above the innermost.
+func CompleteWith(m *mapping.Mapping, o *order.Ordering) *mapping.Mapping {
+	c := m.Clone()
+	top := len(c.Levels) - 1
+	full := o.Complete(c.Workload)
+	for l := 1; l <= top; l++ {
+		c.Levels[l].Order = full
+	}
+	for d, bound := range c.Workload.Dims {
+		below := c.Extent(d, top-1)
+		need := ceilDiv(bound, below)
+		if c.Levels[top].T(d) < need {
+			c.Levels[top].Temporal[d] = need
+		}
+	}
+	return c
+}
+
+// SpatialLevels counts the levels with fanout > 1.
+func SpatialLevels(a *arch.Arch) int {
+	n := 0
+	for i := range a.Levels {
+		if a.Levels[i].Fanout > 1 {
+			n++
+		}
+	}
+	return n
+}
+
+// FirstFanoutLevel returns the lowest level with fanout > 1, or -1.
+func FirstFanoutLevel(a *arch.Arch) int {
+	for i := range a.Levels {
+		if a.Levels[i].Fanout > 1 {
+			return i
+		}
+	}
+	return -1
+}
+
+// TotalFanout returns the product of all level fanouts.
+func TotalFanout(a *arch.Arch) int {
+	p := 1
+	for i := range a.Levels {
+		p *= a.Levels[i].Fanout
+	}
+	return p
+}
+
+func ceilDiv(a, b int) int {
+	if b <= 0 {
+		return a
+	}
+	return (a + b - 1) / b
+}

@@ -1,0 +1,79 @@
+package mapsearch
+
+import (
+	"testing"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/mapping"
+	"sunstone/internal/order"
+	"sunstone/internal/workloads"
+)
+
+func TestTilesAtAllDimsAndCap(t *testing.T) {
+	w := workloads.Conv1D("c", 8, 8, 28, 3)
+	m := mapping.New(w, arch.Tiny(256))
+	tiles := TilesAt(m, 0, 4)
+	if len(tiles) == 0 {
+		t.Fatal("expected tiles")
+	}
+	if len(tiles) > 4 {
+		t.Errorf("cap not applied: %d tiles", len(tiles))
+	}
+	// Unrestricted enumeration may grow any dimension.
+	for _, c := range tiles {
+		applied := ApplyTile(m, 0, c)
+		if err := applied.Validate(); err == nil {
+			continue // not complete yet; coverage check not expected to pass
+		}
+	}
+}
+
+func TestApplyTileDoesNotMutate(t *testing.T) {
+	w := workloads.Conv1D("c", 8, 8, 28, 3)
+	m := mapping.New(w, arch.Tiny(256))
+	tiles := TilesAt(m, 0, 1)
+	if len(tiles) == 0 {
+		t.Fatal("no tiles")
+	}
+	_ = ApplyTile(m, 0, tiles[0])
+	if m.Levels[0].T("K") != 1 && len(m.Levels[0].Temporal) > 0 {
+		for d, f := range m.Levels[0].Temporal {
+			if f > 1 {
+				t.Errorf("original mutated: %s=%d", d, f)
+			}
+		}
+	}
+}
+
+func TestCompleteWithCoversAndOrders(t *testing.T) {
+	w := workloads.Conv1D("c", 8, 8, 28, 3)
+	m := mapping.New(w, arch.Tiny(1024))
+	orderings, _ := order.Enumerate(w)
+	c := CompleteWith(m, &orderings[0])
+	if err := c.Validate(); err != nil {
+		t.Fatalf("completed mapping invalid: %v", err)
+	}
+	for l := 1; l < len(c.Levels); l++ {
+		if len(c.Levels[l].Order) == 0 {
+			t.Errorf("level %d missing order", l)
+		}
+	}
+}
+
+func TestArchHelpers(t *testing.T) {
+	if SpatialLevels(arch.Simba()) != 2 {
+		t.Error("Simba has two spatial levels")
+	}
+	if SpatialLevels(arch.Tiny(64)) != 0 {
+		t.Error("Tiny has none")
+	}
+	if FirstFanoutLevel(arch.Conventional()) != 1 {
+		t.Error("conventional fanout is at L2 (level 1)")
+	}
+	if FirstFanoutLevel(arch.Tiny(64)) != -1 {
+		t.Error("Tiny should report -1")
+	}
+	if TotalFanout(arch.Conventional()) != 1024 {
+		t.Error("conventional total fanout is 1024")
+	}
+}

@@ -1,0 +1,189 @@
+// Package timeloop reimplements the Timeloop mapper's search strategy
+// (Parashar et al., ISPASS 2019): undirected random sampling of the full
+// mapping space, with per-thread termination controlled by a timeout (TO,
+// consecutive invalid samples) and a victory condition (VC, consecutive
+// valid samples without improvement). The paper's Table V fast/slow
+// hyper-parameter configurations are provided.
+//
+// Timeloop builds its space from *all* problem dimensions at every temporal
+// and spatial level (Table I), applies no pruning, and therefore explores an
+// astronomically large space undirected — the cause of the slow
+// time-to-solution and occasionally poor mappings the paper reports
+// (Sections V-B1 and V-B2). Invalid samples are rejected internally, so the
+// tool never *returns* an invalid mapping (Table I, last row).
+package timeloop
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"time"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/baselines"
+	"sunstone/internal/cost"
+	"sunstone/internal/factor"
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
+)
+
+// Config holds Timeloop's search hyper-parameters (Table V).
+type Config struct {
+	Name string
+	// TO terminates a thread after this many consecutive invalid samples.
+	TO int
+	// VC terminates a thread after this many consecutive valid samples
+	// without improving its best EDP.
+	VC int
+	// Threads is the number of search threads (the paper uses 8).
+	Threads int
+	// MaxTime bounds the whole search wall-clock (the paper kills Timeloop
+	// after one hour per layer; experiments here scale that down, which
+	// only *helps* Timeloop's reported time-to-solution).
+	MaxTime time.Duration
+	// Seed makes runs reproducible.
+	Seed int64
+}
+
+// Fast returns the Table V fast/aggressive configuration.
+func Fast() Config {
+	return Config{Name: "TL-fast", TO: 20000, VC: 25, Threads: 8, MaxTime: 20 * time.Second, Seed: 1}
+}
+
+// Slow returns the Table V slow/conservative configuration.
+func Slow() Config {
+	return Config{Name: "TL-slow", TO: 80000, VC: 1500, Threads: 8, MaxTime: 60 * time.Second, Seed: 1}
+}
+
+// Mapper is the Timeloop-style random-search mapper.
+type Mapper struct {
+	Cfg   Config
+	Model cost.Model
+}
+
+// New returns a mapper with the given configuration and the default model.
+func New(cfg Config) *Mapper { return &Mapper{Cfg: cfg, Model: cost.Default} }
+
+// Name implements baselines.Mapper.
+func (m *Mapper) Name() string { return m.Cfg.Name }
+
+// Map implements baselines.Mapper.
+func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
+	start := time.Now()
+	cfg := m.Cfg
+	if cfg.Threads <= 0 {
+		cfg.Threads = 8
+	}
+	if cfg.MaxTime <= 0 {
+		cfg.MaxTime = 20 * time.Second
+	}
+	deadline := start.Add(cfg.MaxTime)
+
+	type threadBest struct {
+		m         *mapping.Mapping
+		rep       cost.Report
+		evaluated int
+	}
+	results := make([]threadBest, cfg.Threads)
+	var wg sync.WaitGroup
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
+			bestEDP := math.Inf(1)
+			var best *mapping.Mapping
+			var bestRep cost.Report
+			invalidStreak, noImproveStreak, evaluated := 0, 0, 0
+			for invalidStreak < cfg.TO && noImproveStreak < cfg.VC {
+				if evaluated%256 == 0 && time.Now().After(deadline) {
+					break
+				}
+				cand := randomMapping(w, a, rng)
+				rep := m.Model.Evaluate(cand)
+				evaluated++
+				if !rep.Valid {
+					invalidStreak++
+					continue
+				}
+				invalidStreak = 0
+				if rep.EDP < bestEDP {
+					bestEDP = rep.EDP
+					best = cand
+					bestRep = rep
+					noImproveStreak = 0
+				} else {
+					noImproveStreak++
+				}
+			}
+			results[t] = threadBest{m: best, rep: bestRep, evaluated: evaluated}
+		}(t)
+	}
+	wg.Wait()
+
+	out := baselines.Result{Elapsed: time.Since(start)}
+	bestEDP := math.Inf(1)
+	for _, r := range results {
+		out.Evaluated += r.evaluated
+		if r.m != nil && r.rep.EDP < bestEDP {
+			bestEDP = r.rep.EDP
+			out.Mapping = r.m
+			out.Report = r.rep
+		}
+	}
+	if out.Mapping == nil {
+		out.Valid = false
+		out.InvalidReason = "random search found no valid mapping"
+		return out
+	}
+	out.Valid = true
+	return out
+}
+
+// randomMapping samples one point of the unpruned mapping space: every
+// dimension's prime factors are scattered uniformly over all temporal levels
+// and all spatial slots, and each level gets a uniformly random loop order.
+func randomMapping(w *tensor.Workload, a *arch.Arch, rng *rand.Rand) *mapping.Mapping {
+	m := mapping.New(w, a)
+	nLevels := len(a.Levels)
+
+	// Slots: temporal at each level, spatial at each level with fanout.
+	type slot struct {
+		level   int
+		spatial bool
+	}
+	var slots []slot
+	for l := 0; l < nLevels; l++ {
+		slots = append(slots, slot{level: l})
+		if a.Levels[l].Fanout > 1 {
+			slots = append(slots, slot{level: l, spatial: true})
+		}
+	}
+
+	// Canonical dimension order: iterating the map would randomize the rng
+	// draw sequence and break seed reproducibility.
+	for _, d := range w.Order {
+		bound := w.Dims[d]
+		for _, p := range factor.Primes(bound) {
+			s := slots[rng.Intn(len(slots))]
+			if s.spatial {
+				m.Levels[s.level].Spatial[d] = m.Levels[s.level].S(d) * p
+			} else {
+				m.Levels[s.level].Temporal[d] = m.Levels[s.level].T(d) * p
+			}
+		}
+		if bound == 1 {
+			m.Levels[nLevels-1].Temporal[d] = 1
+		}
+	}
+	for l := 0; l < nLevels; l++ {
+		m.Levels[l].Order = randomOrder(w, rng)
+	}
+	return m
+}
+
+func randomOrder(w *tensor.Workload, rng *rand.Rand) []tensor.Dim {
+	order := append([]tensor.Dim(nil), w.Order...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	return order
+}

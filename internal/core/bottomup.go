@@ -1,0 +1,274 @@
+package core
+
+import (
+	"fmt"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/factor"
+	"sunstone/internal/mapping"
+	"sunstone/internal/order"
+	"sunstone/internal/tensor"
+	"sunstone/internal/tile"
+	"sunstone/internal/unroll"
+)
+
+// bottomUp optimizes level by level starting at the memory closest to the
+// MACs (the paper's default; Table VI shows it examines an order of
+// magnitude fewer candidates than top-down because completed-cost estimates
+// are tight when the low levels — where most accesses happen — are fixed
+// first).
+func bottomUp(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
+	orderings, ostats := order.Enumerate(w)
+	res := Result{OrderingsConsidered: ostats.Survivors}
+
+	states := []state{{m: mapping.New(w, a)}}
+	top := len(a.Levels) - 1
+
+	for l := 0; l < top; l++ {
+		var produced []*mapping.Mapping
+		for _, st := range states {
+			cands, effort := expandLevel(st.m, l, orderings, opt)
+			produced = append(produced, cands...)
+			res.SpaceSize += effort
+		}
+		if len(produced) == 0 {
+			return res, fmt.Errorf("no feasible candidates at level %d (%s): tiles cannot fit", l, a.Levels[l].Name)
+		}
+		scored := evalAll(produced, opt)
+		res.SpaceSize += len(produced)
+		states = prune(scored, opt)
+		if len(states) == 0 {
+			return res, fmt.Errorf("all candidates at level %d are invalid", l)
+		}
+	}
+
+	best := states[0]
+	final := complete(best.m)
+	rep := opt.Model.Evaluate(final)
+	if !opt.NoPolish {
+		var evals int
+		final, rep, evals = polish(final, rep, orderings, opt)
+		res.SpaceSize += evals
+	}
+	res.Mapping = final
+	res.Report = rep
+	return res, nil
+}
+
+// expandLevel generates the candidate extensions of partial mapping base at
+// step l: loop ordering for level l+1, tiling of level l, spatial unrolling
+// at level 0 (step 0 only) and at level l+1. Returns the candidates plus the
+// enumeration effort (tree nodes visited), which depends on the intra-level
+// Strategy.
+func expandLevel(base *mapping.Mapping, l int, orderings []order.Ordering, opt Options) ([]*mapping.Mapping, int) {
+	w := base.Workload
+	a := base.Arch
+	effort := 0
+
+	// Strategy accounting: the non-default intra-level orders enumerate
+	// their first stage without the ordering's principle guidance and
+	// filter later, so they visit extra nodes for the same final set.
+	switch opt.Strategy {
+	case TileUnrollOrder:
+		effort += unguidedTileEffort(base, l, opt)
+	case UnrollTileOrder:
+		effort += unguidedUnrollEffort(base, l, opt)
+		effort += unguidedTileEffort(base, l, opt)
+	}
+
+	var out []*mapping.Mapping
+	for oi := range orderings {
+		o := &orderings[oi]
+		m1 := base.Clone()
+		m1.Levels[l+1].Order = o.Complete(w)
+		grow := growDimsFor(w, o)
+
+		// Step 0 also assigns the unrolling below the first memory level
+		// (e.g. the DianNao NFU between the on-chip buffers and the MACs).
+		bases := []*mapping.Mapping{m1}
+		if l == 0 && a.Levels[0].Fanout > 1 {
+			bases = unrollAt(m1, 0, nil, opt)
+			effort += len(bases)
+		}
+
+		// Unrolling is settled before tiling (the paper's default
+		// intra-level order, Table VI row 1): the spatial fanout must claim
+		// its share of the factor budget before the maximal-tile search
+		// consumes it, or the PE array is left underutilized.
+		for _, m2 := range bases {
+			withSpatial := []*mapping.Mapping{m2}
+			if a.Levels[l+1].Fanout > 1 {
+				withSpatial = unrollAt(m2, l+1, grow, opt)
+				effort += len(withSpatial)
+			}
+			for _, m3 := range withSpatial {
+				tiles, tstats := enumerateTiles(m3, l, grow, opt)
+				effort += tstats.NodesVisited
+				for _, tc := range tiles {
+					m4 := m3.Clone()
+					for d, f := range tc {
+						if f > 1 {
+							m4.Levels[l].Temporal[d] = f
+						}
+					}
+					residualFill(m4, l, grow)
+					out = append(out, m4)
+				}
+			}
+		}
+	}
+	return out, effort
+}
+
+// enumerateTiles runs the tiling tree for level l of partial mapping m with
+// the given grow dimensions, checking capacity feasibility from level l up.
+func enumerateTiles(m *mapping.Mapping, l int, grow []tensor.Dim, opt Options) ([]tile.Candidate, tile.Stats) {
+	scratch := m.Clone()
+	fits := func(c tile.Candidate) bool {
+		for d := range m.Workload.Dims {
+			delete(scratch.Levels[l].Temporal, d)
+		}
+		for d, f := range c {
+			scratch.Levels[l].Temporal[d] = f
+		}
+		return feasible(scratch, l)
+	}
+	return tile.Enumerate(tile.Space{
+		GrowDims:      grow,
+		Quota:         remainingQuota(m),
+		Fits:          fits,
+		MaxCandidates: opt.TilesPerStep,
+	})
+}
+
+// residualFill deterministically grows the non-grow dimensions of the tile
+// at level l into whatever capacity the OP-maximal tile left free. The
+// Tiling Principle requires maximality only along OP's indexing dimensions;
+// enlarging other dimensions within the remaining space moves upper-level
+// loops into the tile and can only add intra-tile reuse, so it is a pure
+// completion (no branching, not counted as search-space growth). Reduction
+// dimensions fill first — keeping partial sums resident longest — then the
+// rest in canonical order.
+func residualFill(m *mapping.Mapping, l int, grow []tensor.Dim) {
+	growSet := map[tensor.Dim]bool{}
+	for _, d := range grow {
+		growSet[d] = true
+	}
+	var fillDims []tensor.Dim
+	for _, d := range m.Workload.ReductionDims() {
+		if !growSet[d] {
+			fillDims = append(fillDims, d)
+		}
+	}
+	for _, d := range m.Workload.Order {
+		if !growSet[d] && !isReduction(m, d) {
+			fillDims = append(fillDims, d)
+		}
+	}
+	quota := remainingQuota(m)
+	for _, d := range fillDims {
+		ladder := factor.Ladder(quota[d], 4)
+		for i := len(ladder) - 1; i >= 0; i-- {
+			f := ladder[i]
+			if f <= m.Levels[l].T(d) {
+				break
+			}
+			old := m.Levels[l].T(d)
+			m.Levels[l].Temporal[d] = f
+			if feasible(m, l) {
+				break
+			}
+			if old > 1 {
+				m.Levels[l].Temporal[d] = old
+			} else {
+				delete(m.Levels[l].Temporal, d)
+			}
+		}
+	}
+}
+
+func isReduction(m *mapping.Mapping, d tensor.Dim) bool {
+	for _, rd := range m.Workload.ReductionDims() {
+		if rd == d {
+			return true
+		}
+	}
+	return false
+}
+
+// unrollAt returns m extended with each candidate spatial unrolling at level
+// lvl (allowed dims nil = no principle restriction), keeping only
+// capacity-feasible extensions.
+func unrollAt(m *mapping.Mapping, lvl int, allowed []tensor.Dim, opt Options) []*mapping.Mapping {
+	a := m.Arch
+	cands, _ := unroll.Enumerate(unroll.Space{
+		Allowed:               allowed,
+		ReductionDims:         m.Workload.ReductionDims(),
+		Quota:                 quotas(m, lvl),
+		Fanout:                a.Levels[lvl].Fanout,
+		MinUtilization:        opt.MinUtilization,
+		AllowSpatialReduction: a.Levels[lvl].AllowSpatialReduction,
+		MaxCandidates:         opt.UnrollsPerStep,
+	})
+	var out []*mapping.Mapping
+	for _, u := range cands {
+		mu := m.Clone()
+		for d, f := range u {
+			if f > 1 {
+				mu.Levels[lvl].Spatial[d] = f
+			}
+		}
+		if feasible(mu, lvl) {
+			out = append(out, mu)
+		}
+	}
+	if len(out) == 0 {
+		// The empty unrolling is always feasible if m was.
+		out = append(out, m.Clone())
+	}
+	return out
+}
+
+// remainingQuota is the per-dimension factor budget not yet assigned
+// anywhere in the mapping (lower tiles, this level's spatial factors, and —
+// because unrolling precedes tiling — the next level's spatial factors all
+// count against it).
+func remainingQuota(m *mapping.Mapping) map[tensor.Dim]int {
+	q := make(map[tensor.Dim]int, len(m.Workload.Dims))
+	for d, bound := range m.Workload.Dims {
+		q[d] = ceilDiv(bound, m.Coverage(d))
+	}
+	return q
+}
+
+// unguidedTileEffort counts the tiling-tree nodes an ordering-last strategy
+// visits: the tree grown along every dimension, no Tiling Principle filter.
+func unguidedTileEffort(m *mapping.Mapping, l int, opt Options) int {
+	_, stats := enumerateTiles(m, l, nil, opt)
+	return stats.NodesVisited
+}
+
+// unguidedUnrollEffort counts the unrolling candidates an ordering-last
+// strategy enumerates at this step's spatial levels without the Unrolling
+// Principle filter.
+func unguidedUnrollEffort(m *mapping.Mapping, l int, opt Options) int {
+	a := m.Arch
+	n := 0
+	for _, lvl := range []int{0, l + 1} {
+		if lvl == 0 && l != 0 {
+			continue
+		}
+		if a.Levels[lvl].Fanout <= 1 {
+			continue
+		}
+		_, stats := unroll.Enumerate(unroll.Space{
+			ReductionDims:         m.Workload.ReductionDims(),
+			Quota:                 quotas(m, lvl),
+			Fanout:                a.Levels[lvl].Fanout,
+			MinUtilization:        opt.MinUtilization,
+			AllowSpatialReduction: a.Levels[lvl].AllowSpatialReduction,
+		})
+		n += stats.NodesVisited
+	}
+	return n
+}

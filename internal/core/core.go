@@ -1,0 +1,379 @@
+// Package core implements the Sunstone dataflow optimizer — the paper's
+// primary contribution.
+//
+// Sunstone optimizes level by level. At each memory level l (bottom-up, the
+// default) it composes the three algebra-derived stages:
+//
+//   - loop ordering for the level above, from the pruned ordering trie
+//     (internal/order) — this decides which operand OP is temporally reused
+//     across level-l tiles;
+//   - tiling of level l, from the tiling tree (internal/tile) grown only
+//     along OP's indexing dimensions (the Tiling Principle);
+//   - spatial unrolling across the next level's fanout (internal/unroll),
+//     restricted to OP's indexing dimensions (the Unrolling Principle) and
+//     filtered for high throughput.
+//
+// Partial mappings are scored by completing them (all remaining factors at
+// the top level) and evaluating the full cost model; because most accesses
+// happen at the lowest levels, these bottom-up estimates are tight, which is
+// what makes the alpha-beta-style pruning effective (Section V-C of the
+// paper). A beam of the best partial mappings is carried between levels.
+//
+// The package also implements the top-down variant and the three intra-level
+// optimization orders studied in Table VI.
+package core
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/cost"
+	"sunstone/internal/mapping"
+	"sunstone/internal/order"
+	"sunstone/internal/tensor"
+)
+
+// Direction selects the inter-level optimization order (Table VI).
+type Direction int
+
+const (
+	BottomUp Direction = iota
+	TopDown
+)
+
+func (d Direction) String() string {
+	if d == TopDown {
+		return "top-down"
+	}
+	return "bottom-up"
+}
+
+// Strategy selects the intra-level optimization order (Table VI). All three
+// converge on the same candidate set — the paper finds intra-level order
+// does not significantly affect mapping quality — but they apply the
+// principle-based filters at different points, so their enumeration effort
+// (space size) differs.
+type Strategy int
+
+const (
+	// OrderTileUnroll is the default described in Section III-C: pick an
+	// ordering, grow tiles for it, then unroll for each ordering-tile pair.
+	OrderTileUnroll Strategy = iota
+	// TileUnrollOrder enumerates unconstrained tiles and unrollings first,
+	// filtering by ordering compatibility last.
+	TileUnrollOrder
+	// UnrollTileOrder enumerates unrollings first, then tiles, then orders.
+	UnrollTileOrder
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case TileUnrollOrder:
+		return "tiling->unrolling->ordering"
+	case UnrollTileOrder:
+		return "unrolling->tiling->ordering"
+	default:
+		return "ordering->tiling->unrolling"
+	}
+}
+
+// Objective selects the figure of merit the search minimizes. The paper
+// uses EDP throughout; energy-only, delay-only, and ED^2P are provided as
+// extensions (useful for energy-constrained edge or latency-critical
+// serving deployments).
+type Objective int
+
+const (
+	// MinEDP minimizes energy x delay (the paper's merit; default).
+	MinEDP Objective = iota
+	// MinEnergy minimizes total energy.
+	MinEnergy
+	// MinDelay minimizes cycles.
+	MinDelay
+	// MinED2P minimizes energy x delay^2.
+	MinED2P
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinEnergy:
+		return "energy"
+	case MinDelay:
+		return "delay"
+	case MinED2P:
+		return "ED2P"
+	default:
+		return "EDP"
+	}
+}
+
+// Score extracts the objective value from a report (lower is better;
+// invalid reports score +Inf).
+func (o Objective) Score(rep cost.Report) float64 {
+	if !rep.Valid {
+		return math.Inf(1)
+	}
+	switch o {
+	case MinEnergy:
+		return rep.EnergyPJ
+	case MinDelay:
+		return rep.Cycles
+	case MinED2P:
+		return rep.EnergyPJ * rep.Cycles * rep.Cycles
+	default:
+		return rep.EDP
+	}
+}
+
+// Options configures the optimizer.
+type Options struct {
+	Direction Direction
+	Strategy  Strategy
+	// Objective is the figure of merit minimized (default MinEDP).
+	Objective Objective
+	// BeamWidth bounds the partial mappings carried between levels
+	// (default 24).
+	BeamWidth int
+	// AlphaSlack multiplies the best completed EDP seen so far to form the
+	// alpha-beta pruning bound for partial candidates (default 16).
+	AlphaSlack float64
+	// MinUtilization is the high-throughput threshold for spatial
+	// unrolling (default 0.5).
+	MinUtilization float64
+	// TilesPerStep caps the tiling candidates kept per (state, ordering,
+	// unrolling) at each level, preferring the largest tiles (default 8).
+	TilesPerStep int
+	// UnrollsPerStep caps the unrolling candidates kept per (state,
+	// ordering) at each spatial level, preferring the highest utilization
+	// (default 6).
+	UnrollsPerStep int
+	// NoPolish disables the greedy local-move refinement applied to the
+	// bottom-up search's best mapping.
+	NoPolish bool
+	// Threads bounds the evaluation goroutines (default GOMAXPROCS).
+	Threads int
+	// Model is the cost model (default cost.Default).
+	Model cost.Model
+	// TopDownVisitBudget caps the candidates a top-down search may
+	// enumerate before it settles for the best found (default 4,000,000).
+	// The cap exists because the top-down space is orders of magnitude
+	// larger (Table VI) — exactly the pathology the paper reports.
+	TopDownVisitBudget int
+}
+
+func (o Options) withDefaults() Options {
+	if o.BeamWidth <= 0 {
+		o.BeamWidth = 24
+	}
+	if o.TilesPerStep <= 0 {
+		o.TilesPerStep = 8
+	}
+	if o.UnrollsPerStep <= 0 {
+		o.UnrollsPerStep = 6
+	}
+	if o.AlphaSlack <= 0 {
+		o.AlphaSlack = 16
+	}
+	if o.MinUtilization <= 0 {
+		o.MinUtilization = 0.5
+	}
+	if o.Threads <= 0 {
+		o.Threads = runtime.GOMAXPROCS(0)
+	}
+	if o.Model == (cost.Model{}) {
+		o.Model = cost.Default
+	}
+	if o.TopDownVisitBudget <= 0 {
+		o.TopDownVisitBudget = 4_000_000
+	}
+	return o
+}
+
+// Result is the outcome of one optimization run.
+type Result struct {
+	Mapping *mapping.Mapping
+	Report  cost.Report
+	// SpaceSize counts the candidate mappings the search examined — the
+	// paper's "space size" merit (Tables I and VI).
+	SpaceSize int
+	// OrderingsConsidered is the surviving ordering-trie candidate count.
+	OrderingsConsidered int
+	Elapsed             time.Duration
+}
+
+// Optimize searches for the best mapping of w onto a.
+func Optimize(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
+	opt = opt.withDefaults()
+	if err := w.Validate(); err != nil {
+		return Result{}, err
+	}
+	if err := a.Validate(); err != nil {
+		return Result{}, err
+	}
+	start := time.Now()
+	var res Result
+	var err error
+	if opt.Direction == TopDown {
+		res, err = topDown(w, a, opt)
+	} else {
+		res, err = bottomUp(w, a, opt)
+	}
+	res.Elapsed = time.Since(start)
+	return res, err
+}
+
+// state is one partial mapping plus its completed-cost estimate.
+type state struct {
+	m     *mapping.Mapping
+	score float64 // objective value of the completed form
+	rep   cost.Report
+	key   string // deterministic tie-break
+}
+
+// complete clones m into a full (evaluable) mapping: every intermediate
+// level is greedily filled with whatever remaining factors fit its buffers
+// (a stand-in for the optimization the upper steps will perform — this is
+// what makes the bottom-up completed-cost estimates tight), and the final
+// remainder lands at the unbounded top level.
+func complete(m *mapping.Mapping) *mapping.Mapping {
+	c := m.Clone()
+	top := len(c.Levels) - 1
+	for l := 1; l < top; l++ {
+		residualFill(c, l, nil)
+	}
+	for d, bound := range c.Workload.Dims {
+		below := c.Extent(d, top-1)
+		need := ceilDiv(bound, below)
+		if t := c.Levels[top].T(d); t < need {
+			c.Levels[top].Temporal[d] = need
+		}
+	}
+	return c
+}
+
+// growDimsFor returns the union of indexing dimensions of the tensors fully
+// reused by ordering o (the OP of the Tiling/Unrolling Principles); nil when
+// the ordering reuses nothing (no guidance — all dims allowed).
+func growDimsFor(w *tensor.Workload, o *order.Ordering) []tensor.Dim {
+	if len(o.FullyReused) == 0 {
+		return nil
+	}
+	set := map[tensor.Dim]bool{}
+	for _, name := range o.FullyReused {
+		t := w.Tensor(name)
+		if t == nil {
+			continue
+		}
+		for _, d := range t.IndexingDims() {
+			set[d] = true
+		}
+	}
+	var out []tensor.Dim
+	for _, d := range w.Order {
+		if set[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// quotas returns the per-dimension remaining factor budget above level
+// lvl-1 (i.e. for loops at levels >= lvl), given the extents already fixed.
+func quotas(m *mapping.Mapping, lvl int) map[tensor.Dim]int {
+	q := make(map[tensor.Dim]int, len(m.Workload.Dims))
+	for d, bound := range m.Workload.Dims {
+		below := 1
+		if lvl > 0 {
+			below = m.Extent(d, lvl-1)
+		}
+		q[d] = ceilDiv(bound, below)
+	}
+	return q
+}
+
+// feasible reports whether the partial mapping's current extents still fit
+// every bounded buffer at levels [from, top). Because extents only grow as
+// upper levels are assigned, a violation here can never be repaired.
+func feasible(m *mapping.Mapping, from int) bool {
+	top := len(m.Levels) - 1
+	for l := from; l < top; l++ {
+		ext := m.Extents(l)
+		al := &m.Arch.Levels[l]
+		for bi := range al.Buffers {
+			buf := &al.Buffers[bi]
+			if buf.Bytes == 0 {
+				continue
+			}
+			var usedBits int64
+			for _, t := range m.Workload.Tensors {
+				if buf.Holds(t.Name) {
+					usedBits += int64(t.Footprint(ext)) * int64(m.Arch.Bits(t.Name))
+				}
+			}
+			if usedBits > buf.Bytes*8 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// evalAll scores the completed forms of the given mappings in parallel and
+// returns them as states sorted by (EDP, render) for determinism.
+func evalAll(ms []*mapping.Mapping, opt Options) []state {
+	states := make([]state, len(ms))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, opt.Threads)
+	for i := range ms {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			rep := opt.Model.Evaluate(complete(ms[i]))
+			states[i] = state{m: ms[i], score: opt.Objective.Score(rep), rep: rep, key: ms[i].String()}
+		}(i)
+	}
+	wg.Wait()
+	sort.Slice(states, func(i, j int) bool {
+		if states[i].score != states[j].score {
+			return states[i].score < states[j].score
+		}
+		return states[i].key < states[j].key
+	})
+	return states
+}
+
+// prune applies beam and alpha-beta selection to sorted states.
+func prune(states []state, opt Options) []state {
+	var out []state
+	alpha := math.Inf(1)
+	for _, s := range states {
+		if math.IsInf(s.score, 1) {
+			continue
+		}
+		if s.score < alpha {
+			alpha = s.score
+		}
+		break
+	}
+	for _, s := range states {
+		if math.IsInf(s.score, 1) {
+			continue
+		}
+		if s.score > alpha*opt.AlphaSlack {
+			continue // alpha-beta: provably far from the incumbent
+		}
+		out = append(out, s)
+		if len(out) >= opt.BeamWidth {
+			break
+		}
+	}
+	return out
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

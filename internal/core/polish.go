@@ -1,0 +1,141 @@
+package core
+
+import (
+	"sunstone/internal/cost"
+	"sunstone/internal/factor"
+	"sunstone/internal/mapping"
+	"sunstone/internal/order"
+)
+
+// polish hill-climbs the best mapping found by the level-by-level search:
+// it greedily applies any loop-ordering swap or single-prime factor move
+// (between two temporal levels, or from a temporal level into an
+// under-utilized spatial fanout) that lowers EDP, until a fixpoint. The beam
+// search's per-level decomposition is near-optimal but can leave small
+// cross-level imbalances; a few dozen local moves recover them at a cost of
+// a few hundred evaluations (counted in the returned total).
+func polish(best *mapping.Mapping, rep cost.Report, orderings []order.Ordering, opt Options) (*mapping.Mapping, cost.Report, int) {
+	cur := best
+	curRep := rep
+	evals := 0
+	const maxRounds = 8
+
+	for round := 0; round < maxRounds; round++ {
+		improved := false
+
+		try := func(cand *mapping.Mapping) bool {
+			r := opt.Model.Evaluate(cand)
+			evals++
+			if r.Valid && opt.Objective.Score(r) < opt.Objective.Score(curRep)*(1-1e-12) {
+				cur, curRep = cand, r
+				return true
+			}
+			return false
+		}
+
+		// Ordering moves: re-pick any level's loop order from the trie.
+		for l := 1; l < len(cur.Levels); l++ {
+			for oi := range orderings {
+				cand := cur.Clone()
+				cand.Levels[l].Order = orderings[oi].Complete(cur.Workload)
+				if try(cand) {
+					improved = true
+				}
+			}
+		}
+
+		// Factor moves: shift one prime of one dimension between levels.
+		// (Iterate the canonical dimension order — map order would make
+		// first-improvement hill climbing nondeterministic.)
+		for _, d := range cur.Workload.Order {
+			for src := 0; src < len(cur.Levels); src++ {
+				tSrc := cur.Levels[src].T(d)
+				if tSrc <= 1 {
+					continue
+				}
+				for _, p := range uniquePrimes(tSrc) {
+					for dst := 0; dst < len(cur.Levels); dst++ {
+						if dst == src {
+							continue
+						}
+						cand := cur.Clone()
+						cand.Levels[src].Temporal[d] = tSrc / p
+						cand.Levels[dst].Temporal[d] = cand.Levels[dst].T(d) * p
+						if try(cand) {
+							improved = true
+						}
+						// Spatial variant: move the prime into dst's fanout.
+						if cur.Arch.Levels[dst].Fanout > 1 {
+							cand2 := cur.Clone()
+							cand2.Levels[src].Temporal[d] = tSrc / p
+							cand2.Levels[dst].Spatial[d] = cand2.Levels[dst].S(d) * p
+							if try(cand2) {
+								improved = true
+							}
+						}
+					}
+				}
+			}
+		}
+
+		// Spatial swaps: replace one prime of a spatially-unrolled dimension
+		// with a prime of another dimension taken from a temporal level —
+		// the move a single-prime shift cannot express (e.g. retiring an R3
+		// unroll in favor of P4 across the same fanout).
+		for l := 0; l < len(cur.Levels); l++ {
+			if cur.Arch.Levels[l].Fanout <= 1 {
+				continue
+			}
+			for _, d1 := range cur.Workload.Order {
+				s1 := cur.Levels[l].S(d1)
+				if s1 <= 1 {
+					continue
+				}
+				for _, p := range uniquePrimes(s1) {
+					for _, d2 := range cur.Workload.Order {
+						if d2 == d1 {
+							continue
+						}
+						for src := 0; src < len(cur.Levels); src++ {
+							tSrc := cur.Levels[src].T(d2)
+							if tSrc <= 1 {
+								continue
+							}
+							for _, q := range uniquePrimes(tSrc) {
+								if cur.Levels[l].SpatialProduct()/p*q > cur.Arch.Levels[l].Fanout {
+									continue
+								}
+								cand := cur.Clone()
+								cand.Levels[l].Spatial[d1] = s1 / p
+								cand.Levels[l].Temporal[d1] = cand.Levels[l].T(d1) * p
+								cand.Levels[src].Temporal[d2] = tSrc / q
+								cand.Levels[l].Spatial[d2] = cand.Levels[l].S(d2) * q
+								if try(cand) {
+									improved = true
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+
+		if !improved {
+			break
+		}
+	}
+	return cur, curRep, evals
+}
+
+// uniquePrimes returns the distinct prime factors of n.
+func uniquePrimes(n int) []int {
+	var out []int
+	last := 0
+	for _, p := range factor.Primes(n) {
+		if p != last {
+			out = append(out, p)
+			last = p
+		}
+	}
+	return out
+}

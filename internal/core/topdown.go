@@ -1,0 +1,259 @@
+package core
+
+import (
+	"fmt"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/factor"
+	"sunstone/internal/mapping"
+	"sunstone/internal/order"
+	"sunstone/internal/tensor"
+	"sunstone/internal/unroll"
+)
+
+// topDown optimizes starting at the off-chip memory and walking down — the
+// variant Table VI compares against. At step m it assigns the loop order,
+// temporal factors and spatial unrolling of level m; the extents remaining
+// below level m are then fully determined, so level m-1's capacity can be
+// checked. The branching at the first (DRAM) step is enormous because the
+// large on-chip memories admit most factor splits — the paper's explanation
+// for why this direction examines an order of magnitude more candidates —
+// and the alpha-beta estimates are looser because low-level access counts
+// are unknown until the very end.
+func topDown(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
+	orderings, ostats := order.Enumerate(w)
+	res := Result{OrderingsConsidered: ostats.Survivors}
+
+	top := len(a.Levels) - 1
+	states := []state{{m: mapping.New(w, a)}}
+	// Every step gets its own share of the visit budget: the first (DRAM)
+	// step's enormous branching would otherwise starve the lower steps.
+	stepBudget := opt.TopDownVisitBudget / top
+	if stepBudget < 1 {
+		stepBudget = 1
+	}
+
+	for m := top; m >= 1; m-- {
+		var produced []*mapping.Mapping
+		remaining := stepBudget
+		for _, st := range states {
+			cands, visited := expandTopLevel(st.m, m, orderings, opt, remaining)
+			res.SpaceSize += visited
+			remaining -= visited
+			produced = append(produced, cands...)
+			if remaining <= 0 {
+				break
+			}
+		}
+		if len(produced) == 0 {
+			return res, fmt.Errorf("top-down: no feasible candidates at level %d (%s)", m, a.Levels[m].Name)
+		}
+		// Score by completing downward: remaining factors land in the
+		// level-(m-1) tile, lower levels at 1. (The final step's states are
+		// already complete mappings.)
+		scored := scoreTopDown(produced, m-1, opt)
+		states = prune(scored, opt)
+		if len(states) == 0 {
+			return res, fmt.Errorf("top-down: all candidates invalid at level %d", m)
+		}
+	}
+
+	best := states[0]
+	rep := opt.Model.Evaluate(best.m)
+	res.Mapping = best.m
+	res.Report = rep
+	return res, nil
+}
+
+// expandTopLevel enumerates (ordering, spatial, temporal-factor) choices for
+// level m of partial mapping base. The returned visit count includes
+// capacity-rejected combinations (they were examined). Enumeration stops
+// when the remaining visit budget is exhausted.
+func expandTopLevel(base *mapping.Mapping, m int, orderings []order.Ordering, opt Options, budget int) ([]*mapping.Mapping, int) {
+	w := base.Workload
+	a := base.Arch
+	visited := 0
+	var out []*mapping.Mapping
+
+	dims := w.Order
+	for oi := range orderings {
+		o := &orderings[oi]
+		m1 := base.Clone()
+		m1.Levels[m].Order = o.Complete(w)
+
+		spatials := []*mapping.Mapping{m1}
+		if a.Levels[m].Fanout > 1 {
+			spatials = topDownUnroll(m1, m, opt)
+		}
+		for _, m2 := range spatials {
+			// Budget for T(m): the remainder above level m, net of the
+			// spatial factors just assigned at m.
+			quota := remainingExtents(m2, m)
+			for d := range quota {
+				if s := m2.Levels[m].S(d); s > 1 {
+					quota[d] = ceilDiv(quota[d], s)
+				}
+			}
+			// Descending ladders: large top-level factors leave small
+			// remainders below, so the feasible region (remainder fits
+			// the next level) is reached before any visit budget expires.
+			ladders := make([][]int, len(dims))
+			for i, d := range dims {
+				l := factor.Ladder(quota[d], 4)
+				rev := make([]int, len(l))
+				for j, v := range l {
+					rev[len(l)-1-j] = v
+				}
+				ladders[i] = rev
+			}
+			cur := make(map[tensor.Dim]int, len(dims))
+			var rec func(i int)
+			rec = func(i int) {
+				if visited >= budget {
+					return
+				}
+				if i == len(dims) {
+					visited++
+					// Full capacity check before paying for a clone.
+					if !partialRemainderCanFit(m2, m, cur, nil, quota) {
+						return
+					}
+					cand := m2.Clone()
+					for d, f := range cur {
+						if f > 1 {
+							cand.Levels[m].Temporal[d] = f
+						}
+					}
+					out = append(out, cand)
+					return
+				}
+				d := dims[i]
+				for _, f := range ladders[i] {
+					cur[d] = f
+					// Sound subtree pruning: with unassigned dims at their
+					// largest factors (smallest remainders), if the partial
+					// remainder already overflows level m-1, no completion
+					// can fit.
+					if !partialRemainderCanFit(m2, m, cur, dims[i+1:], quota) {
+						visited++
+						continue
+					}
+					rec(i + 1)
+				}
+				delete(cur, d)
+			}
+			rec(0)
+		}
+	}
+	return out, visited
+}
+
+// topDownUnroll enumerates spatial unrollings at level m without principle
+// restrictions (top-down has no lower-level ordering fixed yet to derive OP
+// from; this unguided enumeration is part of why its space is larger).
+func topDownUnroll(m1 *mapping.Mapping, m int, opt Options) []*mapping.Mapping {
+	a := m1.Arch
+	cands, _ := unroll.Enumerate(unroll.Space{
+		ReductionDims:         m1.Workload.ReductionDims(),
+		Quota:                 remainingExtents(m1, m),
+		Fanout:                a.Levels[m].Fanout,
+		MinUtilization:        opt.MinUtilization,
+		AllowSpatialReduction: a.Levels[m].AllowSpatialReduction,
+		MaxCandidates:         opt.UnrollsPerStep * 2,
+	})
+	var out []*mapping.Mapping
+	for _, u := range cands {
+		mu := m1.Clone()
+		for d, f := range u {
+			if f > 1 {
+				mu.Levels[m].Spatial[d] = f
+			}
+		}
+		out = append(out, mu)
+	}
+	if len(out) == 0 {
+		out = append(out, m1.Clone())
+	}
+	return out
+}
+
+// remainingExtents returns, per dimension, the extent forced at level lvl
+// when all factors above lvl are assigned: bound / (product above).
+func remainingExtents(m *mapping.Mapping, lvl int) map[tensor.Dim]int {
+	ext := make(map[tensor.Dim]int, len(m.Workload.Dims))
+	for d, bound := range m.Workload.Dims {
+		above := 1
+		for l := lvl + 1; l < len(m.Levels); l++ {
+			above *= m.Levels[l].T(d) * m.Levels[l].S(d)
+		}
+		ext[d] = ceilDiv(bound, above)
+	}
+	return ext
+}
+
+// partialRemainderCanFit is the subtree-pruning necessity check during
+// factor enumeration: assigned dims use their chosen factors; unassigned
+// dims optimistically use their full quota (remainder 1). If even this
+// minimal remainder overflows level m-1, prune.
+func partialRemainderCanFit(m2 *mapping.Mapping, m int, cur map[tensor.Dim]int, rest []tensor.Dim, quota map[tensor.Dim]int) bool {
+	lvl := m - 1
+	if lvl < 0 {
+		return true
+	}
+	ext := remainingExtents(m2, lvl)
+	for d, f := range cur {
+		ext[d] = ceilDiv(ext[d], f)
+	}
+	for _, d := range rest {
+		ext[d] = ceilDiv(ext[d], quota[d])
+	}
+	al := &m2.Arch.Levels[lvl]
+	for bi := range al.Buffers {
+		buf := &al.Buffers[bi]
+		if buf.Bytes == 0 {
+			continue
+		}
+		var usedBits int64
+		for _, t := range m2.Workload.Tensors {
+			if buf.Holds(t.Name) {
+				usedBits += int64(t.Footprint(ext)) * int64(m2.Arch.Bits(t.Name))
+			}
+		}
+		if usedBits > buf.Bytes*8 {
+			return false
+		}
+	}
+	return true
+}
+
+// scoreTopDown scores top-down partial mappings by completing them downward:
+// the remaining extents are placed as the level-lvl tile (lower levels stay
+// 1), then the full model runs. For lvl == 0 the mapping is complete as-is.
+func scoreTopDown(ms []*mapping.Mapping, lvl int, opt Options) []state {
+	completed := make([]*mapping.Mapping, len(ms))
+	for i, m := range ms {
+		c := m.Clone()
+		if lvl >= 0 {
+			ext := remainingExtents(c, lvl)
+			for d, e := range ext {
+				if e > 1 {
+					c.Levels[lvl].Temporal[d] = e
+				}
+			}
+		}
+		completed[i] = c
+	}
+	states := evalAll(completed, opt)
+	// Re-point the states at the *partial* mappings so the next step
+	// extends them (evalAll sorted by the completed cost; map back).
+	byPtr := map[*mapping.Mapping]*mapping.Mapping{}
+	for i := range completed {
+		byPtr[completed[i]] = ms[i]
+	}
+	for i := range states {
+		if lvl >= 1 { // not final step: keep the partial form
+			states[i].m = byPtr[states[i].m]
+		}
+	}
+	return states
+}

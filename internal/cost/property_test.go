@@ -1,0 +1,144 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/factor"
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
+)
+
+// randomValidMapping builds a random complete mapping of the 1D conv onto
+// TinySpatial by scattering prime factors over levels, retrying until valid.
+func randomValidMapping(rng *rand.Rand) *mapping.Mapping {
+	w := tensor.MustNew("conv1d",
+		map[tensor.Dim]int{"K": 16, "C": 8, "P": 24, "R": 3},
+		&tensor.Tensor{Name: arch.Ifmap, Axes: []tensor.Axis{tensor.Win("P", 1, "R", 1), tensor.A("C")}},
+		&tensor.Tensor{Name: arch.Weight, Axes: []tensor.Axis{tensor.A("K"), tensor.A("C"), tensor.A("R")}},
+		&tensor.Tensor{Name: arch.Ofmap, Axes: []tensor.Axis{tensor.A("K"), tensor.A("P")}, Output: true},
+	)
+	a := arch.TinySpatial(4096, 1<<18, 8)
+	for tries := 0; tries < 200; tries++ {
+		m := mapping.New(w, a)
+		for _, d := range w.Order {
+			for _, p := range factor.Primes(w.Dims[d]) {
+				slot := rng.Intn(4)
+				switch slot {
+				case 0, 1, 2:
+					m.Levels[slot].Temporal[d] = m.Levels[slot].T(d) * p
+				default:
+					m.Levels[1].Spatial[d] = m.Levels[1].S(d) * p
+				}
+			}
+		}
+		order := append([]tensor.Dim(nil), w.Order...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for l := 1; l < len(m.Levels); l++ {
+			m.Levels[l].Order = order
+		}
+		if m.Validate() == nil {
+			return m
+		}
+	}
+	return nil
+}
+
+// TestFlowInvariantsProperty checks, over random valid mappings:
+//   - every flow count is non-negative;
+//   - child fills are at least parent reads (multicast only amplifies);
+//   - input tensors never have parent writes; outputs never have fills;
+//   - each tensor's outermost flow moves at least the full tensor once.
+func TestFlowInvariantsProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomValidMapping(rng)
+		if m == nil {
+			return true // no valid sample for this seed; vacuous
+		}
+		for _, tn := range m.Workload.Tensors {
+			flows := Default.Flows(m, tn)
+			if len(flows) < 2 {
+				t.Logf("tensor %s has %d flows", tn.Name, len(flows))
+				return false
+			}
+			full := int64(tn.Footprint(m.Extents(len(m.Levels) - 1)))
+			for _, fl := range flows {
+				if fl.ParentReads < 0 || fl.ParentWrites < 0 || fl.PsumReads < 0 ||
+					fl.ChildFills < 0 || fl.ChildDrains < 0 {
+					t.Logf("negative flow %+v", fl)
+					return false
+				}
+				if tn.Output {
+					if fl.ChildFills != 0 || fl.ParentReads != 0 {
+						t.Logf("output tensor with input-style traffic: %+v", fl)
+						return false
+					}
+				} else {
+					if fl.ParentWrites != 0 || fl.ChildDrains != 0 {
+						t.Logf("input tensor with output-style traffic: %+v", fl)
+						return false
+					}
+					if fl.Child >= 0 && fl.ChildFills < fl.ParentReads {
+						t.Logf("fills %d below reads %d", fl.ChildFills, fl.ParentReads)
+						return false
+					}
+				}
+			}
+			// Outermost pair: the whole tensor crosses at least once.
+			last := flows[len(flows)-1]
+			if vol := last.ParentReads + last.ParentWrites; vol < full {
+				t.Logf("tensor %s outer volume %d below size %d", tn.Name, vol, full)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEvaluateDeterministicProperty: evaluating the same mapping twice gives
+// bit-identical energy (guards the sorted-summation fix).
+func TestEvaluateDeterministicProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomValidMapping(rng)
+		if m == nil {
+			return true
+		}
+		r1, r2 := Evaluate(m), Evaluate(m)
+		return r1.EnergyPJ == r2.EnergyPJ && r1.Cycles == r2.Cycles && r1.EDP == r2.EDP
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnergyLowerBoundProperty: total energy is at least MAC energy, and
+// every valid mapping moves each input from DRAM at least once.
+func TestEnergyLowerBoundProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := randomValidMapping(rng)
+		if m == nil {
+			return true
+		}
+		r := Evaluate(m)
+		if !r.Valid {
+			return false
+		}
+		macE := float64(r.MACs) * m.Arch.MACPJ
+		if r.EnergyPJ < macE {
+			t.Logf("energy %f below MAC floor %f", r.EnergyPJ, macE)
+			return false
+		}
+		return r.TotalAccesses("DRAM") > 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,201 @@
+// Package diannao implements an event-counting simulator of a DianNao-like
+// accelerator (Chen et al., ASPLOS 2014) and its instruction set — the
+// in-house substrate the paper builds for the Section V-D tiling/unrolling
+// overhead analysis (Fig. 9).
+//
+// The machine has three on-chip scratchpads — NBin (input neurons), NBout
+// (output neurons / partial sums) and SB (synapses/weights) — feeding an NFU
+// of Tn x Ti = 16x16 multipliers with per-output adder trees and
+// accumulators. Control is instruction-driven only at tile granularity:
+// 256-bit instructions move tiles between DRAM and the scratchpads and kick
+// off FSM-sequenced compute passes, so the instruction count is tiny
+// compared to the MAC count (the SIMD property Section V-D highlights).
+// Instructions are conservatively fetched from DRAM, as in the paper.
+package diannao
+
+import (
+	"fmt"
+
+	"sunstone/internal/energy"
+)
+
+// NFU geometry (DianNao's Tn x Ti).
+const (
+	Tn = 16 // parallel outputs
+	Ti = 16 // parallel inputs (broadcast tree + adder tree)
+)
+
+// BufferID names an on-chip scratchpad.
+type BufferID int
+
+const (
+	NBin BufferID = iota
+	SB
+	NBout
+)
+
+func (b BufferID) String() string {
+	switch b {
+	case NBin:
+		return "NBin"
+	case SB:
+		return "SB"
+	case NBout:
+		return "NBout"
+	}
+	return "?"
+}
+
+// Op is an instruction opcode.
+type Op int
+
+const (
+	// Load moves Size words DRAM -> Buf.
+	Load Op = iota
+	// Store moves Size words NBout -> DRAM.
+	Store
+	// Compute runs one FSM-sequenced pass over the loaded tiles: MACs
+	// multiply-accumulates, reading inputs/weights from NBin/SB and
+	// accumulating OutWords results into NBout (reading them back first
+	// when Accumulate).
+	Compute
+)
+
+// Instr is one 256-bit DianNao-style instruction.
+type Instr struct {
+	Op         Op
+	Buf        BufferID // Load target
+	Size       int64    // words moved (Load/Store)
+	MACs       int64    // Compute: multiply-accumulates in this pass
+	OutWords   int64    // Compute: distinct output words produced/updated
+	Accumulate bool     // Compute: outputs start from previously stored partials
+}
+
+// Machine holds the scratchpad capacities in 16-bit words.
+type Machine struct {
+	NBinWords, SBWords, NBoutWords int64
+}
+
+// Default returns the Section V-D configuration: 2 KB NBin/NBout, 32 KB SB,
+// 16-bit datapath.
+func Default() *Machine {
+	return &Machine{NBinWords: 1024, SBWords: 16 * 1024, NBoutWords: 1024}
+}
+
+// Stats aggregates the events of one simulation.
+type Stats struct {
+	Instructions int64
+	DRAMReads    int64 // words (data)
+	DRAMWrites   int64 // words (data)
+	BufReads     map[BufferID]int64
+	BufWrites    map[BufferID]int64
+	MACs         int64
+	Cycles       int64
+}
+
+// NewStats returns zeroed statistics with initialized maps.
+func NewStats() Stats {
+	return Stats{BufReads: map[BufferID]int64{}, BufWrites: map[BufferID]int64{}}
+}
+
+// Sim executes an instruction stream. The producer calls emit for every
+// instruction; Sim validates tile sizes against the scratchpads and counts
+// events. It returns an error on a capacity violation.
+type Sim struct {
+	M     *Machine
+	Stats Stats
+	err   error
+}
+
+// NewSim returns a simulator for machine m.
+func NewSim(m *Machine) *Sim {
+	return &Sim{M: m, Stats: NewStats()}
+}
+
+// Exec executes one instruction.
+func (s *Sim) Exec(in Instr) error {
+	if s.err != nil {
+		return s.err
+	}
+	s.Stats.Instructions++
+	switch in.Op {
+	case Load:
+		capWords := s.capOf(in.Buf)
+		if in.Size > capWords {
+			s.err = fmt.Errorf("load of %d words exceeds %s capacity %d", in.Size, in.Buf, capWords)
+			return s.err
+		}
+		s.Stats.DRAMReads += in.Size
+		s.Stats.BufWrites[in.Buf] += in.Size
+		s.Stats.Cycles += ceilDiv64(in.Size, 16) // 256-bit DRAM bus
+	case Store:
+		if in.Size > s.M.NBoutWords {
+			s.err = fmt.Errorf("store of %d words exceeds NBout capacity %d", in.Size, s.M.NBoutWords)
+			return s.err
+		}
+		s.Stats.DRAMWrites += in.Size
+		s.Stats.BufReads[NBout] += in.Size
+		s.Stats.Cycles += ceilDiv64(in.Size, 16)
+	case Compute:
+		s.Stats.MACs += in.MACs
+		// Per NFU cycle: Ti inputs broadcast to Tn output lanes, Ti*Tn
+		// weights, Tn accumulators updated internally.
+		s.Stats.BufReads[NBin] += in.MACs / Tn
+		s.Stats.BufReads[SB] += in.MACs
+		s.Stats.BufWrites[NBout] += in.OutWords
+		if in.Accumulate {
+			s.Stats.BufReads[NBout] += in.OutWords
+		}
+		s.Stats.Cycles += ceilDiv64(in.MACs, Tn*Ti)
+	default:
+		s.err = fmt.Errorf("unknown opcode %d", in.Op)
+		return s.err
+	}
+	return nil
+}
+
+// Err returns the first execution error, if any.
+func (s *Sim) Err() error { return s.err }
+
+func (s *Sim) capOf(b BufferID) int64 {
+	switch b {
+	case NBin:
+		return s.M.NBinWords
+	case SB:
+		return s.M.SBWords
+	default:
+		return s.M.NBoutWords
+	}
+}
+
+// Energy converts statistics into a per-component energy breakdown (pJ),
+// with instructions fetched from DRAM (instrFromDRAM) or a dedicated 32 KB
+// instruction SRAM. reorderWords counts the one-time DRAM read+write pairs
+// spent rearranging operand tiles into burst-contiguous layout (Section
+// V-D's data-reordering overhead).
+func (s Stats) Energy(m *Machine, instrFromDRAM bool, reorderWords int64) map[string]float64 {
+	const bits = 16
+	e := map[string]float64{}
+	e["MAC"] = float64(s.MACs) * energy.MAC(bits)
+	e["DRAM"] = float64(s.DRAMReads+s.DRAMWrites) * energy.DRAM(bits)
+	e["NBin"] = float64(s.BufReads[NBin])*energy.SRAMRead(m.NBinWords*2, bits) +
+		float64(s.BufWrites[NBin])*energy.SRAMWrite(m.NBinWords*2, bits)
+	e["SB"] = float64(s.BufReads[SB])*energy.SRAMRead(m.SBWords*2, bits) +
+		float64(s.BufWrites[SB])*energy.SRAMWrite(m.SBWords*2, bits)
+	e["NBout"] = float64(s.BufReads[NBout])*energy.SRAMRead(m.NBoutWords*2, bits) +
+		float64(s.BufWrites[NBout])*energy.SRAMWrite(m.NBoutWords*2, bits)
+	e["Instr"] = float64(s.Instructions) * energy.Instruction(instrFromDRAM)
+	e["Reorder"] = float64(2*reorderWords) * energy.DRAM(bits)
+	return e
+}
+
+// Total sums an energy breakdown.
+func Total(e map[string]float64) float64 {
+	t := 0.0
+	for _, v := range e {
+		t += v
+	}
+	return t
+}
+
+func ceilDiv64(a, b int64) int64 { return (a + b - 1) / b }

@@ -1,0 +1,127 @@
+package diannao
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestLoadComputeStoreCounts(t *testing.T) {
+	s := NewSim(Default())
+	must := func(in Instr) {
+		t.Helper()
+		if err := s.Exec(in); err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(Instr{Op: Load, Buf: NBin, Size: 512})
+	must(Instr{Op: Load, Buf: SB, Size: 4096})
+	must(Instr{Op: Compute, MACs: 65536, OutWords: 256})
+	must(Instr{Op: Store, Size: 256})
+
+	st := s.Stats
+	if st.Instructions != 4 {
+		t.Errorf("instructions = %d, want 4", st.Instructions)
+	}
+	if st.DRAMReads != 512+4096 || st.DRAMWrites != 256 {
+		t.Errorf("DRAM traffic = %d/%d", st.DRAMReads, st.DRAMWrites)
+	}
+	if st.MACs != 65536 {
+		t.Errorf("MACs = %d", st.MACs)
+	}
+	// Per-cycle NFU reads: inputs broadcast to Tn lanes, weights per MAC.
+	if st.BufReads[NBin] != 65536/Tn {
+		t.Errorf("NBin reads = %d, want %d", st.BufReads[NBin], 65536/Tn)
+	}
+	if st.BufReads[SB] != 65536 {
+		t.Errorf("SB reads = %d, want %d", st.BufReads[SB], 65536)
+	}
+	if st.BufWrites[NBout] != 256 || st.BufReads[NBout] != 256 {
+		t.Errorf("NBout traffic = %d writes %d reads", st.BufWrites[NBout], st.BufReads[NBout])
+	}
+	if st.Cycles <= 0 {
+		t.Error("no cycles counted")
+	}
+}
+
+func TestAccumulateReadsPartials(t *testing.T) {
+	s := NewSim(Default())
+	if err := s.Exec(Instr{Op: Compute, MACs: 256, OutWords: 16, Accumulate: true}); err != nil {
+		t.Fatal(err)
+	}
+	if s.Stats.BufReads[NBout] != 16 {
+		t.Errorf("accumulating pass must read partials: %d", s.Stats.BufReads[NBout])
+	}
+}
+
+func TestCapacityViolations(t *testing.T) {
+	s := NewSim(Default())
+	if err := s.Exec(Instr{Op: Load, Buf: NBin, Size: 2048}); err == nil {
+		t.Error("NBin overflow not caught")
+	}
+	if s.Err() == nil {
+		t.Error("error not latched")
+	}
+	s2 := NewSim(Default())
+	if err := s2.Exec(Instr{Op: Store, Size: 4096}); err == nil {
+		t.Error("NBout overflow not caught")
+	}
+}
+
+func TestErrorLatch(t *testing.T) {
+	s := NewSim(Default())
+	_ = s.Exec(Instr{Op: Load, Buf: SB, Size: 1 << 30})
+	before := s.Stats.MACs
+	_ = s.Exec(Instr{Op: Compute, MACs: 100})
+	if s.Stats.MACs != before {
+		t.Error("execution must stop after an error")
+	}
+}
+
+func TestEnergyBreakdown(t *testing.T) {
+	s := NewSim(Default())
+	_ = s.Exec(Instr{Op: Load, Buf: SB, Size: 1024})
+	_ = s.Exec(Instr{Op: Compute, MACs: 1 << 20, OutWords: 64})
+	e := s.Stats.Energy(Default(), true, 1000)
+	for _, k := range []string{"MAC", "DRAM", "SB", "NBin", "NBout", "Instr", "Reorder"} {
+		if _, ok := e[k]; !ok {
+			t.Errorf("missing component %s", k)
+		}
+	}
+	if e["MAC"] <= 0 || e["Reorder"] <= 0 {
+		t.Error("zero energy for active components")
+	}
+	if Total(e) <= e["MAC"] {
+		t.Error("total must exceed any single component")
+	}
+	// DRAM-resident instructions cost more than SRAM-resident ones.
+	e2 := s.Stats.Energy(Default(), false, 0)
+	if e2["Instr"] >= e["Instr"] {
+		t.Error("instruction store choice has no effect")
+	}
+}
+
+func TestBufferNames(t *testing.T) {
+	if NBin.String() != "NBin" || SB.String() != "SB" || NBout.String() != "NBout" {
+		t.Error("buffer names")
+	}
+	if !strings.Contains(BufferID(99).String(), "?") {
+		t.Error("unknown buffer should render '?'")
+	}
+}
+
+func TestUnknownOpcode(t *testing.T) {
+	s := NewSim(Default())
+	if err := s.Exec(Instr{Op: Op(42)}); err == nil {
+		t.Error("unknown opcode must error")
+	}
+}
+
+func TestDefaultGeometry(t *testing.T) {
+	m := Default()
+	if m.NBinWords != 1024 || m.NBoutWords != 1024 || m.SBWords != 16*1024 {
+		t.Error("Section V-D buffer sizes altered")
+	}
+	if Tn*Ti != 256 {
+		t.Error("NFU must have 256 multipliers")
+	}
+}

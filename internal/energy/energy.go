@@ -1,0 +1,103 @@
+// Package energy provides per-component access/operation energy models for a
+// 45 nm process — this repository's substitute for the Accelergy + CACTI +
+// Aladdin stack the paper used.
+//
+// The models are analytic fits anchored to the widely-cited relative energy
+// ratios of the Eyeriss paper (Chen et al., ISCA 2016): with a 16-bit MAC
+// normalized to 1×, a register-file access is ≈0.5–1×, a ~100 KB global
+// buffer ≈6×, array-level NoC delivery ≈2×, and DRAM ≈200×. Absolute pJ
+// values therefore differ from CACTI's, but every mapper in this repository
+// is scored with the *same* numbers, so the relative EDP comparisons that the
+// paper's evaluation makes are preserved (see DESIGN.md, substitution table).
+//
+// All energies are in picojoules (pJ).
+package energy
+
+import "math"
+
+// Reference constants (45 nm, pJ). Exported so experiments can report the
+// assumptions they ran under.
+const (
+	// MAC16PJ is the energy of one 16-bit multiply-accumulate.
+	MAC16PJ = 2.2
+	// DRAMPJPerWord16 is the energy of moving one 16-bit word to/from DRAM.
+	DRAMPJPerWord16 = 200.0
+	// RegPJPerWord16 is the energy of one 16-bit register access.
+	RegPJPerWord16 = 0.15
+	// InstrBits is the width of a DianNao-style instruction (Section V-D).
+	InstrBits = 256
+)
+
+// MAC returns the energy of one multiply-accumulate at the given operand
+// width in bits. Multiplier energy scales roughly quadratically with width.
+func MAC(bits int) float64 {
+	r := float64(bits) / 16.0
+	return MAC16PJ * r * r
+}
+
+// DRAM returns the per-word DRAM access energy for the given word width.
+// DRAM access energy is dominated by I/O and row activation and scales
+// linearly with the bits transferred.
+func DRAM(wordBits int) float64 {
+	return DRAMPJPerWord16 * float64(wordBits) / 16.0
+}
+
+// Register returns the per-access energy of a small register or latch of the
+// given width.
+func Register(wordBits int) float64 {
+	return RegPJPerWord16 * float64(wordBits) / 16.0
+}
+
+// SRAMRead returns the per-word read energy of an SRAM of the given capacity
+// (bytes) and word width (bits). The fit E = 0.18 + 1.1*sqrt(KB), scaled
+// linearly by word width, lands near the Eyeriss anchors: a 0.5 KB register
+// file costs ≈1 pJ and a 108 KB global buffer ≈12 pJ (≈6× a 16-bit MAC).
+func SRAMRead(capacityBytes int64, wordBits int) float64 {
+	if capacityBytes <= 0 {
+		return DRAM(wordBits) // "no capacity" levels behave like DRAM
+	}
+	kb := float64(capacityBytes) / 1024.0
+	base := 0.18 + 1.1*math.Sqrt(kb)
+	return base * float64(wordBits) / 16.0
+}
+
+// SRAMWrite returns the per-word write energy of an SRAM; writes cost ~10%
+// more than reads (bitline full-swing).
+func SRAMWrite(capacityBytes int64, wordBits int) float64 {
+	return 1.1 * SRAMRead(capacityBytes, wordBits)
+}
+
+// NoCPerWord returns the energy of delivering one word from a shared memory
+// level across an on-chip network to one of fanout spatially-distributed
+// children. Wire energy grows with the traversal distance, which scales as
+// the square root of the array size.
+func NoCPerWord(wordBits, fanout int) float64 {
+	if fanout <= 1 {
+		return 0
+	}
+	return 0.010 * float64(wordBits) * math.Sqrt(float64(fanout))
+}
+
+// NoCTagCheck returns the per-receiver energy of the destination-tag check
+// the Eyeriss-style multicast NoC performs at every PE for every delivered
+// word (Section V-A of the paper: X/Y destination tags + tag-check hardware).
+func NoCTagCheck(wordBits int) float64 {
+	return 0.05 * float64(wordBits) / 16.0
+}
+
+// SpatialReduce returns the per-word energy of combining partial sums across
+// spatial units (an adder-tree or inter-PE accumulation step).
+func SpatialReduce(wordBits int) float64 {
+	return 0.11 * float64(wordBits) / 16.0
+}
+
+// Instruction returns the energy of fetching one DianNao-style instruction
+// from the given store (DRAM when instrFromDRAM, used by the Section V-D
+// overhead analysis, which conservatively assumes no dedicated instruction
+// memory).
+func Instruction(instrFromDRAM bool) float64 {
+	if instrFromDRAM {
+		return DRAM(InstrBits)
+	}
+	return SRAMRead(32*1024, InstrBits)
+}

@@ -1,0 +1,101 @@
+package energy
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAnchorsRoughlyEyeriss(t *testing.T) {
+	mac := MAC(16)
+	// DRAM should be ~100-300x a 16-bit MAC.
+	if r := DRAM(16) / mac; r < 50 || r > 400 {
+		t.Errorf("DRAM/MAC ratio = %.1f, want within [50,400]", r)
+	}
+	// A 0.5KB register file access should be around the MAC energy (0.2x-2x).
+	if r := SRAMRead(512, 16) / mac; r < 0.2 || r > 2 {
+		t.Errorf("RF/MAC ratio = %.2f, want within [0.2,2]", r)
+	}
+	// A ~100KB global buffer should be several times a MAC.
+	if r := SRAMRead(108*1024, 16) / mac; r < 3 || r > 20 {
+		t.Errorf("GLB/MAC ratio = %.2f, want within [3,20]", r)
+	}
+	// Register access far cheaper than buffer access.
+	if Register(16) >= SRAMRead(32*1024, 16) {
+		t.Error("register access should be cheaper than a 32KB SRAM access")
+	}
+}
+
+func TestMACScalesQuadratically(t *testing.T) {
+	if got, want := MAC(8), MAC16PJ/4; !close(got, want) {
+		t.Errorf("MAC(8) = %f, want %f", got, want)
+	}
+	if MAC(32) <= MAC(16) {
+		t.Error("wider MAC must cost more")
+	}
+}
+
+func TestSRAMMonotoneInCapacity(t *testing.T) {
+	f := func(a, b uint16) bool {
+		ca, cb := int64(a)+1, int64(b)+1
+		if ca > cb {
+			ca, cb = cb, ca
+		}
+		return SRAMRead(ca*64, 16) <= SRAMRead(cb*64, 16)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSRAMScalesWithWordBits(t *testing.T) {
+	if got, want := SRAMRead(1024, 32), 2*SRAMRead(1024, 16); !close(got, want) {
+		t.Errorf("32-bit read = %f, want 2x 16-bit = %f", got, want)
+	}
+}
+
+func TestSRAMWriteCostsMore(t *testing.T) {
+	if SRAMWrite(2048, 16) <= SRAMRead(2048, 16) {
+		t.Error("write should cost more than read")
+	}
+}
+
+func TestZeroCapacityBehavesLikeDRAM(t *testing.T) {
+	if SRAMRead(0, 16) != DRAM(16) {
+		t.Error("zero-capacity SRAM should fall back to DRAM energy")
+	}
+}
+
+func TestNoC(t *testing.T) {
+	if NoCPerWord(16, 1) != 0 {
+		t.Error("fanout 1 should cost no NoC energy")
+	}
+	if NoCPerWord(16, 1024) <= NoCPerWord(16, 16) {
+		t.Error("bigger arrays must cost more per delivery")
+	}
+	if NoCTagCheck(16) <= 0 || NoCTagCheck(16) >= MAC(16) {
+		t.Error("tag check should be small but positive")
+	}
+}
+
+func TestSpatialReducePositive(t *testing.T) {
+	if SpatialReduce(24) <= 0 {
+		t.Error("spatial reduce energy must be positive")
+	}
+}
+
+func TestInstruction(t *testing.T) {
+	if Instruction(true) <= Instruction(false) {
+		t.Error("DRAM-resident instructions must cost more")
+	}
+	if Instruction(true) != DRAM(InstrBits) {
+		t.Error("DRAM instruction fetch should equal a 256-bit DRAM access")
+	}
+}
+
+func close(a, b float64) bool {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}

@@ -1,0 +1,29 @@
+package exec_test
+
+import (
+	"fmt"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/exec"
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
+	"sunstone/internal/workloads"
+)
+
+// Verify proves that a tiled, reordered mapping computes exactly what the
+// untransformed loop nest computes.
+func ExampleVerify() {
+	w := workloads.Conv1D("c", 4, 4, 14, 3)
+	m := mapping.New(w, arch.Tiny(4096))
+	m.Levels[0].Temporal = map[tensor.Dim]int{"P": 7, "K": 2, "C": 2, "R": 3}
+	m.Levels[1].Temporal = map[tensor.Dim]int{"P": 2, "K": 2, "C": 2}
+	m.Levels[1].Order = []tensor.Dim{"C", "K", "P"}
+
+	ok, err := exec.Verify(m)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("mapped execution matches reference:", ok)
+	// Output: mapped execution matches reference: true
+}

@@ -1,0 +1,211 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func quick() Config { return Config{Quick: true, Seed: 1} }
+
+func TestTable1Renders(t *testing.T) {
+	s := Table1()
+	for _, want := range []string{"Timeloop", "CoSA", "Marvel", "Interstellar", "dMazeRunner", "Sunstone"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table I missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable3Renders(t *testing.T) {
+	s := Table3()
+	for _, want := range []string{"ofmap", "ifmap", "weight", "c,r", "p,r"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Table III missing %q:\n%s", want, s)
+		}
+	}
+}
+
+// TestFig6Shape asserts the paper's qualitative result on non-DNN kernels:
+// Sunstone finds EDP at least as good as Timeloop on every kernel, far
+// faster in aggregate.
+func TestFig6Shape(t *testing.T) {
+	runs := Fig6(quick())
+	sums := Summarize(runs)
+	var sun, tlf Summary
+	for _, s := range sums {
+		switch s.Tool {
+		case "Sunstone":
+			sun = s
+		case "TL-fast":
+			tlf = s
+		}
+	}
+	if sun.Invalid != 0 {
+		t.Fatalf("Sunstone must map every non-DNN kernel: %+v", sun)
+	}
+	if tlf.GeomeanEDPRel < 1.0 {
+		t.Errorf("Timeloop geomean EDP %.2fx should not beat Sunstone", tlf.GeomeanEDPRel)
+	}
+	// Wall-clock comparisons (Fig. 6b's 800x gaps) are meaningful only with
+	// the full Table V budgets; the committed EXPERIMENTS.md run covers them.
+	out := RenderRuns("fig6", runs) + RenderSummaries(sums)
+	if !strings.Contains(out, "mttkrp_nell2") {
+		t.Error("render missing workloads")
+	}
+	t.Log("\n" + out)
+}
+
+// TestFig7Shape asserts: dMaze rejects asymmetric layers; Sunstone valid
+// everywhere with best-or-tied geomean EDP among the directed tools.
+func TestFig7Shape(t *testing.T) {
+	runs := Fig7(quick())
+	sums := Summarize(runs)
+	byTool := map[string]Summary{}
+	for _, s := range sums {
+		byTool[s.Tool] = s
+	}
+	if byTool["Sunstone"].Invalid != 0 {
+		t.Fatal("Sunstone must map every Inception weight-update layer")
+	}
+	if byTool["dMaze-fast"].Invalid == 0 {
+		t.Error("dMaze should reject at least the asymmetric layers")
+	}
+	for _, tool := range []string{"dMaze-fast", "dMaze-slow", "INTER", "TL-fast", "TL-slow"} {
+		if s, ok := byTool[tool]; ok && s.Invalid < s.Layers && s.GeomeanEDPRel < 0.95 {
+			t.Errorf("%s geomean EDP %.2fx materially beats Sunstone", tool, s.GeomeanEDPRel)
+		}
+	}
+	t.Log("\n" + RenderRuns("fig7", runs) + RenderSummaries(sums))
+}
+
+// TestFig8Shape asserts the Simba results: Sunstone valid on all layers;
+// CoSA faster but mostly invalid; Timeloop slower with worse-or-equal EDP.
+func TestFig8Shape(t *testing.T) {
+	runs := Fig8(quick())
+	sums := Summarize(runs)
+	byTool := map[string]Summary{}
+	for _, s := range sums {
+		byTool[s.Tool] = s
+	}
+	sun := byTool["Sunstone"]
+	if sun.Invalid != 0 {
+		t.Fatal("Sunstone must map every ResNet layer on Simba")
+	}
+	cosa := byTool["CoSA"]
+	if cosa.TotalSeconds > sun.TotalSeconds {
+		t.Error("CoSA should finish scheduling faster than Sunstone (Fig. 8b)")
+	}
+	if cosa.Invalid == 0 {
+		t.Error("most CoSA mappings on Simba should be invalid (Section V-B3)")
+	}
+	tl := byTool["TL-fast"]
+	if tl.Invalid < tl.Layers && tl.GeomeanEDPRel < 0.95 {
+		t.Errorf("Timeloop geomean EDP %.2fx materially beats Sunstone", tl.GeomeanEDPRel)
+	}
+	t.Log("\n" + RenderRuns("fig8", runs) + RenderSummaries(sums))
+}
+
+// TestTable6Shape asserts: intra-level order does not change quality much;
+// top-down examines far more candidates.
+func TestTable6Shape(t *testing.T) {
+	rows := Table6(quick())
+	if len(rows) != 4 {
+		t.Fatalf("Table VI has 4 rows, got %d", len(rows))
+	}
+	base := rows[2] // bottom-up default (ordering->tiling->unrolling)
+	for _, r := range rows[:3] {
+		ratio := r.GeomeanEDP / base.GeomeanEDP
+		if ratio > 1.05 || ratio < 0.95 {
+			t.Errorf("intra-level order changed EDP by %.2fx (%s)", ratio, r.IntraLevel)
+		}
+	}
+	td := rows[3]
+	if td.SpaceSize <= 3*base.SpaceSize {
+		t.Errorf("top-down space (%d) should far exceed bottom-up (%d)", td.SpaceSize, base.SpaceSize)
+	}
+	if td.GeomeanEDP > 4*base.GeomeanEDP || td.GeomeanEDP < base.GeomeanEDP/4 {
+		t.Errorf("top-down EDP %.2e too far from bottom-up %.2e", td.GeomeanEDP, base.GeomeanEDP)
+	}
+	t.Log("\n" + RenderTable6(rows))
+}
+
+// TestFig9Shape asserts: optimized execution several times more efficient
+// than naive; instruction and reordering overheads small.
+func TestFig9Shape(t *testing.T) {
+	r, err := Fig9(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := r.TotalNaivePJ / r.TotalOptimizedPJ
+	if ratio < 2 {
+		t.Errorf("optimized should be at least 2x more efficient, got %.2fx", ratio)
+	}
+	if r.InstrFraction > 0.15 {
+		t.Errorf("instruction overhead %.1f%% too high", 100*r.InstrFraction)
+	}
+	if r.ReorderFraction > 0.05 {
+		t.Errorf("reordering overhead %.1f%% too high", 100*r.ReorderFraction)
+	}
+	if r.TotalInstrs <= 0 {
+		t.Error("no instructions generated")
+	}
+	t.Log("\n" + RenderFig9(r))
+}
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); g != 4 {
+		t.Errorf("geomean(2,8) = %f", g)
+	}
+	if Geomean(nil) != 1 {
+		t.Error("geomean of empty should be 1")
+	}
+}
+
+// TestDataflowSpread reproduces the intro's motivation: fixed dataflows
+// trail the searched mapping by large factors.
+func TestDataflowSpread(t *testing.T) {
+	rows := DataflowSpread(quick())
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 rows, got %d", len(rows))
+	}
+	var base float64
+	worst := 1.0
+	for _, r := range rows {
+		if r.Dataflow == "searched (Sunstone)" {
+			base = r.EDP
+		}
+	}
+	if base <= 0 {
+		t.Fatal("searched row missing")
+	}
+	for _, r := range rows {
+		if !r.Valid {
+			continue
+		}
+		if ratio := r.EDP / base; ratio > worst {
+			worst = ratio
+		}
+	}
+	if worst < 2 {
+		t.Errorf("dataflow spread only %.2fx; expected the intro's order-of-magnitude gap", worst)
+	}
+	t.Log("\n" + RenderSpread(rows))
+}
+
+func TestRunsCSV(t *testing.T) {
+	runs := []ToolRun{
+		{Tool: "Sunstone", Workload: "l1", Valid: true, EDP: 1e15, EnergyPJ: 2e9, Cycles: 5e5, Seconds: 0.5},
+		{Tool: "dMaze-fast", Workload: "l1", Valid: false, Reason: "asymmetric, unsupported"},
+	}
+	s := RunsCSV(runs)
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("csv lines = %d, want 3", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "workload,tool,") {
+		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[2], "asymmetric; unsupported") {
+		t.Errorf("commas in reasons must be escaped: %q", lines[2])
+	}
+}

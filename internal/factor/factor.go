@@ -1,0 +1,208 @@
+// Package factor provides integer factorization and divisor utilities shared
+// by every mapper in this repository. Dataflow mappers decompose each problem
+// dimension into a product of per-level tile factors, so they constantly need
+// divisor ladders, prime decompositions, and "padded" factorizations for
+// dimensions whose natural divisor set is too sparse (e.g. prime feature-map
+// sizes such as 149 in Inception-v3).
+package factor
+
+import "sort"
+
+// Primes returns the prime factorization of n as a sorted slice with
+// multiplicity, e.g. Primes(12) = [2 2 3]. Primes(1) and Primes(0) return nil.
+func Primes(n int) []int {
+	if n < 2 {
+		return nil
+	}
+	var ps []int
+	for n%2 == 0 {
+		ps = append(ps, 2)
+		n /= 2
+	}
+	for f := 3; f*f <= n; f += 2 {
+		for n%f == 0 {
+			ps = append(ps, f)
+			n /= f
+		}
+	}
+	if n > 1 {
+		ps = append(ps, n)
+	}
+	return ps
+}
+
+// Divisors returns all positive divisors of n in increasing order.
+// Divisors(0) returns nil; Divisors(1) returns [1].
+func Divisors(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	var ds []int
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			ds = append(ds, d)
+			if d != n/d {
+				ds = append(ds, n/d)
+			}
+		}
+	}
+	sort.Ints(ds)
+	return ds
+}
+
+// NumDivisors returns the number of positive divisors of n.
+func NumDivisors(n int) int {
+	if n <= 0 {
+		return 0
+	}
+	count := 1
+	run := 0
+	var last int
+	for _, p := range Primes(n) {
+		if p == last {
+			run++
+		} else {
+			count *= run + 1
+			last, run = p, 1
+		}
+	}
+	count *= run + 1
+	return count
+}
+
+// CeilDiv returns ceil(a/b) for b > 0.
+func CeilDiv(a, b int) int {
+	return (a + b - 1) / b
+}
+
+// Pad returns the smallest n' >= n whose divisor count is at least minDivisors,
+// capped at searching 2*n (beyond which it returns the best candidate seen).
+// Mappers pad sparse dimensions so that tiling has enough factor choices; the
+// cost model then uses the padded bound (slightly pessimistic, standard
+// practice in Timeloop-style mappers).
+func Pad(n, minDivisors int) int {
+	if n <= 1 {
+		return n
+	}
+	best, bestCount := n, NumDivisors(n)
+	for m := n; m <= 2*n; m++ {
+		c := NumDivisors(m)
+		if c >= minDivisors {
+			return m
+		}
+		if c > bestCount {
+			best, bestCount = m, c
+		}
+	}
+	return best
+}
+
+// SplitsK enumerates every ordered way to write n as a product of k positive
+// factors (f1*...*fk == n) and calls visit for each. The slice passed to visit
+// is reused between calls; copy it if retained. Returns the number of splits
+// visited.
+func SplitsK(n, k int, visit func([]int)) int {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	buf := make([]int, k)
+	count := 0
+	var rec func(rem, i int)
+	rec = func(rem, i int) {
+		if i == k-1 {
+			buf[i] = rem
+			count++
+			if visit != nil {
+				visit(buf)
+			}
+			return
+		}
+		for _, d := range Divisors(rem) {
+			buf[i] = d
+			rec(rem/d, i+1)
+		}
+	}
+	rec(n, 0)
+	return count
+}
+
+// NumSplitsK returns the number of ordered factorizations of n into k factors
+// without enumerating them, via the divisor-composition formula
+// prod over prime powers p^a of C(a+k-1, k-1).
+func NumSplitsK(n, k int) int {
+	if n <= 0 || k <= 0 {
+		return 0
+	}
+	res := 1
+	run := 0
+	var last int
+	flush := func() {
+		if run > 0 {
+			res *= binomial(run+k-1, k-1)
+		}
+	}
+	for _, p := range Primes(n) {
+		if p == last {
+			run++
+		} else {
+			flush()
+			last, run = p, 1
+		}
+	}
+	flush()
+	return res
+}
+
+func binomial(n, k int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	res := 1
+	for i := 0; i < k; i++ {
+		res = res * (n - i) / (i + 1)
+	}
+	return res
+}
+
+// Ladder returns the increasing sequence of candidate tile/unroll factors
+// for a dimension with the given remaining quota — the tiling tree's "next
+// higher factor of the corresponding problem dimension".
+//
+// Exact divisors are preferred because any non-divisor factor forces padding
+// (wasted MACs and enlarged upper loop bounds). Only when the quota's own
+// divisor set is too sparse to be useful (fewer than minDivisors choices,
+// e.g. prime feature-map sizes such as 149) are the divisors of a nearby
+// padded value mixed in, capped at the quota. E.g. Ladder(7, 6) = [1 2 4 7],
+// Ladder(14, 4) = [1 2 7 14].
+func Ladder(quota, minDivisors int) []int {
+	if quota <= 1 {
+		return []int{1}
+	}
+	if ds := Divisors(quota); len(ds) >= minDivisors {
+		return ds
+	}
+	set := map[int]bool{1: true, quota: true}
+	for _, d := range Divisors(Pad(quota, minDivisors)) {
+		if d <= quota {
+			set[d] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Product returns the product of xs (1 for an empty slice).
+func Product(xs []int) int {
+	p := 1
+	for _, x := range xs {
+		p *= x
+	}
+	return p
+}

@@ -1,0 +1,192 @@
+package factor
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestPrimes(t *testing.T) {
+	cases := []struct {
+		n    int
+		want []int
+	}{
+		{0, nil}, {1, nil}, {2, []int{2}}, {12, []int{2, 2, 3}},
+		{97, []int{97}}, {360, []int{2, 2, 2, 3, 3, 5}}, {1024, []int{2, 2, 2, 2, 2, 2, 2, 2, 2, 2}},
+	}
+	for _, c := range cases {
+		if got := Primes(c.n); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Primes(%d) = %v, want %v", c.n, got, c.want)
+		}
+	}
+}
+
+func TestPrimesProductProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		m := int(n%5000) + 2
+		p := 1
+		for _, q := range Primes(m) {
+			p *= q
+		}
+		return p == m
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivisors(t *testing.T) {
+	if got, want := Divisors(12), []int{1, 2, 3, 4, 6, 12}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Divisors(12) = %v, want %v", got, want)
+	}
+	if got, want := Divisors(1), []int{1}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Divisors(1) = %v, want %v", got, want)
+	}
+	if Divisors(0) != nil {
+		t.Error("Divisors(0) should be nil")
+	}
+	if got, want := Divisors(49), []int{1, 7, 49}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Divisors(49) = %v, want %v", got, want)
+	}
+}
+
+func TestDivisorsSortedAndDivideProperty(t *testing.T) {
+	f := func(n uint16) bool {
+		m := int(n%3000) + 1
+		ds := Divisors(m)
+		if !sort.IntsAreSorted(ds) {
+			return false
+		}
+		for _, d := range ds {
+			if m%d != 0 {
+				return false
+			}
+		}
+		return len(ds) == NumDivisors(m)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumDivisors(t *testing.T) {
+	for n, want := range map[int]int{1: 1, 2: 2, 12: 6, 36: 9, 97: 2, 0: 0} {
+		if got := NumDivisors(n); got != want {
+			t.Errorf("NumDivisors(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestCeilDiv(t *testing.T) {
+	if CeilDiv(7, 2) != 4 || CeilDiv(8, 2) != 4 || CeilDiv(1, 3) != 1 || CeilDiv(0, 5) != 0 {
+		t.Error("CeilDiv wrong")
+	}
+}
+
+func TestPad(t *testing.T) {
+	// 149 is prime; padding should find a nearby richer number.
+	p := Pad(149, 6)
+	if p < 149 || p > 298 {
+		t.Fatalf("Pad(149,6) = %d out of range", p)
+	}
+	if NumDivisors(p) < 6 {
+		t.Fatalf("Pad(149,6) = %d has only %d divisors", p, NumDivisors(p))
+	}
+	if Pad(16, 3) != 16 {
+		t.Errorf("Pad(16,3) should be 16, got %d", Pad(16, 3))
+	}
+	if Pad(1, 10) != 1 {
+		t.Errorf("Pad(1,10) should be 1")
+	}
+}
+
+func TestSplitsK(t *testing.T) {
+	var got [][]int
+	n := SplitsK(12, 2, func(f []int) {
+		cp := make([]int, len(f))
+		copy(cp, f)
+		got = append(got, cp)
+	})
+	if n != 6 || len(got) != 6 {
+		t.Fatalf("SplitsK(12,2) visited %d, want 6", n)
+	}
+	for _, f := range got {
+		if f[0]*f[1] != 12 {
+			t.Errorf("split %v does not multiply to 12", f)
+		}
+	}
+}
+
+func TestSplitsKMatchesNumSplitsK(t *testing.T) {
+	f := func(n uint8, k uint8) bool {
+		m := int(n%60) + 1
+		kk := int(k%4) + 1
+		return SplitsK(m, kk, nil) == NumSplitsK(m, kk)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNumSplitsK(t *testing.T) {
+	// 8 = 2^3 into 3 factors: C(3+2,2) = 10.
+	if got := NumSplitsK(8, 3); got != 10 {
+		t.Errorf("NumSplitsK(8,3) = %d, want 10", got)
+	}
+	if got := NumSplitsK(1, 5); got != 1 {
+		t.Errorf("NumSplitsK(1,5) = %d, want 1", got)
+	}
+	if got := NumSplitsK(6, 2); got != 4 {
+		t.Errorf("NumSplitsK(6,2) = %d, want 4", got)
+	}
+}
+
+func TestProduct(t *testing.T) {
+	if Product(nil) != 1 {
+		t.Error("Product(nil) should be 1")
+	}
+	if Product([]int{2, 3, 4}) != 24 {
+		t.Error("Product([2 3 4]) should be 24")
+	}
+}
+
+func TestLadder(t *testing.T) {
+	// Rich divisor sets stay exact.
+	if got, want := Ladder(12, 4), []int{1, 2, 3, 4, 6, 12}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Ladder(12,4) = %v, want %v", got, want)
+	}
+	// Sparse sets get padded rungs, capped at the quota.
+	got := Ladder(7, 6)
+	if got[0] != 1 || got[len(got)-1] != 7 {
+		t.Errorf("Ladder(7,6) = %v must span [1,7]", got)
+	}
+	if len(got) < 3 {
+		t.Errorf("Ladder(7,6) = %v should offer intermediate rungs", got)
+	}
+	for _, v := range got {
+		if v > 7 {
+			t.Errorf("rung %d exceeds quota", v)
+		}
+	}
+	if got := Ladder(1, 4); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Ladder(1,4) = %v", got)
+	}
+	if got := Ladder(0, 4); len(got) != 1 || got[0] != 1 {
+		t.Errorf("Ladder(0,4) = %v", got)
+	}
+}
+
+func TestLadderSortedProperty(t *testing.T) {
+	f := func(n uint8) bool {
+		q := int(n%200) + 1
+		l := Ladder(q, 4)
+		if !sort.IntsAreSorted(l) {
+			return false
+		}
+		return l[len(l)-1] == q || q == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

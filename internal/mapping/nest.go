@@ -1,0 +1,101 @@
+package mapping
+
+import (
+	"fmt"
+	"strings"
+
+	"sunstone/internal/tensor"
+)
+
+// NestLoop is one loop of the complete nest a mapping denotes.
+type NestLoop struct {
+	D tensor.Dim
+	// Bound is the loop's iteration count.
+	Bound int
+	// Stride is the step the loop contributes to the global index of D:
+	// the extent of everything nested inside it along D.
+	Stride int
+	// Level indexes the storage level the loop belongs to.
+	Level int
+	// Spatial marks parallel (unrolled) loops.
+	Spatial bool
+}
+
+// Nest returns the mapping's complete loop nest, outermost first. Per level
+// (outermost storage first) the spatial loops come first, then the temporal
+// loops in the level's effective order (outermost first). Bound-1 loops are
+// omitted. Strides are filled so that the global index of dimension d at the
+// innermost point is the sum over its loops of index*Stride.
+func (m *Mapping) Nest() []NestLoop {
+	var nest []NestLoop
+	for lvl := len(m.Levels) - 1; lvl >= 0; lvl-- {
+		lm := &m.Levels[lvl]
+		eo := m.EffectiveOrder(lvl)
+		for _, d := range eo {
+			if b := lm.S(d); b > 1 {
+				nest = append(nest, NestLoop{D: d, Bound: b, Level: lvl, Spatial: true})
+			}
+		}
+		for i := len(eo) - 1; i >= 0; i-- {
+			d := eo[i]
+			if b := lm.T(d); b > 1 {
+				nest = append(nest, NestLoop{D: d, Bound: b, Level: lvl})
+			}
+		}
+	}
+	below := map[tensor.Dim]int{}
+	for d := range m.Workload.Dims {
+		below[d] = 1
+	}
+	for i := len(nest) - 1; i >= 0; i-- {
+		d := nest[i].D
+		nest[i].Stride = below[d]
+		below[d] *= nest[i].Bound
+	}
+	return nest
+}
+
+// PseudoCode renders the mapping as an Algorithm 2-style nested-loop program
+// (the paper's presentation format), annotated with the storage level each
+// loop belongs to and "parallel-for" for spatial loops.
+func (m *Mapping) PseudoCode() string {
+	var b strings.Builder
+	nest := m.Nest()
+	indent := ""
+	for _, lp := range nest {
+		kind := "for"
+		if lp.Spatial {
+			kind = "parallel-for"
+		}
+		fmt.Fprintf(&b, "%s%s %s%d in [0,%d)         # %s, step %d\n",
+			indent, kind, strings.ToLower(string(lp.D)), lp.Level, lp.Bound,
+			m.Arch.Levels[lp.Level].Name, lp.Stride)
+		indent += "  "
+	}
+	fmt.Fprintf(&b, "%s%s\n", indent, bodyString(m.Workload))
+	return b.String()
+}
+
+// bodyString renders the loop body, e.g.
+// "ofmap[k][p] += ifmap[p+r][c] * weight[k][c][r]".
+func bodyString(w *tensor.Workload) string {
+	var parts []string
+	for _, t := range w.Inputs() {
+		parts = append(parts, tensorRef(t))
+	}
+	rhs := strings.Join(parts, " * ")
+	var outs []string
+	for _, t := range w.Outputs() {
+		outs = append(outs, tensorRef(t)+" += "+rhs)
+	}
+	return strings.Join(outs, "; ")
+}
+
+func tensorRef(t *tensor.Tensor) string {
+	var b strings.Builder
+	b.WriteString(t.Name)
+	for _, a := range t.Axes {
+		fmt.Fprintf(&b, "[%s]", a.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,104 @@
+package mapping
+
+import (
+	"strings"
+	"testing"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/tensor"
+)
+
+func TestNestStructure(t *testing.T) {
+	m := paperMapping(t, 4096)
+	nest := m.Nest()
+	// Loops: DRAM C2 K2 P2 (order [C,K,P] innermost-first -> P,K,C outer
+	// to inner) then L1 P7 K2 C2 R3 (canonical order, bound-1 loops
+	// dropped, none here).
+	if len(nest) != 7 {
+		t.Fatalf("nest has %d loops, want 7: %+v", len(nest), nest)
+	}
+	// Outermost three loops are the DRAM level's, P first (it is the
+	// outermost of the innermost-first order [C,K,P]).
+	if nest[0].D != "P" || nest[0].Level != 1 {
+		t.Errorf("outermost loop = %+v, want DRAM P", nest[0])
+	}
+	if nest[2].D != "C" || nest[2].Level != 1 {
+		t.Errorf("third loop = %+v, want DRAM C (innermost of L2)", nest[2])
+	}
+	// Strides: DRAM P loop steps by the L1 extent of P (7).
+	if nest[0].Stride != 7 {
+		t.Errorf("DRAM P stride = %d, want 7", nest[0].Stride)
+	}
+	// Coverage check: per dim, product of bounds == coverage, and the
+	// innermost loop of each dim has stride 1.
+	prod := map[tensor.Dim]int{}
+	innermostStride := map[tensor.Dim]int{}
+	for _, lp := range nest {
+		if prod[lp.D] == 0 {
+			prod[lp.D] = 1
+		}
+		prod[lp.D] *= lp.Bound
+		innermostStride[lp.D] = lp.Stride
+	}
+	for d, p := range prod {
+		if p != m.Coverage(d) {
+			t.Errorf("dim %s: nest product %d != coverage %d", d, p, m.Coverage(d))
+		}
+		if innermostStride[d] != 1 {
+			t.Errorf("dim %s: innermost stride %d, want 1", d, innermostStride[d])
+		}
+	}
+}
+
+func TestNestSpatialLoopsMarked(t *testing.T) {
+	w := conv1D(t, 8, 8, 16, 3)
+	a := arch.TinySpatial(1024, 1<<16, 8)
+	m := New(w, a)
+	m.Levels[0].Temporal = map[tensor.Dim]int{"P": 4, "R": 3}
+	m.Levels[1].Spatial = map[tensor.Dim]int{"K": 8}
+	m.Levels[2].Temporal = map[tensor.Dim]int{"K": 1, "C": 8, "P": 4}
+	spatialSeen := false
+	for _, lp := range m.Nest() {
+		if lp.Spatial {
+			spatialSeen = true
+			if lp.D != "K" || lp.Bound != 8 {
+				t.Errorf("unexpected spatial loop %+v", lp)
+			}
+		}
+	}
+	if !spatialSeen {
+		t.Error("spatial loop missing from nest")
+	}
+}
+
+func TestPseudoCode(t *testing.T) {
+	m := paperMapping(t, 4096)
+	code := m.PseudoCode()
+	if !strings.Contains(code, "for p1 in [0,2)") {
+		t.Errorf("missing DRAM P loop:\n%s", code)
+	}
+	if !strings.Contains(code, "ofmap[k][p] += ifmap[p+r][c] * weight[k][c][r]") {
+		t.Errorf("missing loop body:\n%s", code)
+	}
+	if strings.Contains(code, "parallel-for") {
+		t.Errorf("no spatial loops in this mapping:\n%s", code)
+	}
+	// Indentation deepens monotonically.
+	lines := strings.Split(strings.TrimRight(code, "\n"), "\n")
+	if len(lines) != 8 {
+		t.Errorf("expected 7 loops + body, got %d lines", len(lines))
+	}
+}
+
+func TestPseudoCodeSpatial(t *testing.T) {
+	w := conv1D(t, 8, 8, 16, 3)
+	a := arch.TinySpatial(1024, 1<<16, 8)
+	m := New(w, a)
+	m.Levels[0].Temporal = map[tensor.Dim]int{"P": 4, "R": 3, "C": 8}
+	m.Levels[1].Spatial = map[tensor.Dim]int{"K": 8}
+	m.Levels[2].Temporal = map[tensor.Dim]int{"P": 4}
+	code := m.PseudoCode()
+	if !strings.Contains(code, "parallel-for k1 in [0,8)") {
+		t.Errorf("spatial loop not rendered as parallel-for:\n%s", code)
+	}
+}

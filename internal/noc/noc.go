@@ -1,0 +1,90 @@
+// Package noc models the Eyeriss-style on-chip interconnect of Section V-A:
+// an X-Y mesh in which every packet carries a destination tag with the
+// target PE's X and Y coordinates, a tag-check unit at each PE accepts only
+// designated packets, and multicast packets are duplicated at branch points
+// of the dimension-ordered route.
+//
+// The exact hop counts computed here justify the closed-form per-word NoC
+// energy fit in internal/energy (wire energy growing with the square root of
+// the array size — the average X-Y distance in a WxH mesh is Θ(W+H) =
+// Θ(√fanout)); a test asserts the fit tracks the mesh-exact cost. The mesh
+// model is also available directly for users who want hop-accurate NoC
+// accounting for a specific array geometry.
+package noc
+
+import "math"
+
+// Mesh is a W x H array of PEs fed from a root injection point at the
+// top-left corner (the shared buffer's port), using X-then-Y
+// dimension-ordered routing.
+type Mesh struct {
+	W, H int
+	// WirePJPerHop is the energy of moving one word across one mesh link.
+	WirePJPerHop float64
+	// TagCheckPJ is the per-receiving-PE destination-tag check energy.
+	TagCheckPJ float64
+}
+
+// Square returns the most square WxH mesh with W*H >= fanout.
+func Square(fanout int) (w, h int) {
+	if fanout <= 1 {
+		return 1, 1
+	}
+	w = int(math.Ceil(math.Sqrt(float64(fanout))))
+	h = (fanout + w - 1) / w
+	return w, h
+}
+
+// UnicastHops returns the X-Y route length from the root (0,0) to PE (x,y).
+func (m Mesh) UnicastHops(x, y int) int { return x + y }
+
+// AvgUnicastHops returns the mean root-to-PE distance over the whole array.
+func (m Mesh) AvgUnicastHops() float64 {
+	if m.W <= 0 || m.H <= 0 {
+		return 0
+	}
+	// Mean of x over [0,W) plus mean of y over [0,H).
+	return float64(m.W-1)/2 + float64(m.H-1)/2
+}
+
+// MulticastHops returns the number of link traversals needed to deliver one
+// word to the first n PEs in row-major order under X-then-Y routing with
+// duplication at branch points: the multicast tree covers each used row's
+// horizontal span once plus the vertical trunk down to the last used row.
+func (m Mesh) MulticastHops(n int) int {
+	if n <= 0 || m.W <= 0 {
+		return 0
+	}
+	if n > m.W*m.H {
+		n = m.W * m.H
+	}
+	fullRows := n / m.W
+	rem := n % m.W
+	hops := 0
+	// Vertical trunk reaches the deepest used row.
+	depth := fullRows
+	if rem > 0 {
+		depth++
+	}
+	hops += depth - 1
+	// Horizontal span of each full row, plus the partial row.
+	hops += fullRows * (m.W - 1)
+	if rem > 0 {
+		hops += rem - 1
+	}
+	return hops
+}
+
+// DeliverPJ returns the energy of delivering words to nDest PEs each
+// (multicast): wire energy for the multicast tree plus one tag check per
+// receiving PE per word.
+func (m Mesh) DeliverPJ(words float64, nDest int) float64 {
+	return words * (float64(m.MulticastHops(nDest))*m.WirePJPerHop +
+		float64(nDest)*m.TagCheckPJ)
+}
+
+// PerWordUnicastPJ returns the average per-word cost of scattering distinct
+// words across the array (each word to one PE at average distance).
+func (m Mesh) PerWordUnicastPJ() float64 {
+	return m.AvgUnicastHops()*m.WirePJPerHop + m.TagCheckPJ
+}

@@ -1,0 +1,126 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+
+	"sunstone/internal/energy"
+)
+
+func TestSquare(t *testing.T) {
+	cases := []struct{ fanout, w, h int }{
+		{1, 1, 1}, {16, 4, 4}, {1024, 32, 32}, {64, 8, 8}, {12, 4, 3},
+	}
+	for _, c := range cases {
+		w, h := Square(c.fanout)
+		if w != c.w || h != c.h {
+			t.Errorf("Square(%d) = %dx%d, want %dx%d", c.fanout, w, h, c.w, c.h)
+		}
+		if w*h < c.fanout {
+			t.Errorf("Square(%d) = %dx%d does not cover the fanout", c.fanout, w, h)
+		}
+	}
+}
+
+func TestUnicastHops(t *testing.T) {
+	m := Mesh{W: 4, H: 4}
+	if m.UnicastHops(0, 0) != 0 || m.UnicastHops(3, 3) != 6 {
+		t.Error("X-Y route lengths wrong")
+	}
+	if got := m.AvgUnicastHops(); got != 3.0 {
+		t.Errorf("avg hops = %f, want 3.0 for 4x4", got)
+	}
+}
+
+func TestMulticastHops(t *testing.T) {
+	m := Mesh{W: 4, H: 4}
+	// One destination: root itself, no hops.
+	if m.MulticastHops(1) != 0 {
+		t.Errorf("1 dest = %d hops", m.MulticastHops(1))
+	}
+	// One full row: 3 horizontal hops.
+	if m.MulticastHops(4) != 3 {
+		t.Errorf("4 dests = %d hops, want 3", m.MulticastHops(4))
+	}
+	// Whole array: 3 vertical trunk + 4 rows x 3 horizontal = 15.
+	if m.MulticastHops(16) != 15 {
+		t.Errorf("16 dests = %d hops, want 15", m.MulticastHops(16))
+	}
+	// Clamped beyond array size.
+	if m.MulticastHops(100) != m.MulticastHops(16) {
+		t.Error("overflow not clamped")
+	}
+	if m.MulticastHops(0) != 0 {
+		t.Error("0 dests should cost 0")
+	}
+}
+
+// TestMulticastCheaperThanUnicastsProperty: delivering one word to n PEs via
+// the multicast tree never costs more wire hops than n separate unicasts —
+// the reason the Eyeriss NoC (and the cost model's multicast accounting)
+// pays the parent side only once.
+func TestMulticastCheaperThanUnicastsProperty(t *testing.T) {
+	f := func(wSel, hSel, nSel uint8) bool {
+		w := int(wSel%8) + 1
+		h := int(hSel%8) + 1
+		m := Mesh{W: w, H: h}
+		n := int(nSel)%(w*h) + 1
+		multicast := m.MulticastHops(n)
+		unicasts := 0
+		for i := 0; i < n; i++ {
+			unicasts += m.UnicastHops(i%w, i/w)
+		}
+		return multicast <= unicasts || n == 1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestEnergyFitTracksMesh validates internal/energy's closed-form NoC fit
+// against the hop-exact mesh model: across the array sizes the presets use,
+// the fit must (a) scale the same way the mesh-exact average distance does
+// (stable ratio), and (b) sit above the bare-wire cost but within a small
+// constant of it — the headroom covers router/arbitration energy the
+// hop-count alone omits.
+func TestEnergyFitTracksMesh(t *testing.T) {
+	const wirePJPerHopPerBit = 0.0035 // 45 nm mesh link, per bit
+	var ratios []float64
+	for _, fanout := range []int{16, 64, 256, 1024} {
+		w, h := Square(fanout)
+		m := Mesh{W: w, H: h, WirePJPerHop: wirePJPerHopPerBit * 16}
+		exact := m.AvgUnicastHops() * m.WirePJPerHop
+		fit := energy.NoCPerWord(16, fanout)
+		ratios = append(ratios, fit/exact)
+	}
+	lo, hi := ratios[0], ratios[0]
+	for _, r := range ratios {
+		if r < lo {
+			lo = r
+		}
+		if r > hi {
+			hi = r
+		}
+		if r < 1 || r > 6 {
+			t.Errorf("fit/mesh-exact ratio %.2f outside [1,6]", r)
+		}
+	}
+	if hi/lo > 1.5 {
+		t.Errorf("fit scaling drifts from the mesh model: ratios span %.2f-%.2f", lo, hi)
+	}
+}
+
+func TestDeliverPJ(t *testing.T) {
+	m := Mesh{W: 4, H: 4, WirePJPerHop: 1, TagCheckPJ: 0.1}
+	// 10 words broadcast to all 16 PEs: 10*(15*1 + 16*0.1) = 166.
+	if got := m.DeliverPJ(10, 16); got != 166 {
+		t.Errorf("DeliverPJ = %f, want 166", got)
+	}
+}
+
+func TestPerWordUnicastPJ(t *testing.T) {
+	m := Mesh{W: 4, H: 4, WirePJPerHop: 1, TagCheckPJ: 0.5}
+	if got := m.PerWordUnicastPJ(); got != 3.5 {
+		t.Errorf("PerWordUnicastPJ = %f, want 3.5", got)
+	}
+}

@@ -1,0 +1,30 @@
+package order_test
+
+import (
+	"fmt"
+
+	"sunstone/internal/order"
+	"sunstone/internal/tensor"
+)
+
+// The paper's 1D-convolution running example: the trie prunes 24 possible
+// loop orders down to a handful of reuse-distinct candidates (Fig. 4).
+func ExampleEnumerate() {
+	w := tensor.MustNew("conv1d",
+		map[tensor.Dim]int{"K": 4, "C": 4, "P": 7, "R": 3},
+		&tensor.Tensor{Name: "ifmap", Axes: []tensor.Axis{tensor.Win("P", 1, "R", 1), tensor.A("C")}},
+		&tensor.Tensor{Name: "weight", Axes: []tensor.Axis{tensor.A("K"), tensor.A("C"), tensor.A("R")}},
+		&tensor.Tensor{Name: "ofmap", Axes: []tensor.Axis{tensor.A("K"), tensor.A("P")}, Output: true},
+	)
+	orderings, stats := order.Enumerate(w)
+	fmt.Printf("%d survivors of %d possible orders\n", stats.Survivors, stats.TotalOrders)
+	for _, o := range orderings {
+		fmt.Printf("%s -> OP %v\n", o.String(), o.FullyReused)
+	}
+	// Output:
+	// 4 survivors of 24 possible orders
+	// xxCR -> OP [ofmap]
+	// xxP -> OP [weight]
+	// xxPK -> OP [ifmap]
+	// xxRK -> OP [ifmap]
+}

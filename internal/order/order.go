@@ -1,0 +1,303 @@
+// Package order implements Sunstone's loop-ordering trie IR (Section IV-A of
+// the paper).
+//
+// The trie enumerates partially-determined innermost-first loop orders for
+// one memory level. Each node is annotated with the reuse its prefix makes
+// available: tensor t is *fully* reused across a loop over dimension d when d
+// does not index t and every loop inside d is also non-indexing for t
+// (Ordering Principles 1-2); a *partial* (sliding-window) reuse is available
+// when d participates only in compound axes of t under the same condition.
+//
+// Two prunings shrink the trie without losing optimal orders:
+//
+//  1. A child that adds no reuse event over its parent is pruned — loops
+//     above the innermost reuse chain never change access counts (Ordering
+//     Principle 3).
+//  2. A candidate whose reuse signature is a subset of another candidate's
+//     is dominated and pruned (the paper's sibling-subsumption rule, e.g.
+//     xxxC pruned in favor of xxCR, which reuses the same ofmap and adds
+//     partial ifmap reuse).
+//
+// The surviving orderings are what the tiling and unrolling stages consume.
+package order
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sunstone/internal/tensor"
+)
+
+// Kind distinguishes full from partial (sliding-window) reuse.
+type Kind int
+
+const (
+	Full Kind = iota
+	Partial
+)
+
+// Event is one reuse opportunity: tensor Tensor reused across dimension D.
+type Event struct {
+	Tensor string
+	D      tensor.Dim
+	Kind   Kind
+}
+
+// Ordering is one surviving candidate loop order for a level.
+type Ordering struct {
+	// Inner lists the reuse-determining loops innermost-first; dimensions
+	// not listed may be placed above in any order (Ordering Principle 3).
+	Inner []tensor.Dim
+	// Events are the reuse opportunities this ordering provides.
+	Events []Event
+	// FullyReused lists tensors fully reused across the innermost run —
+	// the OP of the Tiling and Unrolling Principles. Sorted.
+	FullyReused []string
+}
+
+// signature is a canonical string form of the event set.
+func (o *Ordering) signature() string {
+	evs := make([]string, len(o.Events))
+	for i, e := range o.Events {
+		evs[i] = fmt.Sprintf("%s/%s/%d", e.Tensor, e.D, e.Kind)
+	}
+	sort.Strings(evs)
+	return strings.Join(evs, ",")
+}
+
+// String renders the ordering in the paper's xx..D notation (outermost
+// first, x for undetermined loops).
+func (o *Ordering) String() string {
+	n := len(o.Inner)
+	parts := make([]string, 0, n+1)
+	parts = append(parts, "xx")
+	for i := n - 1; i >= 0; i-- {
+		parts = append(parts, string(o.Inner[i]))
+	}
+	return strings.Join(parts, "")
+}
+
+// Complete returns the full innermost-first loop order: Inner followed by
+// the remaining dimensions in canonical workload order.
+func (o *Ordering) Complete(w *tensor.Workload) []tensor.Dim {
+	seen := map[tensor.Dim]bool{}
+	out := append([]tensor.Dim(nil), o.Inner...)
+	for _, d := range o.Inner {
+		seen[d] = true
+	}
+	for _, d := range w.Order {
+		if !seen[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Stats reports the trie's search-space reduction.
+type Stats struct {
+	// NodesVisited counts trie nodes expanded (including pruned ones).
+	NodesVisited int
+	// TotalOrders is the unpruned count of complete loop orders (n!).
+	TotalOrders int
+	// Survivors is the number of orderings returned.
+	Survivors int
+}
+
+// Enumerate builds and prunes the ordering trie for the workload, returning
+// the surviving candidate orderings for one memory level.
+func Enumerate(w *tensor.Workload) ([]Ordering, Stats) {
+	dims := w.Order
+	nonIdx := map[string]map[tensor.Dim]bool{} // tensor -> non-indexing dims
+	partial := map[string]map[tensor.Dim]bool{}
+	for _, t := range w.Tensors {
+		ni := map[tensor.Dim]bool{}
+		for _, d := range dims {
+			if !t.Indexing(d) {
+				ni[d] = true
+			}
+		}
+		nonIdx[t.Name] = ni
+		pd := map[tensor.Dim]bool{}
+		for _, d := range t.PartialDims() {
+			pd[d] = true
+		}
+		partial[t.Name] = pd
+	}
+
+	var stats Stats
+	stats.TotalOrders = fact(len(dims))
+
+	type node struct {
+		prefix []tensor.Dim // innermost-first
+		events []Event
+	}
+	var leaves []node
+	var expand func(n node)
+	expand = func(n node) {
+		stats.NodesVisited++
+		extended := false
+		used := map[tensor.Dim]bool{}
+		for _, d := range n.prefix {
+			used[d] = true
+		}
+		for _, d := range dims {
+			if used[d] {
+				continue
+			}
+			// Reuse events a loop over d adds, given the inner prefix.
+			var added []Event
+			for _, t := range w.Tensors {
+				// All inner loops must be non-indexing for t for the
+				// chain to survive (Ordering Principle 2).
+				chainAlive := true
+				for _, inner := range n.prefix {
+					if !nonIdx[t.Name][inner] {
+						chainAlive = false
+						break
+					}
+				}
+				if !chainAlive {
+					continue
+				}
+				if nonIdx[t.Name][d] {
+					added = append(added, Event{Tensor: t.Name, D: d, Kind: Full})
+				} else if partial[t.Name][d] {
+					added = append(added, Event{Tensor: t.Name, D: d, Kind: Partial})
+				}
+			}
+			if len(added) == 0 {
+				continue // Pruning 1: no further reuse below this child
+			}
+			child := node{
+				prefix: append(append([]tensor.Dim(nil), n.prefix...), d),
+				events: append(append([]Event(nil), n.events...), added...),
+			}
+			extended = true
+			expand(child)
+		}
+		if !extended && len(n.prefix) > 0 {
+			leaves = append(leaves, n)
+		}
+	}
+	expand(node{})
+
+	// Build candidates and apply subset-domination pruning (Pruning 2).
+	cands := make([]Ordering, 0, len(leaves))
+	for _, n := range leaves {
+		o := Ordering{Inner: n.prefix, Events: n.events}
+		o.FullyReused = fullyReused(w, n.prefix, nonIdx)
+		cands = append(cands, o)
+	}
+	survivors := dominate(cands)
+	if len(survivors) == 0 {
+		// Degenerate workload where no loop can reuse anything: fall back
+		// to the canonical order.
+		survivors = []Ordering{{}}
+	}
+	sort.Slice(survivors, func(i, j int) bool { return survivors[i].String() < survivors[j].String() })
+	stats.Survivors = len(survivors)
+	return survivors, stats
+}
+
+// fullyReused lists tensors whose non-indexing dims cover the innermost loop
+// (prefix[0]) — the operand(s) temporally reused across the child tiles,
+// which the Tiling and Unrolling Principles key off.
+func fullyReused(w *tensor.Workload, prefix []tensor.Dim, nonIdx map[string]map[tensor.Dim]bool) []string {
+	var out []string
+	if len(prefix) == 0 {
+		return nil
+	}
+	for _, t := range w.Tensors {
+		if nonIdx[t.Name][prefix[0]] {
+			out = append(out, t.Name)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// dominate removes candidates whose event-set signature is a subset of (or
+// equal to, keeping the first) another candidate's.
+func dominate(cands []Ordering) []Ordering {
+	sets := make([]map[string]bool, len(cands))
+	for i := range cands {
+		s := map[string]bool{}
+		for _, e := range cands[i].Events {
+			s[fmt.Sprintf("%s/%s/%d", e.Tensor, e.D, e.Kind)] = true
+		}
+		sets[i] = s
+	}
+	dead := make([]bool, len(cands))
+	for i := range cands {
+		if dead[i] {
+			continue
+		}
+		for j := range cands {
+			if i == j || dead[i] || dead[j] {
+				continue
+			}
+			switch {
+			case subset(sets[i], sets[j]) && subset(sets[j], sets[i]):
+				// Equal: keep the lower index.
+				if i < j {
+					dead[j] = true
+				} else {
+					dead[i] = true
+				}
+			case subset(sets[i], sets[j]):
+				dead[i] = true
+			case subset(sets[j], sets[i]):
+				dead[j] = true
+			}
+		}
+	}
+	var out []Ordering
+	for i := range cands {
+		if !dead[i] {
+			out = append(out, cands[i])
+		}
+	}
+	return out
+}
+
+func subset(a, b map[string]bool) bool {
+	for k := range a {
+		if !b[k] {
+			return false
+		}
+	}
+	return true
+}
+
+func fact(n int) int {
+	f := 1
+	for i := 2; i <= n; i++ {
+		f *= i
+	}
+	return f
+}
+
+// Render prints the surviving orderings with their reuse annotations in the
+// paper's Fig. 4 style — one line per candidate, listing the tensor each
+// inner loop (partially) reuses. Useful for explaining why the search
+// considers exactly these orders.
+func Render(orderings []Ordering) string {
+	var b strings.Builder
+	for i := range orderings {
+		o := &orderings[i]
+		fmt.Fprintf(&b, "%-8s reuses:", o.String())
+		for _, e := range o.Events {
+			kind := ""
+			if e.Kind == Partial {
+				kind = " (partial)"
+			}
+			fmt.Fprintf(&b, " %s via %s%s;", e.Tensor, strings.ToLower(string(e.D)), kind)
+		}
+		if len(o.FullyReused) > 0 {
+			fmt.Fprintf(&b, "  OP = %s", strings.Join(o.FullyReused, ","))
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,257 @@
+package order
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"sunstone/internal/tensor"
+)
+
+func conv1D(t testing.TB) *tensor.Workload {
+	t.Helper()
+	w, err := tensor.New("conv1d",
+		map[tensor.Dim]int{"K": 4, "C": 4, "P": 7, "R": 3},
+		&tensor.Tensor{Name: "ifmap", Axes: []tensor.Axis{tensor.Win("P", 1, "R", 1), tensor.A("C")}},
+		&tensor.Tensor{Name: "weight", Axes: []tensor.Axis{tensor.A("K"), tensor.A("C"), tensor.A("R")}},
+		&tensor.Tensor{Name: "ofmap", Axes: []tensor.Axis{tensor.A("K"), tensor.A("P")}, Output: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func matmul(t testing.TB) *tensor.Workload {
+	t.Helper()
+	w, err := tensor.New("matmul",
+		map[tensor.Dim]int{"M": 8, "N": 8, "K": 8},
+		&tensor.Tensor{Name: "A", Axes: []tensor.Axis{tensor.A("M"), tensor.A("K")}},
+		&tensor.Tensor{Name: "B", Axes: []tensor.Axis{tensor.A("K"), tensor.A("N")}},
+		&tensor.Tensor{Name: "out", Axes: []tensor.Axis{tensor.A("M"), tensor.A("N")}, Output: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func strs(os []Ordering) []string {
+	out := make([]string, len(os))
+	for i := range os {
+		out[i] = os[i].String()
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TestConv1DTrie reproduces the Fig. 4 pruning behaviour: xxxC is dominated
+// by the R-innermost ordering that also partially reuses ifmap; the
+// survivors are a handful of orderings, far fewer than 4! = 24.
+func TestConv1DTrie(t *testing.T) {
+	got, stats := Enumerate(conv1D(t))
+	if stats.Survivors >= 8 {
+		t.Errorf("expected aggressive pruning, got %d survivors of %d orders",
+			stats.Survivors, stats.TotalOrders)
+	}
+	names := strs(got)
+	// The paper's node 4 (xxCR: R innermost, C above) must survive; the
+	// dominated xxxC and xxCR-subset nodes must not appear as xxC alone.
+	found := false
+	for _, n := range names {
+		if n == "xxCR" {
+			found = true
+		}
+		if n == "xxC" {
+			t.Errorf("xxxC should be dominated by xxCR (Fig. 4 pruning), got %v", names)
+		}
+	}
+	if !found {
+		t.Errorf("xxCR (R innermost, then C) should survive, got %v", names)
+	}
+}
+
+func TestConv1DFullyReused(t *testing.T) {
+	got, _ := Enumerate(conv1D(t))
+	for _, o := range got {
+		if len(o.Inner) == 0 {
+			continue
+		}
+		switch o.Inner[0] {
+		case "R", "C":
+			if !contains(o.FullyReused, "ofmap") {
+				t.Errorf("%s: innermost %s should fully reuse ofmap, got %v", o.String(), o.Inner[0], o.FullyReused)
+			}
+		case "K":
+			if !contains(o.FullyReused, "ifmap") {
+				t.Errorf("%s: innermost K should fully reuse ifmap, got %v", o.String(), o.FullyReused)
+			}
+		case "P":
+			if !contains(o.FullyReused, "weight") {
+				t.Errorf("%s: innermost P should fully reuse weight, got %v", o.String(), o.FullyReused)
+			}
+		}
+	}
+}
+
+// TestOrderingPrinciple2InTrie: the events of an ordering never include a
+// tensor whose reuse chain was broken by an inner indexing loop.
+func TestOrderingPrinciple2InTrie(t *testing.T) {
+	got, _ := Enumerate(conv1D(t))
+	w := conv1D(t)
+	for _, o := range got {
+		for _, e := range o.Events {
+			tn := w.Tensor(e.Tensor)
+			// Find the position of e.D in Inner; all dims inside must be
+			// non-indexing for the tensor.
+			pos := -1
+			for i, d := range o.Inner {
+				if d == e.D {
+					pos = i
+					break
+				}
+			}
+			if pos < 0 {
+				t.Fatalf("%s: event dim %s not in prefix %v", o.String(), e.D, o.Inner)
+			}
+			for i := 0; i < pos; i++ {
+				if tn.Indexing(o.Inner[i]) {
+					t.Errorf("%s: %s reuse across %s with indexing loop %s inside",
+						o.String(), e.Tensor, e.D, o.Inner[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMatmulTrie(t *testing.T) {
+	got, stats := Enumerate(matmul(t))
+	if stats.Survivors == 0 {
+		t.Fatal("matmul must have ordering candidates")
+	}
+	// Each of the three dims reuses exactly one tensor; no partial reuse
+	// exists, so orderings are short chains.
+	for _, o := range got {
+		for _, e := range o.Events {
+			if e.Kind != Full {
+				t.Errorf("matmul has no sliding windows; got partial event %v", e)
+			}
+		}
+	}
+	if stats.Survivors > 6 {
+		t.Errorf("matmul survivors = %d, want <= 6 (3! total)", stats.Survivors)
+	}
+}
+
+func TestCompleteCoversAllDims(t *testing.T) {
+	w := conv1D(t)
+	got, _ := Enumerate(w)
+	for _, o := range got {
+		full := o.Complete(w)
+		if len(full) != len(w.Dims) {
+			t.Fatalf("%s: Complete = %v, want %d dims", o.String(), full, len(w.Dims))
+		}
+		seen := map[tensor.Dim]bool{}
+		for _, d := range full {
+			if seen[d] {
+				t.Errorf("%s: duplicate dim %s in %v", o.String(), d, full)
+			}
+			seen[d] = true
+		}
+		// Inner prefix must be preserved.
+		if !reflect.DeepEqual(full[:len(o.Inner)], o.Inner) {
+			t.Errorf("%s: Complete %v does not start with Inner %v", o.String(), full, o.Inner)
+		}
+	}
+}
+
+func TestDegenerateWorkloadFallsBack(t *testing.T) {
+	// Elementwise multiply: both dims index everything; no reuse anywhere.
+	w, err := tensor.New("mul",
+		map[tensor.Dim]int{"I": 4, "J": 4},
+		&tensor.Tensor{Name: "A", Axes: []tensor.Axis{tensor.A("I"), tensor.A("J")}},
+		&tensor.Tensor{Name: "out", Axes: []tensor.Axis{tensor.A("I"), tensor.A("J")}, Output: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := Enumerate(w)
+	if len(got) != 1 || len(got[0].Inner) != 0 {
+		t.Errorf("degenerate workload should fall back to one canonical ordering, got %v", strs(got))
+	}
+}
+
+func TestStats(t *testing.T) {
+	_, stats := Enumerate(conv1D(t))
+	if stats.TotalOrders != 24 {
+		t.Errorf("4 dims should have 24 total orders, got %d", stats.TotalOrders)
+	}
+	if stats.NodesVisited <= 0 || stats.Survivors <= 0 {
+		t.Errorf("bad stats: %+v", stats)
+	}
+	if stats.Survivors > stats.NodesVisited {
+		t.Error("survivors cannot exceed visited nodes")
+	}
+}
+
+func TestMTTKRPVersatility(t *testing.T) {
+	// out[i,j] = sum_{k,l} A[i,k,l] * B[k,j] * C[l,j] — the trie must work
+	// unmodified on non-conv workloads (versatility claim).
+	w, err := tensor.New("mttkrp",
+		map[tensor.Dim]int{"I": 8, "J": 8, "K": 8, "L": 8},
+		&tensor.Tensor{Name: "A", Axes: []tensor.Axis{tensor.A("I"), tensor.A("K"), tensor.A("L")}},
+		&tensor.Tensor{Name: "B", Axes: []tensor.Axis{tensor.A("K"), tensor.A("J")}},
+		&tensor.Tensor{Name: "C", Axes: []tensor.Axis{tensor.A("L"), tensor.A("J")}},
+		&tensor.Tensor{Name: "out", Axes: []tensor.Axis{tensor.A("I"), tensor.A("J")}, Output: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, stats := Enumerate(w)
+	if len(got) == 0 {
+		t.Fatal("MTTKRP must yield orderings")
+	}
+	if stats.Survivors >= stats.TotalOrders {
+		t.Errorf("pruning should shrink the space: %d of %d", stats.Survivors, stats.TotalOrders)
+	}
+	// J reuses A (non-indexing); some ordering must exploit it.
+	foundAReuse := false
+	for _, o := range got {
+		for _, e := range o.Events {
+			if e.Tensor == "A" && e.D == "J" {
+				foundAReuse = true
+			}
+		}
+	}
+	if !foundAReuse {
+		t.Error("no ordering reuses A across J")
+	}
+}
+
+func contains(ss []string, s string) bool {
+	for _, x := range ss {
+		if x == s {
+			return true
+		}
+	}
+	return false
+}
+
+func TestRender(t *testing.T) {
+	got, _ := Enumerate(conv1D(t))
+	s := Render(got)
+	for _, want := range []string{"xxCR", "ofmap via r", "(partial)", "OP ="} {
+		if !contains2(s, want) {
+			t.Errorf("Render missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func contains2(s, sub string) bool {
+	for i := 0; i+len(sub) <= len(s); i++ {
+		if s[i:i+len(sub)] == sub {
+			return true
+		}
+	}
+	return false
+}

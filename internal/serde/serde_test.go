@@ -1,0 +1,158 @@
+package serde
+
+import (
+	"strings"
+	"testing"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/core"
+	"sunstone/internal/cost"
+	"sunstone/internal/workloads"
+)
+
+func TestWorkloadRoundTrip(t *testing.T) {
+	orig := workloads.Conv2D("layer", 2, 8, 8, 7, 7, 3, 3, 2, 2)
+	data, err := EncodeWorkload(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeWorkload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Name != orig.Name || len(back.Dims) != len(orig.Dims) {
+		t.Fatalf("round trip changed structure: %v vs %v", back, orig)
+	}
+	for d, n := range orig.Dims {
+		if back.Dims[d] != n {
+			t.Errorf("dim %s: %d vs %d", d, back.Dims[d], n)
+		}
+	}
+	// Sliding-window strides survive.
+	fp1 := orig.Tensor(arch.Ifmap).Footprint(orig.FullExtents())
+	fp2 := back.Tensor(arch.Ifmap).Footprint(back.FullExtents())
+	if fp1 != fp2 {
+		t.Errorf("ifmap footprint changed: %d vs %d", fp2, fp1)
+	}
+}
+
+func TestWorkloadRoundTripNonConv(t *testing.T) {
+	orig := workloads.MTTKRP("m", 10, 8, 6, 4)
+	data, err := EncodeWorkload(orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeWorkload(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Tensors) != 4 || len(back.Outputs()) != 1 {
+		t.Error("tensor structure lost")
+	}
+}
+
+func TestDecodeWorkloadRejectsInvalid(t *testing.T) {
+	cases := []string{
+		`not json`,
+		`{"name":"x","dims":{},"tensors":[]}`,
+		`{"name":"x","dims":{"K":4},"tensors":[{"name":"o","axes":[[{"dim":"Z","stride":1}]],"output":true}]}`,
+	}
+	for _, c := range cases {
+		if _, err := DecodeWorkload([]byte(c)); err == nil {
+			t.Errorf("DecodeWorkload(%q) should fail", c)
+		}
+	}
+}
+
+func TestArchRoundTrip(t *testing.T) {
+	for _, orig := range []*arch.Arch{arch.Conventional(), arch.Simba(), arch.DianNao()} {
+		data, err := EncodeArch(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		back, err := DecodeArch(data)
+		if err != nil {
+			t.Fatalf("%s: %v", orig.Name, err)
+		}
+		if back.TotalMACs() != orig.TotalMACs() {
+			t.Errorf("%s: MACs %d vs %d", orig.Name, back.TotalMACs(), orig.TotalMACs())
+		}
+		if len(back.Levels) != len(orig.Levels) {
+			t.Errorf("%s: levels %d vs %d", orig.Name, len(back.Levels), len(orig.Levels))
+		}
+		for i := range orig.Levels {
+			if back.Levels[i].Fanout != orig.Levels[i].Fanout {
+				t.Errorf("%s level %d fanout changed", orig.Name, i)
+			}
+		}
+		// Bypass sets survive (Simba's L2 excludes weights).
+		if orig.Name == "simba-like" && back.Levels[2].Keeps(arch.Weight) {
+			t.Error("simba bypass lost in round trip")
+		}
+	}
+}
+
+func TestDecodeArchRejectsInvalid(t *testing.T) {
+	if _, err := DecodeArch([]byte(`{"name":"x","mac_pj":1,"levels":[]}`)); err == nil {
+		t.Error("empty arch should fail validation")
+	}
+	if _, err := DecodeArch([]byte(`garbage`)); err == nil {
+		t.Error("bad JSON should fail")
+	}
+}
+
+func TestMappingRoundTripThroughOptimizer(t *testing.T) {
+	w := workloads.Conv1D("c", 8, 8, 28, 3)
+	a := arch.Tiny(256)
+	res, err := core.Optimize(w, a, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := EncodeMapping(res.Mapping)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := DecodeMapping(data, w, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoded mapping must evaluate to exactly the same cost.
+	r1, r2 := cost.Evaluate(res.Mapping), cost.Evaluate(back)
+	if r1.EDP != r2.EDP || r1.EnergyPJ != r2.EnergyPJ {
+		t.Errorf("round trip changed cost: %v vs %v", r2.EDP, r1.EDP)
+	}
+}
+
+func TestDecodeMappingRejects(t *testing.T) {
+	w := workloads.Conv1D("c", 8, 8, 28, 3)
+	a := arch.Tiny(256)
+	if _, err := DecodeMapping([]byte(`{"levels":[]}`), w, a); err == nil ||
+		!strings.Contains(err.Error(), "levels") {
+		t.Error("level-count mismatch should fail")
+	}
+	// A structurally fine but illegal mapping (no coverage).
+	bad := `{"workload":"c","arch":"tiny","levels":[{"level":"L1"},{"level":"DRAM"}]}`
+	if _, err := DecodeMapping([]byte(bad), w, a); err == nil ||
+		!strings.Contains(err.Error(), "illegal") {
+		t.Error("illegal mapping should be rejected by validation")
+	}
+}
+
+// FuzzDecodeWorkload ensures the JSON loader never panics and everything it
+// accepts re-validates.
+func FuzzDecodeWorkload(f *testing.F) {
+	seed, _ := EncodeWorkload(workloads.Conv1D("c", 2, 2, 4, 2))
+	f.Add(string(seed))
+	f.Add(`{"name":"x","dims":{"K":4},"tensors":[{"name":"o","axes":[[{"dim":"K","stride":1}]],"output":true}]}`)
+	f.Add(`{`)
+	f.Add(``)
+	f.Fuzz(func(t *testing.T, src string) {
+		w, err := DecodeWorkload([]byte(src))
+		if err != nil {
+			return
+		}
+		if verr := w.Validate(); verr != nil {
+			t.Errorf("DecodeWorkload accepted an invalid workload: %v", verr)
+		}
+	})
+}

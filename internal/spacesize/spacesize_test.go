@@ -1,0 +1,98 @@
+package spacesize
+
+import (
+	"testing"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/workloads"
+)
+
+func table(t *testing.T) map[string]Estimate {
+	t.Helper()
+	w := workloads.InceptionExampleLayer.Inference(1)
+	ests := Table1(w, arch.Conventional())
+	if len(ests) != 6 {
+		t.Fatalf("Table I has 6 tools, got %d", len(ests))
+	}
+	out := map[string]Estimate{}
+	for _, e := range ests {
+		out[e.Tool] = e
+	}
+	return out
+}
+
+// TestTable1Ordering asserts the orders-of-magnitude relations of Table I:
+// Timeloop/CoSA >> Marvel/Interstellar >> dMazeRunner >> Sunstone.
+func TestTable1Ordering(t *testing.T) {
+	e := table(t)
+	if e["Timeloop"].Size != e["CoSA"].Size {
+		t.Error("CoSA spans the same space as Timeloop")
+	}
+	if !(e["Timeloop"].Size > e["Marvel"].Size) {
+		t.Errorf("Timeloop (%.2e) should exceed Marvel (%.2e)", e["Timeloop"].Size, e["Marvel"].Size)
+	}
+	if !(e["Timeloop"].Size > e["Interstellar"].Size) {
+		t.Errorf("Timeloop (%.2e) should exceed Interstellar (%.2e)", e["Timeloop"].Size, e["Interstellar"].Size)
+	}
+	if !(e["Marvel"].Size > e["dMazeRunner"].Size) {
+		t.Errorf("Marvel (%.2e) should exceed dMazeRunner (%.2e)", e["Marvel"].Size, e["dMazeRunner"].Size)
+	}
+	if !(e["Interstellar"].Size > e["dMazeRunner"].Size) {
+		t.Errorf("Interstellar (%.2e) should exceed dMazeRunner (%.2e)", e["Interstellar"].Size, e["dMazeRunner"].Size)
+	}
+	if !(e["dMazeRunner"].Size > e["Sunstone"].Size) {
+		t.Errorf("dMazeRunner (%.2e) should exceed Sunstone (%.2e)", e["dMazeRunner"].Size, e["Sunstone"].Size)
+	}
+	// The headline claim: Sunstone's space is many orders of magnitude
+	// smaller than Timeloop's (up to 1e7x in the paper).
+	if e["Timeloop"].Size/e["Sunstone"].Size < 1e4 {
+		t.Errorf("Timeloop/Sunstone ratio = %.2e, want >= 1e4",
+			e["Timeloop"].Size/e["Sunstone"].Size)
+	}
+	for _, est := range e {
+		if est.Size < 1 {
+			t.Errorf("%s: size %.2e below 1", est.Tool, est.Size)
+		}
+	}
+}
+
+// TestTable1DimCounts checks the "dimensions used" rows of Table I: prior
+// tools build each temporal tile from all 7 conv dims; Sunstone uses only
+// the reuse dimensions (4 for convolution); Interstellar unrolls only C/K.
+func TestTable1DimCounts(t *testing.T) {
+	e := table(t)
+	for _, tool := range []string{"Timeloop", "CoSA", "Marvel", "Interstellar", "dMazeRunner"} {
+		if e[tool].TemporalDims != 7 {
+			t.Errorf("%s temporal dims = %d, want 7", tool, e[tool].TemporalDims)
+		}
+	}
+	if e["Sunstone"].TemporalDims >= 7 {
+		t.Errorf("Sunstone temporal dims = %d, want < 7 (reuse dims only)", e["Sunstone"].TemporalDims)
+	}
+	if e["Interstellar"].UnrollDims != 2 {
+		t.Errorf("Interstellar unroll dims = %d, want 2 (C and K)", e["Interstellar"].UnrollDims)
+	}
+	if e["dMazeRunner"].UnrollDims != 4 {
+		t.Errorf("dMazeRunner unroll dims = %d, want 4 (no spatial reduction)", e["dMazeRunner"].UnrollDims)
+	}
+}
+
+func TestWorksOnNonConv(t *testing.T) {
+	w := workloads.MTTKRP("m", 128, 64, 64, 32)
+	ests := Table1(w, arch.Conventional())
+	if len(ests) != 6 {
+		t.Fatal("estimator must handle non-conv workloads")
+	}
+	var tl, sun float64
+	for _, e := range ests {
+		if e.Tool == "Timeloop" {
+			tl = e.Size
+		}
+		if e.Tool == "Sunstone" {
+			sun = e.Size
+		}
+	}
+	if sun >= tl {
+		t.Errorf("Sunstone space (%.2e) must be below Timeloop's (%.2e) on MTTKRP too", sun, tl)
+	}
+}

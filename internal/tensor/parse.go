@@ -1,0 +1,293 @@
+package tensor
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse reads the paper's workload description syntax (Section IV) and
+// returns the validated workload:
+//
+//	dimensions = {K:4, C:4, P:7, R:3}
+//	tensor_description = {
+//	    operand1 = [C, (P, R)],
+//	    operand2 = [K, C, R],
+//	    output = [K, P]
+//	}
+//
+// Each tensor is a bracketed list of axes; a parenthesized axis such as
+// (P, R) is a sliding-window sum p+r. Strides are written as a multiplier
+// prefix, e.g. (2P, R) for the stride-2 expression 2p+r. Names beginning
+// with "output" (or suffixed "_out") are outputs; everything else is an
+// input. The workload name may be given as `name = <ident>` (default
+// "parsed").
+func Parse(src string) (*Workload, error) {
+	p := &parser{src: src}
+	name := "parsed"
+	var dims map[Dim]int
+	var tensors []*Tensor
+
+	for {
+		p.skipSpace()
+		if p.eof() {
+			break
+		}
+		key, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect('='); err != nil {
+			return nil, err
+		}
+		switch key {
+		case "name":
+			p.skipSpace()
+			name, err = p.ident()
+			if err != nil {
+				return nil, err
+			}
+		case "dimensions":
+			dims, err = p.dimensions()
+			if err != nil {
+				return nil, err
+			}
+		case "tensor_description":
+			tensors, err = p.tensorDescription()
+			if err != nil {
+				return nil, err
+			}
+		default:
+			return nil, p.errorf("unknown section %q (want name, dimensions, or tensor_description)", key)
+		}
+	}
+	if dims == nil {
+		return nil, fmt.Errorf("missing dimensions section")
+	}
+	if tensors == nil {
+		return nil, fmt.Errorf("missing tensor_description section")
+	}
+	return New(name, dims, tensors...)
+}
+
+// MustParse is Parse but panics on error; for tests and examples.
+func MustParse(src string) *Workload {
+	w, err := Parse(src)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+type parser struct {
+	src string
+	pos int
+}
+
+func (p *parser) eof() bool { return p.pos >= len(p.src) }
+
+func (p *parser) skipSpace() {
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == ',' {
+			p.pos++
+			continue
+		}
+		if c == '#' { // comment to end of line
+			for p.pos < len(p.src) && p.src[p.pos] != '\n' {
+				p.pos++
+			}
+			continue
+		}
+		break
+	}
+}
+
+func (p *parser) errorf(format string, args ...any) error {
+	line := 1 + strings.Count(p.src[:min(p.pos, len(p.src))], "\n")
+	return fmt.Errorf("workload description line %d: %s", line, fmt.Sprintf(format, args...))
+}
+
+func (p *parser) expect(c byte) error {
+	p.skipSpace()
+	if p.eof() || p.src[p.pos] != c {
+		got := "end of input"
+		if !p.eof() {
+			got = string(p.src[p.pos])
+		}
+		return p.errorf("expected %q, got %s", string(c), got)
+	}
+	p.pos++
+	return nil
+}
+
+func (p *parser) ident() (string, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) {
+		c := p.src[p.pos]
+		if c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9' && p.pos > start) {
+			p.pos++
+			continue
+		}
+		break
+	}
+	if p.pos == start {
+		return "", p.errorf("expected an identifier")
+	}
+	return p.src[start:p.pos], nil
+}
+
+func (p *parser) number() (int, error) {
+	p.skipSpace()
+	start := p.pos
+	for p.pos < len(p.src) && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		p.pos++
+	}
+	if p.pos == start {
+		return 0, p.errorf("expected a number")
+	}
+	n, err := strconv.Atoi(p.src[start:p.pos])
+	if err != nil {
+		return 0, p.errorf("bad number: %v", err)
+	}
+	return n, nil
+}
+
+// dimensions parses {K:4, C:4, ...}.
+func (p *parser) dimensions() (map[Dim]int, error) {
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	dims := map[Dim]int{}
+	for {
+		p.skipSpace()
+		if !p.eof() && p.src[p.pos] == '}' {
+			p.pos++
+			return dims, nil
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect(':'); err != nil {
+			return nil, err
+		}
+		n, err := p.number()
+		if err != nil {
+			return nil, err
+		}
+		d := Dim(strings.ToUpper(name))
+		if _, dup := dims[d]; dup {
+			return nil, p.errorf("dimension %s declared twice", d)
+		}
+		dims[d] = n
+	}
+}
+
+// tensorDescription parses { name = [axis, axis, ...], ... }.
+func (p *parser) tensorDescription() ([]*Tensor, error) {
+	if err := p.expect('{'); err != nil {
+		return nil, err
+	}
+	var tensors []*Tensor
+	for {
+		p.skipSpace()
+		if !p.eof() && p.src[p.pos] == '}' {
+			p.pos++
+			return tensors, nil
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expect('='); err != nil {
+			return nil, err
+		}
+		axes, err := p.axes()
+		if err != nil {
+			return nil, err
+		}
+		tensors = append(tensors, &Tensor{
+			Name:   name,
+			Axes:   axes,
+			Output: strings.HasPrefix(name, "output") || strings.HasSuffix(name, "_out"),
+		})
+	}
+}
+
+// axes parses [C, (P, R), 2K] — a bracketed list of simple, compound
+// (sliding-window), or strided axes.
+func (p *parser) axes() ([]Axis, error) {
+	if err := p.expect('['); err != nil {
+		return nil, err
+	}
+	var axes []Axis
+	for {
+		p.skipSpace()
+		if p.eof() {
+			return nil, p.errorf("unterminated axis list")
+		}
+		if p.src[p.pos] == ']' {
+			p.pos++
+			if len(axes) == 0 {
+				return nil, p.errorf("empty axis list")
+			}
+			return axes, nil
+		}
+		if p.src[p.pos] == '(' {
+			p.pos++
+			var a Axis
+			for {
+				p.skipSpace()
+				if p.eof() {
+					return nil, p.errorf("unterminated compound axis")
+				}
+				if p.src[p.pos] == ')' {
+					p.pos++
+					break
+				}
+				term, err := p.term()
+				if err != nil {
+					return nil, err
+				}
+				a = append(a, term)
+			}
+			if len(a) == 0 {
+				return nil, p.errorf("empty compound axis")
+			}
+			axes = append(axes, a)
+			continue
+		}
+		term, err := p.term()
+		if err != nil {
+			return nil, err
+		}
+		axes = append(axes, Axis{term})
+	}
+}
+
+// term parses an optionally strided dimension reference: R or 2P.
+func (p *parser) term() (Term, error) {
+	p.skipSpace()
+	stride := 1
+	if !p.eof() && p.src[p.pos] >= '0' && p.src[p.pos] <= '9' {
+		n, err := p.number()
+		if err != nil {
+			return Term{}, err
+		}
+		stride = n
+	}
+	name, err := p.ident()
+	if err != nil {
+		return Term{}, err
+	}
+	return Term{D: Dim(strings.ToUpper(name)), Stride: stride}, nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

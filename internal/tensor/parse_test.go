@@ -1,0 +1,177 @@
+package tensor
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// paperExample is the exact description the paper shows in Section IV.
+const paperExample = `
+dimensions = {K:4, C:4, P:7, R:3}
+tensor_description = {
+    operand1 = [C, (P, R)],
+    operand2 = [K, C, R],
+    output = [K, P]
+}
+`
+
+func TestParsePaperExample(t *testing.T) {
+	w, err := Parse(paperExample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(w.Dims, map[Dim]int{"K": 4, "C": 4, "P": 7, "R": 3}) {
+		t.Errorf("dims = %v", w.Dims)
+	}
+	if len(w.Tensors) != 3 || len(w.Outputs()) != 1 {
+		t.Fatalf("tensors = %v", w.Tensors)
+	}
+	// operand1's second axis is the sliding window (P, R).
+	op1 := w.Tensor("operand1")
+	if len(op1.Axes) != 2 || len(op1.Axes[1]) != 2 {
+		t.Fatalf("operand1 axes = %v", op1.Axes)
+	}
+	if op1.Axes[1].String() != "p+r" {
+		t.Errorf("window axis = %q, want p+r", op1.Axes[1].String())
+	}
+	// The inferred reuse must match Table III (modulo tensor names).
+	out := w.Tensor("output")
+	if got := w.ReusedBy(out); !reflect.DeepEqual(got, []Dim{"C", "R"}) {
+		t.Errorf("output reused by %v, want [C R]", got)
+	}
+}
+
+func TestParseStridesAndName(t *testing.T) {
+	w, err := Parse(`
+		name = strided_conv
+		dimensions = {P:7, R:3, K:2}
+		tensor_description = {
+			in = [(2P, R)],
+			w = [K, R],
+			output = [K, P]
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Name != "strided_conv" {
+		t.Errorf("name = %q", w.Name)
+	}
+	in := w.Tensor("in")
+	if in.Axes[0][0].Stride != 2 {
+		t.Errorf("stride = %d, want 2", in.Axes[0][0].Stride)
+	}
+	// Extent with full dims: 2*(7-1)+3 = 15.
+	if got := in.Axes[0].Extent(w.FullExtents()); got != 15 {
+		t.Errorf("strided extent = %d, want 15", got)
+	}
+}
+
+func TestParseOutputSuffix(t *testing.T) {
+	w, err := Parse(`
+		dimensions = {I:4, J:4, K:4}
+		tensor_description = {
+			a = [I, K],
+			b = [K, J],
+			c_out = [I, J]
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Outputs()) != 1 || w.Outputs()[0].Name != "c_out" {
+		t.Error("_out suffix should mark outputs")
+	}
+}
+
+func TestParseComments(t *testing.T) {
+	w, err := Parse(`
+		# matmul with comments
+		dimensions = {M:2, N:2, K:2}   # bounds
+		tensor_description = {
+			a = [M, K],  # lhs
+			b = [K, N],
+			output = [M, N]
+		}
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Dims["M"] != 2 {
+		t.Error("comment handling broke parsing")
+	}
+}
+
+func TestParseLowercaseDims(t *testing.T) {
+	w, err := Parse(`
+		dimensions = {k:4, p:7}
+		tensor_description = { a = [k], output = [k, p] }
+	`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Dims["K"] != 4 || w.Dims["P"] != 7 {
+		t.Errorf("dims should be upper-cased: %v", w.Dims)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		src, wantSub string
+	}{
+		{"", "missing dimensions"},
+		{"dimensions = {K:4}", "missing tensor_description"},
+		{"bogus = {}", "unknown section"},
+		{"dimensions = {K:4, K:5}\ntensor_description={output=[K]}", "twice"},
+		{"dimensions = {K:4}\ntensor_description = { output = [] }", "empty axis list"},
+		{"dimensions = {K:4}\ntensor_description = { output = [()] }", "empty compound"},
+		{"dimensions = {K:4}\ntensor_description = { output = [K", "unterminated"},
+		{"dimensions = {K:}\ntensor_description={output=[K]}", "number"},
+		{"dimensions = {K:4}\ntensor_description = { a = [K] }", "no output tensor"},
+		{"dimensions = {K:4}\ntensor_description = { output = [Z] }", "undeclared"},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.src)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%.30q...) err = %v, want containing %q", c.src, err, c.wantSub)
+		}
+	}
+}
+
+func TestMustParsePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustParse should panic on bad input")
+		}
+	}()
+	MustParse("garbage")
+}
+
+func TestParseErrorsIncludeLine(t *testing.T) {
+	_, err := Parse("dimensions = {K:4}\ntensor_description = {\n  output = [Q:\n}")
+	if err == nil || !strings.Contains(err.Error(), "line") {
+		t.Errorf("error should carry a line number: %v", err)
+	}
+}
+
+// FuzzParse ensures the description parser never panics and that anything it
+// accepts re-validates (run with `go test -fuzz=FuzzParse` for deep fuzzing;
+// the seed corpus runs in ordinary test mode).
+func FuzzParse(f *testing.F) {
+	f.Add(paperExample)
+	f.Add("dimensions = {K:4}\ntensor_description = {output=[K]}")
+	f.Add("name = x\ndimensions = {A:2, B:3}\ntensor_description = {i=[(2A,B)], output=[A,B]}")
+	f.Add("dimensions = {K:}")
+	f.Add("tensor_description = {output=[")
+	f.Add("")
+	f.Fuzz(func(t *testing.T, src string) {
+		w, err := Parse(src)
+		if err != nil {
+			return
+		}
+		if verr := w.Validate(); verr != nil {
+			t.Errorf("Parse accepted a workload that fails validation: %v", verr)
+		}
+	})
+}

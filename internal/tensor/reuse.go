@@ -1,0 +1,86 @@
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reuse summarizes how one tensor can be reused by loops over each problem
+// dimension — the information of Table III in the paper.
+type Reuse struct {
+	Tensor *Tensor
+	// IndexedBy is the set of dimensions appearing in the tensor's index
+	// expressions. A loop over an indexed dimension touches new data.
+	IndexedBy []Dim
+	// ReusedBy is the set of non-indexing dimensions: a loop over any of
+	// them can fully reuse the tensor (Ordering Principle 1).
+	ReusedBy []Dim
+	// PartiallyReusedBy is the set of dimensions in compound (sliding-window)
+	// axes: consecutive iterations overlap, so part of the tensor can be
+	// reused across such loops.
+	PartiallyReusedBy []Dim
+}
+
+// ReuseInfo computes the reuse summary for every tensor of the workload, in
+// tensor declaration order.
+func (w *Workload) ReuseInfo() []Reuse {
+	infos := make([]Reuse, len(w.Tensors))
+	for i, t := range w.Tensors {
+		idx := t.IndexingDims()
+		idxSet := map[Dim]bool{}
+		for _, d := range idx {
+			idxSet[d] = true
+		}
+		nonIdx := map[Dim]bool{}
+		for d := range w.Dims {
+			if !idxSet[d] {
+				nonIdx[d] = true
+			}
+		}
+		infos[i] = Reuse{
+			Tensor:            t,
+			IndexedBy:         idx,
+			ReusedBy:          sortedDims(nonIdx),
+			PartiallyReusedBy: t.PartialDims(),
+		}
+	}
+	return infos
+}
+
+// ReusedBy returns the dimensions that can fully reuse tensor t (its
+// non-indexing dimensions).
+func (w *Workload) ReusedBy(t *Tensor) []Dim {
+	idxSet := map[Dim]bool{}
+	for _, d := range t.IndexingDims() {
+		idxSet[d] = true
+	}
+	non := map[Dim]bool{}
+	for d := range w.Dims {
+		if !idxSet[d] {
+			non[d] = true
+		}
+	}
+	return sortedDims(non)
+}
+
+// ReuseTable renders the Table III-style reuse summary as text.
+func (w *Workload) ReuseTable() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-10s %-14s %-14s %s\n", "tensor", "indexed by", "reused by", "partially reused by")
+	for _, r := range w.ReuseInfo() {
+		fmt.Fprintf(&b, "%-10s %-14s %-14s %s\n",
+			r.Tensor.Name, dimList(r.IndexedBy), dimList(r.ReusedBy), dimList(r.PartiallyReusedBy))
+	}
+	return b.String()
+}
+
+func dimList(ds []Dim) string {
+	if len(ds) == 0 {
+		return "-"
+	}
+	parts := make([]string, len(ds))
+	for i, d := range ds {
+		parts[i] = strings.ToLower(string(d))
+	}
+	return strings.Join(parts, ",")
+}

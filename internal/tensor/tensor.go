@@ -1,0 +1,320 @@
+// Package tensor implements Sunstone's workload description language.
+//
+// A workload is a perfectly-nested loop program over a set of named problem
+// dimensions, computing one or more output tensors from input tensors. Each
+// tensor axis is indexed either by a single dimension (e.g. weight[k][c][r])
+// or by a compound, sliding-window expression over several dimensions (e.g.
+// ifmap[p+r] in convolution, or the strided form ifmap[2p+r]).
+//
+// From the description alone the package infers, per tensor, its indexing
+// dimensions, its non-indexing ("fully reused by") dimensions, and its
+// partial-reuse dimensions (members of compound axes) — the information in
+// Table III of the paper. Every mapper stage (ordering trie, tiling tree,
+// unrolling, cost model) consumes only this inferred structure, which is what
+// makes Sunstone versatile across convolution, MTTKRP, TTMc, SDDMM, MMc, TCL
+// and other tensor contractions.
+package tensor
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Dim names a problem dimension (a loop variable), e.g. "K", "C", "P", "R".
+type Dim string
+
+// Term is one summand of an axis index expression: Stride*iter(D).
+// A plain axis like weight[k] is the single term {D: "K", Stride: 1}.
+type Term struct {
+	D      Dim
+	Stride int
+}
+
+// Axis is one tensor axis's index expression: the sum of its terms. A
+// compound axis (len > 1) models a sliding window, e.g. ifmap[p+r] is
+// [{P,1},{R,1}] and a stride-2 convolution input is [{P,2},{R,1}].
+type Axis []Term
+
+// Dims returns the dimensions appearing in the axis, in term order.
+func (a Axis) Dims() []Dim {
+	ds := make([]Dim, len(a))
+	for i, t := range a {
+		ds[i] = t.D
+	}
+	return ds
+}
+
+// Extent returns the number of distinct elements the axis touches when each
+// dimension d iterates over ext[d] values: sum(stride*(ext-1)) + 1.
+// Dimensions missing from ext are treated as extent 1 (not iterated).
+func (a Axis) Extent(ext map[Dim]int) int {
+	e := 1
+	for _, t := range a {
+		n := ext[t.D]
+		if n <= 0 {
+			n = 1
+		}
+		e += t.Stride * (n - 1)
+	}
+	return e
+}
+
+// String renders the axis as e.g. "p+r" or "2p+r".
+func (a Axis) String() string {
+	parts := make([]string, len(a))
+	for i, t := range a {
+		if t.Stride == 1 {
+			parts[i] = strings.ToLower(string(t.D))
+		} else {
+			parts[i] = fmt.Sprintf("%d%s", t.Stride, strings.ToLower(string(t.D)))
+		}
+	}
+	return strings.Join(parts, "+")
+}
+
+// A returns a simple single-dimension axis with stride 1.
+func A(d Dim) Axis { return Axis{{D: d, Stride: 1}} }
+
+// Win returns a two-dimension sliding-window axis sum with the given strides,
+// e.g. Win("P", 2, "R", 1) for a stride-2 convolution input axis.
+func Win(d1 Dim, s1 int, d2 Dim, s2 int) Axis {
+	return Axis{{D: d1, Stride: s1}, {D: d2, Stride: s2}}
+}
+
+// Tensor is one operand or result of the workload.
+type Tensor struct {
+	Name   string
+	Axes   []Axis
+	Output bool // true for tensors written (accumulated into) by the loop body
+}
+
+// Indexing reports whether dimension d appears in any axis of t.
+func (t *Tensor) Indexing(d Dim) bool {
+	for _, a := range t.Axes {
+		for _, term := range a {
+			if term.D == d {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// IndexingDims returns the set of dimensions indexing t, sorted by name.
+func (t *Tensor) IndexingDims() []Dim {
+	set := map[Dim]bool{}
+	for _, a := range t.Axes {
+		for _, term := range a {
+			set[term.D] = true
+		}
+	}
+	return sortedDims(set)
+}
+
+// PartialDims returns the dimensions that appear in compound (multi-term)
+// axes of t — the dimensions across which t is only *partially* reused
+// because of sliding-window overlap. Sorted by name.
+func (t *Tensor) PartialDims() []Dim {
+	set := map[Dim]bool{}
+	for _, a := range t.Axes {
+		if len(a) < 2 {
+			continue
+		}
+		for _, term := range a {
+			set[term.D] = true
+		}
+	}
+	return sortedDims(set)
+}
+
+// Footprint returns the number of distinct elements of t touched when each
+// dimension d iterates ext[d] values (missing dims count as 1).
+func (t *Tensor) Footprint(ext map[Dim]int) int {
+	fp := 1
+	for _, a := range t.Axes {
+		fp *= a.Extent(ext)
+	}
+	return fp
+}
+
+// Workload is the full problem description.
+type Workload struct {
+	Name    string
+	Dims    map[Dim]int // problem bound of each dimension
+	Order   []Dim       // canonical dimension order (for stable iteration)
+	Tensors []*Tensor   // inputs and outputs, inputs first by convention
+}
+
+// New builds a workload, deriving Order as the sorted dimension names.
+func New(name string, dims map[Dim]int, tensors ...*Tensor) (*Workload, error) {
+	w := &Workload{Name: name, Dims: dims, Tensors: tensors}
+	set := map[Dim]bool{}
+	for d := range dims {
+		set[d] = true
+	}
+	w.Order = sortedDims(set)
+	if err := w.Validate(); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// MustNew is New but panics on error; for package-level workload tables.
+func MustNew(name string, dims map[Dim]int, tensors ...*Tensor) *Workload {
+	w, err := New(name, dims, tensors...)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// Validate checks structural well-formedness: positive dimension sizes, at
+// least one output, every tensor axis referring only to declared dimensions
+// with positive strides, and every dimension used by some tensor.
+func (w *Workload) Validate() error {
+	if len(w.Dims) == 0 {
+		return fmt.Errorf("workload %q: no dimensions", w.Name)
+	}
+	for d, n := range w.Dims {
+		if n <= 0 {
+			return fmt.Errorf("workload %q: dimension %s has non-positive size %d", w.Name, d, n)
+		}
+	}
+	used := map[Dim]bool{}
+	hasOutput := false
+	for _, t := range w.Tensors {
+		if t.Output {
+			hasOutput = true
+		}
+		if len(t.Axes) == 0 {
+			return fmt.Errorf("workload %q: tensor %s has no axes", w.Name, t.Name)
+		}
+		for _, a := range t.Axes {
+			if len(a) == 0 {
+				return fmt.Errorf("workload %q: tensor %s has an empty axis", w.Name, t.Name)
+			}
+			for _, term := range a {
+				if _, ok := w.Dims[term.D]; !ok {
+					return fmt.Errorf("workload %q: tensor %s indexes undeclared dimension %s", w.Name, t.Name, term.D)
+				}
+				if term.Stride <= 0 {
+					return fmt.Errorf("workload %q: tensor %s axis has non-positive stride %d", w.Name, t.Name, term.Stride)
+				}
+				used[term.D] = true
+			}
+		}
+	}
+	if !hasOutput {
+		return fmt.Errorf("workload %q: no output tensor", w.Name)
+	}
+	for d := range w.Dims {
+		if !used[d] {
+			return fmt.Errorf("workload %q: dimension %s is not used by any tensor", w.Name, d)
+		}
+	}
+	return nil
+}
+
+// Tensor returns the tensor named name, or nil.
+func (w *Workload) Tensor(name string) *Tensor {
+	for _, t := range w.Tensors {
+		if t.Name == name {
+			return t
+		}
+	}
+	return nil
+}
+
+// Outputs returns the output tensors.
+func (w *Workload) Outputs() []*Tensor {
+	var out []*Tensor
+	for _, t := range w.Tensors {
+		if t.Output {
+			out = append(out, t)
+		}
+	}
+	return out
+}
+
+// Inputs returns the non-output tensors.
+func (w *Workload) Inputs() []*Tensor {
+	var in []*Tensor
+	for _, t := range w.Tensors {
+		if !t.Output {
+			in = append(in, t)
+		}
+	}
+	return in
+}
+
+// MACs returns the total number of loop-body evaluations: the product of all
+// problem dimension bounds.
+func (w *Workload) MACs() int64 {
+	p := int64(1)
+	for _, n := range w.Dims {
+		p *= int64(n)
+	}
+	return p
+}
+
+// ReductionDims returns the dimensions that do not index any output tensor
+// (the contraction/accumulation dimensions), sorted by name.
+func (w *Workload) ReductionDims() []Dim {
+	set := map[Dim]bool{}
+	for d := range w.Dims {
+		set[d] = true
+	}
+	for _, t := range w.Outputs() {
+		for _, d := range t.IndexingDims() {
+			delete(set, d)
+		}
+	}
+	return sortedDims(set)
+}
+
+// FullExtents returns the map of every dimension to its full problem bound.
+func (w *Workload) FullExtents() map[Dim]int {
+	ext := make(map[Dim]int, len(w.Dims))
+	for d, n := range w.Dims {
+		ext[d] = n
+	}
+	return ext
+}
+
+// String renders the workload in the paper's description style.
+func (w *Workload) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: dims {", w.Name)
+	for i, d := range w.Order {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s:%d", d, w.Dims[d])
+	}
+	b.WriteString("}")
+	for _, t := range w.Tensors {
+		axes := make([]string, len(t.Axes))
+		for i, a := range t.Axes {
+			axes[i] = a.String()
+		}
+		kind := "in "
+		if t.Output {
+			kind = "out"
+		}
+		fmt.Fprintf(&b, "\n  %s %s[%s]", kind, t.Name, strings.Join(axes, "]["))
+	}
+	return b.String()
+}
+
+func sortedDims(set map[Dim]bool) []Dim {
+	if len(set) == 0 {
+		return nil
+	}
+	ds := make([]Dim, 0, len(set))
+	for d := range set {
+		ds = append(ds, d)
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i] < ds[j] })
+	return ds
+}

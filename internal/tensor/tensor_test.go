@@ -1,0 +1,233 @@
+package tensor
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+// conv1D builds the running 1D-convolution example of the paper:
+// ofmap[k,p] = sum_{c,r} ifmap[p+r,c] * weight[k,c,r].
+func conv1D(t *testing.T, k, c, p, r int) *Workload {
+	t.Helper()
+	w, err := New("conv1d",
+		map[Dim]int{"K": k, "C": c, "P": p, "R": r},
+		&Tensor{Name: "ifmap", Axes: []Axis{Win("P", 1, "R", 1), A("C")}},
+		&Tensor{Name: "weight", Axes: []Axis{A("K"), A("C"), A("R")}},
+		&Tensor{Name: "ofmap", Axes: []Axis{A("K"), A("P")}, Output: true},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return w
+}
+
+func TestAxisExtent(t *testing.T) {
+	a := Win("P", 1, "R", 1)
+	if got := a.Extent(map[Dim]int{"P": 7, "R": 3}); got != 9 {
+		t.Errorf("sliding window extent = %d, want 9 (= 7+3-1)", got)
+	}
+	// Stride-2 convolution: s*(P-1)+R.
+	a2 := Win("P", 2, "R", 1)
+	if got := a2.Extent(map[Dim]int{"P": 7, "R": 3}); got != 15 {
+		t.Errorf("strided window extent = %d, want 15 (= 2*6+3)", got)
+	}
+	// Missing dims count as extent 1.
+	if got := a.Extent(map[Dim]int{"P": 4}); got != 4 {
+		t.Errorf("partial extent = %d, want 4", got)
+	}
+	if got := A("K").Extent(map[Dim]int{"K": 5}); got != 5 {
+		t.Errorf("simple extent = %d, want 5", got)
+	}
+}
+
+func TestAxisString(t *testing.T) {
+	if got := Win("P", 2, "R", 1).String(); got != "2p+r" {
+		t.Errorf("axis string = %q, want %q", got, "2p+r")
+	}
+	if got := A("K").String(); got != "k" {
+		t.Errorf("axis string = %q, want %q", got, "k")
+	}
+}
+
+func TestFootprint(t *testing.T) {
+	w := conv1D(t, 4, 4, 7, 3)
+	ext := map[Dim]int{"K": 2, "C": 4, "P": 7, "R": 3}
+	// ifmap (P+R-1)*C = 9*4 = 36; weight K*C*R = 2*4*3 = 24; ofmap K*P = 14.
+	if got := w.Tensor("ifmap").Footprint(ext); got != 36 {
+		t.Errorf("ifmap footprint = %d, want 36", got)
+	}
+	if got := w.Tensor("weight").Footprint(ext); got != 24 {
+		t.Errorf("weight footprint = %d, want 24", got)
+	}
+	if got := w.Tensor("ofmap").Footprint(ext); got != 14 {
+		t.Errorf("ofmap footprint = %d, want 14", got)
+	}
+}
+
+func TestFootprintMonotoneProperty(t *testing.T) {
+	w := conv1D(t, 8, 8, 16, 3)
+	// Growing any extent never shrinks any footprint.
+	f := func(k, c, p, r uint8) bool {
+		ext := map[Dim]int{
+			"K": int(k%8) + 1, "C": int(c%8) + 1, "P": int(p%16) + 1, "R": int(r%3) + 1,
+		}
+		for _, tn := range w.Tensors {
+			base := tn.Footprint(ext)
+			for d := range ext {
+				grown := map[Dim]int{}
+				for dd, v := range ext {
+					grown[dd] = v
+				}
+				grown[d]++
+				if tn.Footprint(grown) < base {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestReuseInfoMatchesTable3(t *testing.T) {
+	// Table III of the paper, for 1D convolution:
+	//   ofmap : indexed by k,p ; reused by c,r
+	//   ifmap : indexed by c,p,r ; reused by k ; partially reused by p,r
+	//   weight: indexed by c,k,r ; reused by p
+	w := conv1D(t, 4, 4, 7, 3)
+	infos := w.ReuseInfo()
+	byName := map[string]Reuse{}
+	for _, r := range infos {
+		byName[r.Tensor.Name] = r
+	}
+	check := func(name string, idx, reused, partial []Dim) {
+		t.Helper()
+		r := byName[name]
+		if !reflect.DeepEqual(r.IndexedBy, idx) {
+			t.Errorf("%s indexed by %v, want %v", name, r.IndexedBy, idx)
+		}
+		if !reflect.DeepEqual(r.ReusedBy, reused) {
+			t.Errorf("%s reused by %v, want %v", name, r.ReusedBy, reused)
+		}
+		if !reflect.DeepEqual(r.PartiallyReusedBy, partial) {
+			t.Errorf("%s partially reused by %v, want %v", name, r.PartiallyReusedBy, partial)
+		}
+	}
+	check("ofmap", []Dim{"K", "P"}, []Dim{"C", "R"}, nil)
+	check("ifmap", []Dim{"C", "P", "R"}, []Dim{"K"}, []Dim{"P", "R"})
+	check("weight", []Dim{"C", "K", "R"}, []Dim{"P"}, nil)
+}
+
+func TestReuseTableRenders(t *testing.T) {
+	w := conv1D(t, 4, 4, 7, 3)
+	table := w.ReuseTable()
+	for _, want := range []string{"ofmap", "ifmap", "weight", "c,r", "p,r"} {
+		if !strings.Contains(table, want) {
+			t.Errorf("reuse table missing %q:\n%s", want, table)
+		}
+	}
+}
+
+func TestReductionDims(t *testing.T) {
+	w := conv1D(t, 4, 4, 7, 3)
+	if got, want := w.ReductionDims(), []Dim{"C", "R"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("ReductionDims = %v, want %v", got, want)
+	}
+}
+
+func TestMACs(t *testing.T) {
+	w := conv1D(t, 4, 4, 7, 3)
+	if got := w.MACs(); got != 4*4*7*3 {
+		t.Errorf("MACs = %d, want %d", got, 4*4*7*3)
+	}
+}
+
+func TestInputsOutputs(t *testing.T) {
+	w := conv1D(t, 4, 4, 7, 3)
+	if len(w.Inputs()) != 2 || len(w.Outputs()) != 1 {
+		t.Errorf("got %d inputs %d outputs, want 2 and 1", len(w.Inputs()), len(w.Outputs()))
+	}
+	if w.Tensor("nope") != nil {
+		t.Error("Tensor(nope) should be nil")
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name    string
+		dims    map[Dim]int
+		tensors []*Tensor
+		wantSub string
+	}{
+		{
+			"no dims", map[Dim]int{}, nil, "no dimensions",
+		},
+		{
+			"bad size", map[Dim]int{"K": 0},
+			[]*Tensor{{Name: "o", Axes: []Axis{A("K")}, Output: true}},
+			"non-positive size",
+		},
+		{
+			"undeclared dim", map[Dim]int{"K": 2},
+			[]*Tensor{{Name: "o", Axes: []Axis{A("Z")}, Output: true}},
+			"undeclared dimension",
+		},
+		{
+			"no output", map[Dim]int{"K": 2},
+			[]*Tensor{{Name: "i", Axes: []Axis{A("K")}}},
+			"no output tensor",
+		},
+		{
+			"unused dim", map[Dim]int{"K": 2, "Z": 3},
+			[]*Tensor{{Name: "o", Axes: []Axis{A("K")}, Output: true}},
+			"not used",
+		},
+		{
+			"empty axis", map[Dim]int{"K": 2},
+			[]*Tensor{{Name: "o", Axes: []Axis{{}}, Output: true}},
+			"empty axis",
+		},
+		{
+			"bad stride", map[Dim]int{"K": 2},
+			[]*Tensor{{Name: "o", Axes: []Axis{{{D: "K", Stride: 0}}}, Output: true}},
+			"non-positive stride",
+		},
+	}
+	for _, c := range cases {
+		_, err := New(c.name, c.dims, c.tensors...)
+		if err == nil || !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("%s: err = %v, want containing %q", c.name, err, c.wantSub)
+		}
+	}
+}
+
+func TestMustNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustNew should panic on invalid workload")
+		}
+	}()
+	MustNew("bad", map[Dim]int{})
+}
+
+func TestWorkloadString(t *testing.T) {
+	w := conv1D(t, 4, 4, 7, 3)
+	s := w.String()
+	for _, want := range []string{"conv1d", "K:4", "P:7", "p+r", "out ofmap"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("String() missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestFullExtents(t *testing.T) {
+	w := conv1D(t, 4, 4, 7, 3)
+	ext := w.FullExtents()
+	if ext["P"] != 7 || ext["K"] != 4 || len(ext) != 4 {
+		t.Errorf("FullExtents = %v", ext)
+	}
+}

@@ -1,0 +1,196 @@
+// Package tile implements Sunstone's tiling-tree IR (Section IV-B of the
+// paper).
+//
+// Given a loop ordering chosen for the level above (which decides the
+// operand OP temporally reused across tiles), the Tiling Principle says only
+// OP's *indexing* dimensions need to be enlarged: enlarging them shrinks the
+// upper-level loop bounds that multiply the other tensors' access counts,
+// while enlarging any other dimension cannot reduce accesses further.
+//
+// The tree's root is the smallest tile (every grow dimension at factor 1);
+// each child enlarges exactly one grow dimension to the next rung of its
+// divisor ladder. A node with at least one child that still fits in the
+// level's memory is pruned (the child offers strictly more reuse); nodes
+// that do not fit are discarded; the surviving *maximal fitting* tiles are
+// the candidates. Nodes reached by enlarging different dimensions are
+// incomparable and all kept.
+package tile
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"sunstone/internal/factor"
+	"sunstone/internal/tensor"
+)
+
+// Candidate is one tile choice: per-dimension temporal factors at the level
+// under optimization. Dimensions not present have factor 1.
+type Candidate map[tensor.Dim]int
+
+// Key returns a canonical string form for deduplication and test assertions.
+func (c Candidate) Key() string {
+	ds := make([]string, 0, len(c))
+	for d, f := range c {
+		if f > 1 {
+			ds = append(ds, fmt.Sprintf("%s=%d", d, f))
+		}
+	}
+	sort.Strings(ds)
+	if len(ds) == 0 {
+		return "unit"
+	}
+	return strings.Join(ds, ",")
+}
+
+// Space describes one tiling-tree enumeration.
+type Space struct {
+	// GrowDims are the dimensions the Tiling Principle allows to grow
+	// (indexing dimensions of the reused operand). Empty means all
+	// dimensions (no ordering guidance).
+	GrowDims []tensor.Dim
+	// Quota is the remaining factor budget per dimension (problem bound
+	// divided by the extent already fixed at lower levels).
+	Quota map[tensor.Dim]int
+	// Fits reports whether a tile with the given factors (interpreted on
+	// top of the already-fixed lower-level extents) fits the level's
+	// buffers.
+	Fits func(Candidate) bool
+	// MinLadderDivisors pads sparse dimensions so the ladder has choices;
+	// 0 means the default (6).
+	MinLadderDivisors int
+	// MaxNodes bounds the tree nodes expanded (0 = default 100000); when
+	// exhausted, the maximal tiles found so far are returned.
+	MaxNodes int
+	// MaxCandidates truncates the result to the largest tiles (by factor
+	// product — more intra-tile reuse) when positive.
+	MaxCandidates int
+}
+
+// Stats reports the enumeration effort.
+type Stats struct {
+	NodesVisited int // tree nodes expanded (fitting or not)
+	Survivors    int // maximal fitting tiles returned
+}
+
+// Enumerate walks the tiling tree and returns the maximal fitting tiles.
+// If even the unit tile does not fit, it returns nil.
+func Enumerate(s Space) ([]Candidate, Stats) {
+	var stats Stats
+	minDiv := s.MinLadderDivisors
+	if minDiv == 0 {
+		minDiv = 4
+	}
+	grow := s.GrowDims
+	if len(grow) == 0 {
+		for d := range s.Quota {
+			grow = append(grow, d)
+		}
+	}
+	sort.Slice(grow, func(i, j int) bool { return grow[i] < grow[j] })
+
+	ladders := make(map[tensor.Dim][]int, len(grow))
+	for _, d := range grow {
+		q := s.Quota[d]
+		if q < 1 {
+			q = 1
+		}
+		ladders[d] = factor.Ladder(q, minDiv)
+	}
+
+	root := Candidate{}
+	if !s.Fits(root) {
+		stats.NodesVisited = 1
+		return nil, stats
+	}
+
+	maxNodes := s.MaxNodes
+	if maxNodes <= 0 {
+		maxNodes = 100_000
+	}
+	visited := map[string]bool{}
+	var maximal []Candidate
+	var walk func(c Candidate)
+	walk = func(c Candidate) {
+		key := c.Key()
+		if visited[key] {
+			return
+		}
+		visited[key] = true
+		stats.NodesVisited++
+		if stats.NodesVisited > maxNodes {
+			maximal = append(maximal, c) // budget exhausted: keep frontier
+			return
+		}
+		anyChildFits := false
+		for _, d := range grow {
+			if stats.NodesVisited > maxNodes {
+				break
+			}
+			next := nextRung(ladders[d], cGet(c, d))
+			if next < 0 {
+				continue
+			}
+			child := clone(c)
+			child[d] = next
+			if s.Fits(child) {
+				anyChildFits = true
+				walk(child)
+			}
+		}
+		if !anyChildFits {
+			maximal = append(maximal, c)
+		}
+	}
+	walk(root)
+
+	if s.MaxCandidates > 0 && len(maximal) > s.MaxCandidates {
+		sort.Slice(maximal, func(i, j int) bool {
+			pi, pj := product(maximal[i]), product(maximal[j])
+			if pi != pj {
+				return pi > pj
+			}
+			return maximal[i].Key() < maximal[j].Key()
+		})
+		maximal = maximal[:s.MaxCandidates]
+	}
+	sort.Slice(maximal, func(i, j int) bool { return maximal[i].Key() < maximal[j].Key() })
+	stats.Survivors = len(maximal)
+	return maximal, stats
+}
+
+// product is the total factor product of a candidate (a proxy for the
+// intra-tile reuse it offers).
+func product(c Candidate) int64 {
+	p := int64(1)
+	for _, f := range c {
+		p *= int64(f)
+	}
+	return p
+}
+
+func cGet(c Candidate, d tensor.Dim) int {
+	if f, ok := c[d]; ok {
+		return f
+	}
+	return 1
+}
+
+func clone(c Candidate) Candidate {
+	out := make(Candidate, len(c)+1)
+	for d, f := range c {
+		out[d] = f
+	}
+	return out
+}
+
+// nextRung returns the smallest ladder value above cur, or -1.
+func nextRung(ladder []int, cur int) int {
+	for _, v := range ladder {
+		if v > cur {
+			return v
+		}
+	}
+	return -1
+}

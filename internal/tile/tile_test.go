@@ -1,0 +1,192 @@
+package tile
+
+import (
+	"testing"
+
+	"sunstone/internal/tensor"
+)
+
+// fig5Fits reproduces the Fig. 5 example: 1D conv with P=14, K=4, C=4, R=3,
+// a unified L1 of 8 entries, xxCR ordering at L2 (grow dims P and K, with C
+// and R fixed at 1 in the L1 tile).
+func fig5Fits(c Candidate) bool {
+	p := get(c, "P")
+	k := get(c, "K")
+	// ifmap (p+3-1)*1... with R_L1 = 1 the window adds nothing: extent p.
+	// weight k*1*1 = k; ofmap k*p.
+	return p+k+k*p <= 8
+}
+
+func get(c Candidate, d tensor.Dim) int {
+	if f, ok := c[d]; ok {
+		return f
+	}
+	return 1
+}
+
+func TestFig5MaximalTiles(t *testing.T) {
+	cands, stats := Enumerate(Space{
+		GrowDims: []tensor.Dim{"K", "P"},
+		Quota:    map[tensor.Dim]int{"K": 4, "P": 14, "C": 4, "R": 3},
+		Fits:     fig5Fits,
+	})
+	if len(cands) == 0 {
+		t.Fatal("expected maximal tiles")
+	}
+	for _, c := range cands {
+		// Maximal: growing either dim must not fit.
+		if fig5Fits(grow(c, "K", 4)) || fig5Fits(grow(c, "P", 14)) {
+			t.Errorf("tile %s is not maximal", c.Key())
+		}
+		if !fig5Fits(c) {
+			t.Errorf("tile %s does not fit", c.Key())
+		}
+		// Only grow dims may exceed 1.
+		for d, f := range c {
+			if f > 1 && d != "K" && d != "P" {
+				t.Errorf("tile %s grew non-grow dim %s", c.Key(), d)
+			}
+		}
+	}
+	// The paper's node 12 (K=2, P=2: footprint 2+2+4 = 8) must be among the
+	// survivors.
+	found := false
+	for _, c := range cands {
+		if get(c, "K") == 2 && get(c, "P") == 2 {
+			found = true
+		}
+	}
+	if !found {
+		keys := make([]string, len(cands))
+		for i, c := range cands {
+			keys[i] = c.Key()
+		}
+		t.Errorf("K=2,P=2 missing from maximal tiles %v", keys)
+	}
+	if stats.Survivors != len(cands) {
+		t.Error("stats mismatch")
+	}
+}
+
+// grow returns c with dimension d stepped to the next ladder rung (naive:
+// next divisor-ish value), for maximality checking.
+func grow(c Candidate, d tensor.Dim, quota int) Candidate {
+	out := Candidate{}
+	for k, v := range c {
+		out[k] = v
+	}
+	cur := get(c, d)
+	for v := cur + 1; v <= quota; v++ {
+		if quota%v == 0 || v == quota {
+			out[d] = v
+			return out
+		}
+	}
+	out[d] = quota
+	return out
+}
+
+func TestUnitTileDoesNotFit(t *testing.T) {
+	cands, _ := Enumerate(Space{
+		GrowDims: []tensor.Dim{"K"},
+		Quota:    map[tensor.Dim]int{"K": 4},
+		Fits:     func(Candidate) bool { return false },
+	})
+	if cands != nil {
+		t.Errorf("expected nil when the unit tile does not fit, got %v", cands)
+	}
+}
+
+func TestEverythingFitsYieldsFullTile(t *testing.T) {
+	cands, _ := Enumerate(Space{
+		GrowDims: []tensor.Dim{"K", "P"},
+		Quota:    map[tensor.Dim]int{"K": 4, "P": 8},
+		Fits:     func(Candidate) bool { return true },
+	})
+	if len(cands) != 1 {
+		t.Fatalf("unbounded memory should give exactly the full tile, got %d", len(cands))
+	}
+	if get(cands[0], "K") != 4 || get(cands[0], "P") != 8 {
+		t.Errorf("full tile = %s, want K=4,P=8", cands[0].Key())
+	}
+}
+
+func TestEmptyGrowDimsGrowsAll(t *testing.T) {
+	cands, _ := Enumerate(Space{
+		Quota: map[tensor.Dim]int{"A": 4, "B": 4},
+		Fits: func(c Candidate) bool {
+			return get(c, "A")*get(c, "B") <= 4
+		},
+	})
+	if len(cands) == 0 {
+		t.Fatal("expected candidates")
+	}
+	for _, c := range cands {
+		if get(c, "A")*get(c, "B") != 4 {
+			t.Errorf("maximal tile %s should use the full budget", c.Key())
+		}
+	}
+}
+
+func TestLadderHandlesPrimeQuota(t *testing.T) {
+	// Quota 7 is prime: the padded ladder must still offer intermediate
+	// rungs (2 and 4) so that a 5-entry memory is usable.
+	cands, _ := Enumerate(Space{
+		GrowDims: []tensor.Dim{"P"},
+		Quota:    map[tensor.Dim]int{"P": 7},
+		Fits:     func(c Candidate) bool { return get(c, "P") <= 5 },
+	})
+	if len(cands) != 1 || get(cands[0], "P") != 4 {
+		t.Errorf("prime quota should land on padded rung 4, got %v", cands)
+	}
+}
+
+func TestStatsCountsNodes(t *testing.T) {
+	_, stats := Enumerate(Space{
+		GrowDims: []tensor.Dim{"K", "P"},
+		Quota:    map[tensor.Dim]int{"K": 4, "P": 14, "C": 4, "R": 3},
+		Fits:     fig5Fits,
+	})
+	if stats.NodesVisited < stats.Survivors || stats.NodesVisited == 0 {
+		t.Errorf("bad stats %+v", stats)
+	}
+}
+
+func TestCandidateKey(t *testing.T) {
+	if (Candidate{}).Key() != "unit" {
+		t.Error("empty candidate key should be 'unit'")
+	}
+	c := Candidate{"K": 2, "P": 4, "C": 1}
+	if c.Key() != "K=2,P=4" {
+		t.Errorf("key = %q", c.Key())
+	}
+}
+
+func TestMaxCandidatesPrefersLargestTiles(t *testing.T) {
+	cands, _ := Enumerate(Space{
+		GrowDims:      []tensor.Dim{"A", "B"},
+		Quota:         map[tensor.Dim]int{"A": 16, "B": 16},
+		Fits:          func(c Candidate) bool { return get(c, "A")*get(c, "B") <= 16 },
+		MaxCandidates: 2,
+	})
+	if len(cands) != 2 {
+		t.Fatalf("cap not applied: %d", len(cands))
+	}
+	for _, c := range cands {
+		if get(c, "A")*get(c, "B") != 16 {
+			t.Errorf("kept a non-maximal-product tile %s", c.Key())
+		}
+	}
+}
+
+func TestMaxNodesBudget(t *testing.T) {
+	_, stats := Enumerate(Space{
+		GrowDims: []tensor.Dim{"A", "B", "C"},
+		Quota:    map[tensor.Dim]int{"A": 64, "B": 64, "C": 64},
+		Fits:     func(Candidate) bool { return true },
+		MaxNodes: 10,
+	})
+	if stats.NodesVisited > 12 {
+		t.Errorf("budget not honored: %d nodes", stats.NodesVisited)
+	}
+}

@@ -1,0 +1,145 @@
+package unroll
+
+import (
+	"testing"
+
+	"sunstone/internal/tensor"
+)
+
+func get(c Candidate, d tensor.Dim) int {
+	if f, ok := c[d]; ok {
+		return f
+	}
+	return 1
+}
+
+func TestPrincipleExcludesNonIndexingDims(t *testing.T) {
+	// Running example: OP = ofmap reused temporally, so only its indexing
+	// dims P and K may be unrolled; C must never appear.
+	cands, _ := Enumerate(Space{
+		Allowed:               []tensor.Dim{"K", "P"},
+		ReductionDims:         []tensor.Dim{"C", "R"},
+		Quota:                 map[tensor.Dim]int{"K": 8, "P": 8, "C": 8, "R": 3},
+		Fanout:                4,
+		MinUtilization:        0.5,
+		AllowSpatialReduction: true,
+	})
+	if len(cands) == 0 {
+		t.Fatal("expected unroll candidates")
+	}
+	for _, c := range cands {
+		for d, f := range c {
+			if f > 1 && d != "K" && d != "P" {
+				t.Errorf("candidate %s unrolls disallowed dim %s", c.Key(), d)
+			}
+		}
+	}
+}
+
+func TestFullFanoutUtilization(t *testing.T) {
+	cands, _ := Enumerate(Space{
+		Allowed:        []tensor.Dim{"K", "P"},
+		Quota:          map[tensor.Dim]int{"K": 8, "P": 8},
+		Fanout:         16,
+		MinUtilization: 0.99,
+	})
+	if len(cands) == 0 {
+		t.Fatal("expected candidates")
+	}
+	for _, c := range cands {
+		if get(c, "K")*get(c, "P") != 16 {
+			t.Errorf("candidate %s does not fill the 16-way fanout", c.Key())
+		}
+	}
+}
+
+func TestReductionDimsExcludedWithoutHardwareSupport(t *testing.T) {
+	cands, _ := Enumerate(Space{
+		Allowed:               []tensor.Dim{"C", "K"},
+		ReductionDims:         []tensor.Dim{"C"},
+		Quota:                 map[tensor.Dim]int{"C": 8, "K": 8},
+		Fanout:                4,
+		AllowSpatialReduction: false,
+	})
+	for _, c := range cands {
+		if get(c, "C") > 1 {
+			t.Errorf("candidate %s spatially reduces without hardware support", c.Key())
+		}
+	}
+}
+
+func TestFanout1TrivialCandidate(t *testing.T) {
+	cands, stats := Enumerate(Space{
+		Quota:  map[tensor.Dim]int{"K": 8},
+		Fanout: 1,
+	})
+	if len(cands) != 1 || len(cands[0]) != 0 {
+		t.Errorf("fanout 1 should give only the empty unrolling, got %v", cands)
+	}
+	if stats.Survivors != 1 {
+		t.Errorf("stats = %+v", stats)
+	}
+}
+
+func TestFallbackWhenNothingMeetsUtilization(t *testing.T) {
+	// Quotas too small to fill the fanout: best effort must be returned.
+	cands, _ := Enumerate(Space{
+		Allowed:        []tensor.Dim{"K"},
+		Quota:          map[tensor.Dim]int{"K": 2},
+		Fanout:         64,
+		MinUtilization: 0.8,
+	})
+	if len(cands) != 1 || get(cands[0], "K") != 2 {
+		t.Errorf("fallback should return the best (K=2) unrolling, got %v", cands)
+	}
+}
+
+func TestMaximality(t *testing.T) {
+	cands, _ := Enumerate(Space{
+		Allowed:        []tensor.Dim{"K", "P"},
+		Quota:          map[tensor.Dim]int{"K": 4, "P": 4},
+		Fanout:         8,
+		MinUtilization: 0,
+	})
+	// Every returned candidate must be maximal: K*P == 8 (e.g. 2x4, 4x2)
+	// or blocked by quota.
+	for _, c := range cands {
+		p := get(c, "K") * get(c, "P")
+		if p < 8 && get(c, "K") < 4 && get(c, "P") < 4 {
+			t.Errorf("candidate %s is not maximal", c.Key())
+		}
+	}
+}
+
+func TestEmptyAllowedUsesAllDims(t *testing.T) {
+	cands, _ := Enumerate(Space{
+		Quota:          map[tensor.Dim]int{"A": 4, "B": 4},
+		Fanout:         4,
+		MinUtilization: 0.9,
+	})
+	foundA, foundB := false, false
+	for _, c := range cands {
+		if get(c, "A") > 1 {
+			foundA = true
+		}
+		if get(c, "B") > 1 {
+			foundB = true
+		}
+	}
+	if !foundA || !foundB {
+		t.Errorf("expected candidates over both dims, got %v", cands)
+	}
+}
+
+func TestQuotaCapsFactors(t *testing.T) {
+	cands, _ := Enumerate(Space{
+		Allowed: []tensor.Dim{"K"},
+		Quota:   map[tensor.Dim]int{"K": 3},
+		Fanout:  64,
+	})
+	for _, c := range cands {
+		if get(c, "K") > 3 {
+			t.Errorf("factor exceeds quota: %s", c.Key())
+		}
+	}
+}

@@ -1,0 +1,143 @@
+package workloads
+
+import "sunstone/internal/tensor"
+
+// ConvShape describes one convolution layer's geometry.
+type ConvShape struct {
+	Name             string
+	K, C, P, Q, R, S int
+	StrideH, StrideW int
+}
+
+// Inference instantiates the layer as an inference convolution at batch n.
+func (cs ConvShape) Inference(n int) *tensor.Workload {
+	return Conv2D(cs.Name, n, cs.K, cs.C, cs.P, cs.Q, cs.R, cs.S, cs.StrideH, cs.StrideW)
+}
+
+// WeightUpdate instantiates the layer's weight-gradient computation at batch
+// n (stride-1 form; strided layers are trained on the dilated gradient,
+// which has the same loop structure).
+func (cs ConvShape) WeightUpdate(n int) *tensor.Workload {
+	return Conv2DWeightUpdate(cs.Name+"_wu", n, cs.K, cs.C, cs.P, cs.Q, cs.R, cs.S)
+}
+
+// ResNet18 lists the distinct convolution layer shapes of ResNet-18 (He et
+// al., CVPR 2016) for 224x224 inputs. Repeated blocks share a shape and are
+// listed once (the paper's per-layer figures do the same).
+var ResNet18 = []ConvShape{
+	{Name: "conv1", K: 64, C: 3, P: 112, Q: 112, R: 7, S: 7, StrideH: 2, StrideW: 2},
+	{Name: "conv2_x", K: 64, C: 64, P: 56, Q: 56, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv3_1", K: 128, C: 64, P: 28, Q: 28, R: 3, S: 3, StrideH: 2, StrideW: 2},
+	{Name: "conv3_ds", K: 128, C: 64, P: 28, Q: 28, R: 1, S: 1, StrideH: 2, StrideW: 2},
+	{Name: "conv3_x", K: 128, C: 128, P: 28, Q: 28, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv4_1", K: 256, C: 128, P: 14, Q: 14, R: 3, S: 3, StrideH: 2, StrideW: 2},
+	{Name: "conv4_ds", K: 256, C: 128, P: 14, Q: 14, R: 1, S: 1, StrideH: 2, StrideW: 2},
+	{Name: "conv4_x", K: 256, C: 256, P: 14, Q: 14, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv5_1", K: 512, C: 256, P: 7, Q: 7, R: 3, S: 3, StrideH: 2, StrideW: 2},
+	{Name: "conv5_ds", K: 512, C: 256, P: 7, Q: 7, R: 1, S: 1, StrideH: 2, StrideW: 2},
+	{Name: "conv5_x", K: 512, C: 512, P: 7, Q: 7, R: 3, S: 3, StrideH: 1, StrideW: 1},
+}
+
+// InceptionV3 lists representative convolution layers of Inception-v3
+// (Szegedy et al., CVPR 2016), including the asymmetric 1x7/7x1 ("deep"
+// 17x17 grid) and 3x1/1x3 (8x8 grid) factorized convolutions that Fig. 7
+// highlights (dMazeRunner cannot map the asymmetric ones).
+var InceptionV3 = []ConvShape{
+	{Name: "conv1_3x3s2", K: 32, C: 3, P: 149, Q: 149, R: 3, S: 3, StrideH: 2, StrideW: 2},
+	{Name: "conv2_3x3", K: 32, C: 32, P: 147, Q: 147, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv4_1x1", K: 80, C: 64, P: 73, Q: 73, R: 1, S: 1, StrideH: 1, StrideW: 1},
+	{Name: "conv5_3x3", K: 192, C: 80, P: 71, Q: 71, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "5x5_mixed", K: 64, C: 48, P: 35, Q: 35, R: 5, S: 5, StrideH: 1, StrideW: 1},
+	{Name: "3x3_mixed", K: 96, C: 64, P: 35, Q: 35, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "1x7_deep", K: 192, C: 768, P: 17, Q: 17, R: 1, S: 7, StrideH: 1, StrideW: 1},
+	{Name: "7x1_deep", K: 192, C: 192, P: 17, Q: 17, R: 7, S: 1, StrideH: 1, StrideW: 1},
+	{Name: "3x1_deep", K: 384, C: 448, P: 8, Q: 8, R: 3, S: 1, StrideH: 1, StrideW: 1},
+	{Name: "1x1_deep", K: 320, C: 1280, P: 8, Q: 8, R: 1, S: 1, StrideH: 1, StrideW: 1},
+}
+
+// InceptionExampleLayer is the Inception-v3 layer used for the Table I
+// space-size comparison: the 17x17-grid 7x1 factorized convolution.
+var InceptionExampleLayer = InceptionV3[7]
+
+// TensorDataset holds the published mode sizes of a 3D sparse tensor
+// (FROSTT). A mapper consumes only these bounds.
+type TensorDataset struct {
+	Name    string
+	I, J, K int
+}
+
+// FROSTT datasets used by Figs. 6a/6b (dimensions from frostt.io).
+var (
+	Nell2   = TensorDataset{Name: "nell2", I: 12092, J: 9184, K: 28818}
+	Netflix = TensorDataset{Name: "netflix", I: 480189, J: 17770, K: 2182}
+	// Poisson1 is a synthetic stand-in for the paper's "poisson1" FROSTT
+	// entry (a regular 3D Poisson-problem tensor); the published FROSTT
+	// suite's closest regular grid is used. See DESIGN.md substitutions.
+	Poisson1 = TensorDataset{Name: "poisson1", I: 1024, J: 1024, K: 1024}
+)
+
+// MatrixDataset holds the dimensions of a SuiteSparse matrix.
+type MatrixDataset struct {
+	Name string
+	Rows int
+	Cols int
+}
+
+// SuiteSparse matrices used for SDDMM (dimensions from the UF collection).
+var (
+	Bcsstk17 = MatrixDataset{Name: "bcsstk17", Rows: 10974, Cols: 10974}
+	Cant     = MatrixDataset{Name: "cant", Rows: 62451, Cols: 62451}
+)
+
+// MTTKRPOn instantiates MTTKRP at the paper's rank 32 on a dataset.
+func MTTKRPOn(d TensorDataset) *tensor.Workload {
+	return MTTKRP("mttkrp_"+d.Name, d.I, d.J, d.K, 32)
+}
+
+// TTMcOn instantiates TTMc at the paper's rank 8 on a dataset.
+func TTMcOn(d TensorDataset) *tensor.Workload {
+	return TTMc("ttmc_"+d.Name, d.I, d.J, d.K, 8)
+}
+
+// SDDMMOn instantiates SDDMM at the paper's rank 512 on a matrix.
+func SDDMMOn(d MatrixDataset) *tensor.Workload {
+	return SDDMM("sddmm_"+d.Name, d.Rows, d.Cols, 512)
+}
+
+// AttentionMMc is the Table II MMc instance (Transformer attention:
+// scores = Q*K^T then context = scores*V, fused as a matrix chain), sized
+// for a BERT-base-like layer (sequence 512, head dim 64).
+var AttentionMMc = MMc("attention_mmc", 512, 64, 512, 64)
+
+// AlexNetTCL and VGGTCL are the Table II tensor-contraction-layer instances
+// (Kossaifi et al.): contracting the final conv feature map of each network
+// to a rank-(32,32,32) core.
+var (
+	AlexNetTCL = TCL("tcl_alexnet", 256, 6, 6, 32, 32, 32)
+	VGGTCL     = TCL("tcl_vgg", 512, 7, 7, 32, 32, 32)
+)
+
+// AlexNet lists the five convolution layers of AlexNet (Krizhevsky et al.,
+// 2012), a Table II application instance for the TCL workloads and a common
+// mapper benchmark.
+var AlexNet = []ConvShape{
+	{Name: "conv1", K: 96, C: 3, P: 55, Q: 55, R: 11, S: 11, StrideH: 4, StrideW: 4},
+	{Name: "conv2", K: 256, C: 96, P: 27, Q: 27, R: 5, S: 5, StrideH: 1, StrideW: 1},
+	{Name: "conv3", K: 384, C: 256, P: 13, Q: 13, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv4", K: 384, C: 384, P: 13, Q: 13, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv5", K: 256, C: 384, P: 13, Q: 13, R: 3, S: 3, StrideH: 1, StrideW: 1},
+}
+
+// VGG16 lists the distinct convolution shapes of VGG-16 (Simonyan &
+// Zisserman, 2014); repeated same-shape layers appear once.
+var VGG16 = []ConvShape{
+	{Name: "conv1_1", K: 64, C: 3, P: 224, Q: 224, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv1_2", K: 64, C: 64, P: 224, Q: 224, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv2_1", K: 128, C: 64, P: 112, Q: 112, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv2_2", K: 128, C: 128, P: 112, Q: 112, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv3_1", K: 256, C: 128, P: 56, Q: 56, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv3_x", K: 256, C: 256, P: 56, Q: 56, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv4_1", K: 512, C: 256, P: 28, Q: 28, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv4_x", K: 512, C: 512, P: 28, Q: 28, R: 3, S: 3, StrideH: 1, StrideW: 1},
+	{Name: "conv5_x", K: 512, C: 512, P: 14, Q: 14, R: 3, S: 3, StrideH: 1, StrideW: 1},
+}

@@ -1,0 +1,163 @@
+// Package workloads provides constructors for every tensor-algebra workload
+// class of Table II of the paper — convolution (inference and weight-update
+// forms, strided and asymmetric), MTTKRP, SDDMM, TTMc, MMc, and TCL — plus
+// the concrete layer tables and dataset dimensions the evaluation uses
+// (ResNet-18, Inception-v3, FROSTT tensors, SuiteSparse matrices).
+//
+// Mappers only ever consume dimension *bounds*; the published dataset
+// dimensions are used verbatim, and no tensor data is materialized (see
+// DESIGN.md substitution table).
+package workloads
+
+import (
+	"fmt"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/tensor"
+)
+
+// Conv2D returns a 2D convolution layer:
+//
+//	ofmap[n,k,p,q] = sum_{c,r,s} ifmap[n,c,strideH*p+r,strideW*q+s] * weight[k,c,r,s]
+//
+// with N batch, K output channels, C input channels, PxQ output feature map,
+// RxS filter. Asymmetric filters (R != S) and strides are supported.
+func Conv2D(name string, n, k, c, p, q, r, s, strideH, strideW int) *tensor.Workload {
+	dims := map[tensor.Dim]int{"N": n, "K": k, "C": c, "P": p, "Q": q, "R": r, "S": s}
+	return tensor.MustNew(name, dims,
+		&tensor.Tensor{Name: arch.Ifmap, Axes: []tensor.Axis{
+			tensor.A("N"), tensor.A("C"),
+			tensor.Win("P", strideH, "R", 1),
+			tensor.Win("Q", strideW, "S", 1),
+		}},
+		&tensor.Tensor{Name: arch.Weight, Axes: []tensor.Axis{
+			tensor.A("K"), tensor.A("C"), tensor.A("R"), tensor.A("S"),
+		}},
+		&tensor.Tensor{Name: arch.Ofmap, Axes: []tensor.Axis{
+			tensor.A("N"), tensor.A("K"), tensor.A("P"), tensor.A("Q"),
+		}, Output: true},
+	)
+}
+
+// Conv2DWeightUpdate returns the weight-gradient (training back-propagation)
+// form of a convolution layer — the workload of Fig. 7:
+//
+//	wgrad[k,c,r,s] = sum_{n,p,q} ograd[n,k,p,q] * ifmap[n,c,p+r,q+s]
+//
+// The output (wgrad, stored as the "weight" datatype) is indexed by the
+// filter dimensions, and the batch/feature-map dimensions become reductions,
+// giving a memory-access pattern quite different from inference.
+func Conv2DWeightUpdate(name string, n, k, c, p, q, r, s int) *tensor.Workload {
+	dims := map[tensor.Dim]int{"N": n, "K": k, "C": c, "P": p, "Q": q, "R": r, "S": s}
+	return tensor.MustNew(name, dims,
+		&tensor.Tensor{Name: arch.Ifmap, Axes: []tensor.Axis{
+			tensor.A("N"), tensor.A("C"),
+			tensor.Win("P", 1, "R", 1),
+			tensor.Win("Q", 1, "S", 1),
+		}},
+		&tensor.Tensor{Name: arch.Ofmap, Axes: []tensor.Axis{
+			tensor.A("N"), tensor.A("K"), tensor.A("P"), tensor.A("Q"),
+		}},
+		&tensor.Tensor{Name: arch.Weight, Axes: []tensor.Axis{
+			tensor.A("K"), tensor.A("C"), tensor.A("R"), tensor.A("S"),
+		}, Output: true},
+	)
+}
+
+// FC returns a fully-connected (matrix-multiply) layer:
+// out[n,k] = sum_c in[n,c] * w[k,c].
+func FC(name string, n, k, c int) *tensor.Workload {
+	dims := map[tensor.Dim]int{"N": n, "K": k, "C": c}
+	return tensor.MustNew(name, dims,
+		&tensor.Tensor{Name: arch.Ifmap, Axes: []tensor.Axis{tensor.A("N"), tensor.A("C")}},
+		&tensor.Tensor{Name: arch.Weight, Axes: []tensor.Axis{tensor.A("K"), tensor.A("C")}},
+		&tensor.Tensor{Name: arch.Ofmap, Axes: []tensor.Axis{tensor.A("N"), tensor.A("K")}, Output: true},
+	)
+}
+
+// MTTKRP returns the matricized tensor times Khatri-Rao product (the
+// bottleneck of CP decomposition):
+//
+//	out[i,j] = sum_{k,l} A[i,k,l] * B[k,j] * C[l,j]
+//
+// with i,k,l the 3D tensor's mode sizes and j the decomposition rank.
+func MTTKRP(name string, i, k, l, rank int) *tensor.Workload {
+	dims := map[tensor.Dim]int{"I": i, "J": rank, "K": k, "L": l}
+	return tensor.MustNew(name, dims,
+		&tensor.Tensor{Name: "A", Axes: []tensor.Axis{tensor.A("I"), tensor.A("K"), tensor.A("L")}},
+		&tensor.Tensor{Name: "B", Axes: []tensor.Axis{tensor.A("K"), tensor.A("J")}},
+		&tensor.Tensor{Name: "C", Axes: []tensor.Axis{tensor.A("L"), tensor.A("J")}},
+		&tensor.Tensor{Name: "out", Axes: []tensor.Axis{tensor.A("I"), tensor.A("J")}, Output: true},
+	)
+}
+
+// SDDMM returns the sampled dense-dense matrix multiplication used in
+// alternating least squares:
+//
+//	out[i,j] = A[i,j] * sum_k B[i,k] * C[k,j]
+func SDDMM(name string, i, j, k int) *tensor.Workload {
+	dims := map[tensor.Dim]int{"I": i, "J": j, "K": k}
+	return tensor.MustNew(name, dims,
+		&tensor.Tensor{Name: "A", Axes: []tensor.Axis{tensor.A("I"), tensor.A("J")}},
+		&tensor.Tensor{Name: "B", Axes: []tensor.Axis{tensor.A("I"), tensor.A("K")}},
+		&tensor.Tensor{Name: "C", Axes: []tensor.Axis{tensor.A("K"), tensor.A("J")}},
+		&tensor.Tensor{Name: "out", Axes: []tensor.Axis{tensor.A("I"), tensor.A("J")}, Output: true},
+	)
+}
+
+// TTMc returns the tensor-times-matrix chain (the bottleneck of Tucker
+// decomposition):
+//
+//	out[i,l,m] = sum_{j,k} A[i,j,k] * B[j,l] * C[k,m]
+func TTMc(name string, i, j, k, rank int) *tensor.Workload {
+	dims := map[tensor.Dim]int{"I": i, "J": j, "K": k, "L": rank, "M": rank}
+	return tensor.MustNew(name, dims,
+		&tensor.Tensor{Name: "A", Axes: []tensor.Axis{tensor.A("I"), tensor.A("J"), tensor.A("K")}},
+		&tensor.Tensor{Name: "B", Axes: []tensor.Axis{tensor.A("J"), tensor.A("L")}},
+		&tensor.Tensor{Name: "C", Axes: []tensor.Axis{tensor.A("K"), tensor.A("M")}},
+		&tensor.Tensor{Name: "out", Axes: []tensor.Axis{tensor.A("I"), tensor.A("L"), tensor.A("M")}, Output: true},
+	)
+}
+
+// MMc returns the matrix-multiply chain found in attention models:
+//
+//	out[i,l] = sum_{j,k} A[i,j] * B[j,k] * C[k,l]
+func MMc(name string, i, j, k, l int) *tensor.Workload {
+	dims := map[tensor.Dim]int{"I": i, "J": j, "K": k, "L": l}
+	return tensor.MustNew(name, dims,
+		&tensor.Tensor{Name: "A", Axes: []tensor.Axis{tensor.A("I"), tensor.A("J")}},
+		&tensor.Tensor{Name: "B", Axes: []tensor.Axis{tensor.A("J"), tensor.A("K")}},
+		&tensor.Tensor{Name: "C", Axes: []tensor.Axis{tensor.A("K"), tensor.A("L")}},
+		&tensor.Tensor{Name: "out", Axes: []tensor.Axis{tensor.A("I"), tensor.A("L")}, Output: true},
+	)
+}
+
+// TCL returns a tensor contraction layer:
+//
+//	out[l,m,n] = sum_{i,j,k} A[i,j,k] * B[i,l] * C[j,m] * D[k,n]
+func TCL(name string, i, j, k, l, m, n int) *tensor.Workload {
+	dims := map[tensor.Dim]int{"I": i, "J": j, "K": k, "L": l, "M": m, "N": n}
+	return tensor.MustNew(name, dims,
+		&tensor.Tensor{Name: "A", Axes: []tensor.Axis{tensor.A("I"), tensor.A("J"), tensor.A("K")}},
+		&tensor.Tensor{Name: "B", Axes: []tensor.Axis{tensor.A("I"), tensor.A("L")}},
+		&tensor.Tensor{Name: "C", Axes: []tensor.Axis{tensor.A("J"), tensor.A("M")}},
+		&tensor.Tensor{Name: "D", Axes: []tensor.Axis{tensor.A("K"), tensor.A("N")}},
+		&tensor.Tensor{Name: "out", Axes: []tensor.Axis{tensor.A("L"), tensor.A("M"), tensor.A("N")}, Output: true},
+	)
+}
+
+// Conv1D returns the paper's running 1D-convolution example (Section II-C):
+// ofmap[k,p] = sum_{c,r} ifmap[p+r,c] * weight[k,c,r].
+func Conv1D(name string, k, c, p, r int) *tensor.Workload {
+	dims := map[tensor.Dim]int{"K": k, "C": c, "P": p, "R": r}
+	return tensor.MustNew(name, dims,
+		&tensor.Tensor{Name: arch.Ifmap, Axes: []tensor.Axis{tensor.Win("P", 1, "R", 1), tensor.A("C")}},
+		&tensor.Tensor{Name: arch.Weight, Axes: []tensor.Axis{tensor.A("K"), tensor.A("C"), tensor.A("R")}},
+		&tensor.Tensor{Name: arch.Ofmap, Axes: []tensor.Axis{tensor.A("K"), tensor.A("P")}, Output: true},
+	)
+}
+
+// sized helps format layer names.
+func sized(prefix string, k, c, p, q, r, s int) string {
+	return fmt.Sprintf("%s_k%d_c%d_%dx%d_%dx%d", prefix, k, c, p, q, r, s)
+}

@@ -1,0 +1,166 @@
+package workloads
+
+import (
+	"reflect"
+	"testing"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/tensor"
+)
+
+func TestAllConstructorsValidate(t *testing.T) {
+	ws := []*tensor.Workload{
+		Conv2D("c", 2, 8, 8, 14, 14, 3, 3, 1, 1),
+		Conv2D("c_strided", 2, 8, 3, 7, 7, 7, 7, 2, 2),
+		Conv2DWeightUpdate("cwu", 2, 8, 8, 14, 14, 3, 3),
+		FC("fc", 4, 100, 200),
+		MTTKRP("m", 100, 50, 60, 32),
+		SDDMM("s", 100, 100, 512),
+		TTMc("t", 100, 50, 60, 8),
+		MMc("mm", 64, 64, 64, 64),
+		TCL("tcl", 16, 6, 6, 32, 32, 32),
+		Conv1D("c1", 4, 4, 7, 3),
+		AttentionMMc, AlexNetTCL, VGGTCL,
+	}
+	for _, w := range ws {
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", w.Name, err)
+		}
+	}
+}
+
+func TestConvMACCount(t *testing.T) {
+	w := Conv2D("c", 2, 8, 4, 14, 14, 3, 3, 1, 1)
+	if got, want := w.MACs(), int64(2*8*4*14*14*3*3); got != want {
+		t.Errorf("MACs = %d, want %d", got, want)
+	}
+}
+
+func TestConvStrideFootprint(t *testing.T) {
+	w := Conv2D("c", 1, 8, 3, 7, 7, 3, 3, 2, 2)
+	// ifmap extent along P axis: 2*(7-1)+3 = 15.
+	fp := w.Tensor(arch.Ifmap).Footprint(w.FullExtents())
+	if fp != 1*3*15*15 {
+		t.Errorf("strided ifmap footprint = %d, want %d", fp, 3*15*15)
+	}
+}
+
+func TestWeightUpdateReuseStructure(t *testing.T) {
+	// In the weight-update form, N/P/Q are reductions and the weight
+	// gradient is the output.
+	w := Conv2DWeightUpdate("wu", 16, 8, 8, 14, 14, 3, 3)
+	if got, want := w.ReductionDims(), []tensor.Dim{"N", "P", "Q"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("weight-update reductions = %v, want %v", got, want)
+	}
+	outs := w.Outputs()
+	if len(outs) != 1 || outs[0].Name != arch.Weight {
+		t.Errorf("weight-update output should be the weight tensor, got %v", outs)
+	}
+}
+
+func TestMTTKRPStructure(t *testing.T) {
+	w := MTTKRPOn(Nell2)
+	if w.Dims["I"] != 12092 || w.Dims["J"] != 32 || w.Dims["K"] != 9184 || w.Dims["L"] != 28818 {
+		t.Errorf("nell2 MTTKRP dims wrong: %v", w.Dims)
+	}
+	if got, want := w.ReductionDims(), []tensor.Dim{"K", "L"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("MTTKRP reductions = %v, want %v", got, want)
+	}
+}
+
+func TestSDDMMStructure(t *testing.T) {
+	w := SDDMMOn(Bcsstk17)
+	if w.Dims["K"] != 512 {
+		t.Errorf("SDDMM rank = %d, want 512", w.Dims["K"])
+	}
+	// A is an input indexed exactly like the output (the sampling matrix).
+	a := w.Tensor("A")
+	out := w.Tensor("out")
+	if !reflect.DeepEqual(a.IndexingDims(), out.IndexingDims()) {
+		t.Error("SDDMM sampling matrix must share the output's indexing")
+	}
+}
+
+func TestTTMcStructure(t *testing.T) {
+	w := TTMcOn(Netflix)
+	if w.Dims["L"] != 8 || w.Dims["M"] != 8 {
+		t.Errorf("TTMc rank dims = %d,%d, want 8,8", w.Dims["L"], w.Dims["M"])
+	}
+	if got, want := w.ReductionDims(), []tensor.Dim{"J", "K"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("TTMc reductions = %v, want %v", got, want)
+	}
+}
+
+func TestResNet18Table(t *testing.T) {
+	if len(ResNet18) < 10 {
+		t.Fatalf("ResNet-18 table has %d shapes", len(ResNet18))
+	}
+	for _, cs := range ResNet18 {
+		w := cs.Inference(16)
+		if err := w.Validate(); err != nil {
+			t.Errorf("%s: %v", cs.Name, err)
+		}
+		if w.Dims["N"] != 16 {
+			t.Errorf("%s: batch not applied", cs.Name)
+		}
+	}
+	// conv1 is the strided 7x7 stem.
+	if ResNet18[0].R != 7 || ResNet18[0].StrideH != 2 {
+		t.Error("ResNet-18 conv1 shape wrong")
+	}
+}
+
+func TestInceptionAsymmetricLayers(t *testing.T) {
+	var found1x7, found3x1 bool
+	for _, cs := range InceptionV3 {
+		if cs.Name == "1x7_deep" {
+			found1x7 = true
+			if cs.R != 1 || cs.S != 7 {
+				t.Error("1x7_deep must be asymmetric (R=1,S=7)")
+			}
+		}
+		if cs.Name == "3x1_deep" {
+			found3x1 = true
+			if cs.R != 3 || cs.S != 1 {
+				t.Error("3x1_deep must be asymmetric (R=3,S=1)")
+			}
+		}
+		if err := cs.WeightUpdate(16).Validate(); err != nil {
+			t.Errorf("%s weight update: %v", cs.Name, err)
+		}
+	}
+	if !found1x7 || !found3x1 {
+		t.Error("Fig. 7's asymmetric layers missing from the Inception table")
+	}
+}
+
+func TestDatasetDims(t *testing.T) {
+	if Nell2.I != 12092 || Netflix.I != 480189 || Bcsstk17.Rows != 10974 || Cant.Rows != 62451 {
+		t.Error("published dataset dimensions altered")
+	}
+}
+
+func TestSizedHelper(t *testing.T) {
+	if sized("x", 1, 2, 3, 4, 5, 6) != "x_k1_c2_3x4_5x6" {
+		t.Errorf("sized = %q", sized("x", 1, 2, 3, 4, 5, 6))
+	}
+}
+
+func TestAlexNetAndVGGTables(t *testing.T) {
+	if len(AlexNet) != 5 {
+		t.Errorf("AlexNet has %d conv layers, want 5", len(AlexNet))
+	}
+	if AlexNet[0].StrideH != 4 || AlexNet[0].R != 11 {
+		t.Error("AlexNet conv1 is the 11x11 stride-4 stem")
+	}
+	for _, table := range [][]ConvShape{AlexNet, VGG16} {
+		for _, cs := range table {
+			if err := cs.Inference(1).Validate(); err != nil {
+				t.Errorf("%s: %v", cs.Name, err)
+			}
+		}
+	}
+	if len(VGG16) < 9 {
+		t.Errorf("VGG16 table too short: %d", len(VGG16))
+	}
+}

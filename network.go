@@ -1,0 +1,95 @@
+package sunstone
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+)
+
+// LayerSchedule is one layer's outcome within a network schedule.
+type LayerSchedule struct {
+	Layer   string
+	Result  Result
+	Repeats int // identical layers mapped once, counted Repeats times
+}
+
+// NetworkSchedule aggregates a whole network's mapping results.
+type NetworkSchedule struct {
+	Network       string
+	Layers        []LayerSchedule
+	TotalEnergyPJ float64
+	TotalCycles   float64
+	// EDP is the network-level energy-delay product (total energy x total
+	// cycles, layers executed back to back).
+	EDP     float64
+	Elapsed time.Duration
+}
+
+// ScheduleNetwork maps every layer of a network onto the architecture,
+// optimizing layers concurrently (each layer's search is independent), and
+// returns per-layer mappings plus network totals. Repeats lets callers
+// weight shapes that occur multiple times (e.g. the four conv2_x blocks of
+// ResNet-18); pass nil for one occurrence each.
+func ScheduleNetwork(network string, shapes []ConvShape, batch int, repeats []int, a *Arch, opt Options) (NetworkSchedule, error) {
+	if repeats != nil && len(repeats) != len(shapes) {
+		return NetworkSchedule{}, fmt.Errorf("repeats has %d entries for %d shapes", len(repeats), len(shapes))
+	}
+	start := time.Now()
+	out := NetworkSchedule{Network: network, Layers: make([]LayerSchedule, len(shapes))}
+	errs := make([]error, len(shapes))
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i := range shapes {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			w := shapes[i].Inference(batch)
+			res, err := Optimize(w, a, opt)
+			if err != nil {
+				errs[i] = fmt.Errorf("%s: %w", shapes[i].Name, err)
+				return
+			}
+			rep := 1
+			if repeats != nil {
+				rep = repeats[i]
+			}
+			out.Layers[i] = LayerSchedule{Layer: shapes[i].Name, Result: res, Repeats: rep}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return out, err
+		}
+	}
+	for i := range out.Layers {
+		l := &out.Layers[i]
+		out.TotalEnergyPJ += l.Result.Report.EnergyPJ * float64(l.Repeats)
+		out.TotalCycles += l.Result.Report.Cycles * float64(l.Repeats)
+	}
+	out.EDP = out.TotalEnergyPJ * out.TotalCycles
+	out.Elapsed = time.Since(start)
+	return out, nil
+}
+
+// ResNet18Repeats gives the occurrence count of each ResNet18Layers shape in
+// the full 18-layer network (the per-shape tables list distinct shapes once).
+func ResNet18Repeats() []int {
+	return []int{
+		1, // conv1
+		4, // conv2_x
+		1, // conv3_1
+		1, // conv3_ds
+		3, // conv3_x
+		1, // conv4_1
+		1, // conv4_ds
+		3, // conv4_x
+		1, // conv5_1
+		1, // conv5_ds
+		3, // conv5_x
+	}
+}

@@ -1,0 +1,205 @@
+// Package sunstone is a Go implementation of Sunstone, a scalable and
+// versatile dataflow scheduler for mapping tensor algebra onto spatial
+// accelerators (Olyaiy, Ng, Fedorova, Lis — ISPASS 2023).
+//
+// Given a tensor-algebra workload (convolution, MTTKRP, TTMc, SDDMM, MMc,
+// TCL, or anything expressible as a freely-reorderable nested loop over
+// dense index expressions) and an accelerator description (multi-level
+// memories, per-datatype buffers, multi-level spatial fanout), Optimize
+// returns the tiling / loop-ordering / spatial-unrolling mapping with the
+// best energy-delay product under a Timeloop-style analytic cost model.
+//
+// The search applies the paper's algebra-derived pruning principles: an
+// ordering trie keyed on which tensors each loop can reuse, a tiling tree
+// grown only along the reused operand's indexing dimensions, and spatial
+// unrolling restricted away from dimensions that would re-reuse an
+// already-optimized operand. See DESIGN.md for the system inventory and
+// EXPERIMENTS.md for the reproduced evaluation.
+//
+// Quick start:
+//
+//	w := sunstone.Conv2D("layer", 16, 64, 64, 56, 56, 3, 3, 1, 1)
+//	res, err := sunstone.Optimize(w, sunstone.Simba(), sunstone.Options{})
+//	fmt.Println(res.Mapping, res.Report.EDP)
+package sunstone
+
+import (
+	"sunstone/internal/arch"
+	"sunstone/internal/baselines"
+	"sunstone/internal/baselines/cosa"
+	"sunstone/internal/baselines/dmaze"
+	"sunstone/internal/baselines/fixed"
+	"sunstone/internal/baselines/interstellar"
+	"sunstone/internal/baselines/marvel"
+	"sunstone/internal/baselines/timeloop"
+	"sunstone/internal/core"
+	"sunstone/internal/cost"
+	"sunstone/internal/exec"
+	"sunstone/internal/mapping"
+	"sunstone/internal/order"
+	"sunstone/internal/tensor"
+	"sunstone/internal/workloads"
+)
+
+// Core types, re-exported from the implementation packages.
+type (
+	// Dim names a problem dimension (a loop variable).
+	Dim = tensor.Dim
+	// Axis is one tensor axis's index expression (possibly a sliding
+	// window such as p+r).
+	Axis = tensor.Axis
+	// Tensor is one operand or result of a workload.
+	Tensor = tensor.Tensor
+	// Workload is a tensor-algebra problem description.
+	Workload = tensor.Workload
+	// Arch describes a spatial accelerator.
+	Arch = arch.Arch
+	// Level is one storage level of an Arch.
+	Level = arch.Level
+	// Buffer is one physical memory within a Level.
+	Buffer = arch.Buffer
+	// Mapping is a complete dataflow mapping.
+	Mapping = mapping.Mapping
+	// Report is a cost-model evaluation of a mapping.
+	Report = cost.Report
+	// Options configures the optimizer.
+	Options = core.Options
+	// Result is the outcome of an optimization run.
+	Result = core.Result
+	// BaselineResult is the outcome of a prior-art mapper run.
+	BaselineResult = baselines.Result
+	// BaselineMapper is a prior-art mapper under comparison.
+	BaselineMapper = baselines.Mapper
+	// ConvShape describes one convolution layer's geometry.
+	ConvShape = workloads.ConvShape
+)
+
+// Optimization order selectors (Table VI).
+const (
+	BottomUp = core.BottomUp
+	TopDown  = core.TopDown
+)
+
+// Intra-level optimization orders (Table VI).
+const (
+	OrderTileUnroll = core.OrderTileUnroll
+	TileUnrollOrder = core.TileUnrollOrder
+	UnrollTileOrder = core.UnrollTileOrder
+)
+
+// Objective is the figure of merit the search minimizes.
+type Objective = core.Objective
+
+// Optimization objectives: the paper's EDP plus energy / delay / ED^2P
+// extensions.
+const (
+	MinEDP    = core.MinEDP
+	MinEnergy = core.MinEnergy
+	MinDelay  = core.MinDelay
+	MinED2P   = core.MinED2P
+)
+
+// NewWorkload builds a workload from a dimension table and tensors; see
+// A and Win for index expressions.
+func NewWorkload(name string, dims map[Dim]int, tensors ...*Tensor) (*Workload, error) {
+	return tensor.New(name, dims, tensors...)
+}
+
+// ParseWorkload reads the paper's Section IV textual description syntax:
+//
+//	dimensions = {K:4, C:4, P:7, R:3}
+//	tensor_description = {
+//	    operand1 = [C, (P, R)],
+//	    operand2 = [K, C, R],
+//	    output = [K, P]
+//	}
+func ParseWorkload(src string) (*Workload, error) { return tensor.Parse(src) }
+
+// A returns a simple single-dimension axis.
+func A(d Dim) Axis { return tensor.A(d) }
+
+// Win returns a two-dimension sliding-window axis (e.g. Win("P",1,"R",1)
+// for the convolution input expression p+r).
+func Win(d1 Dim, s1 int, d2 Dim, s2 int) Axis { return tensor.Win(d1, s1, d2, s2) }
+
+// Workload constructors for the Table II kernel classes.
+var (
+	Conv1D             = workloads.Conv1D
+	Conv2D             = workloads.Conv2D
+	Conv2DWeightUpdate = workloads.Conv2DWeightUpdate
+	FC                 = workloads.FC
+	MTTKRP             = workloads.MTTKRP
+	SDDMM              = workloads.SDDMM
+	TTMc               = workloads.TTMc
+	MMc                = workloads.MMc
+	TCL                = workloads.TCL
+	ResNet18Layers     = workloads.ResNet18
+	InceptionV3Layers  = workloads.InceptionV3
+	AlexNetLayers      = workloads.AlexNet
+	VGG16Layers        = workloads.VGG16
+)
+
+// Architecture presets (Table IV and Section V-D).
+var (
+	Conventional = arch.Conventional
+	Simba        = arch.Simba
+	DianNao      = arch.DianNao
+	Tiny         = arch.Tiny
+	TinySpatial  = arch.TinySpatial
+)
+
+// Optimize runs the Sunstone optimizer.
+func Optimize(w *Workload, a *Arch, opt Options) (Result, error) {
+	return core.Optimize(w, a, opt)
+}
+
+// Evaluate scores an arbitrary mapping with the default cost model.
+func Evaluate(m *Mapping) Report { return cost.Evaluate(m) }
+
+// NewMapping returns an empty mapping of w onto a, for hand construction.
+func NewMapping(w *Workload, a *Arch) *Mapping { return mapping.New(w, a) }
+
+// Baseline mappers from the paper's comparison (Section V).
+func TimeloopFast() BaselineMapper { return timeloop.New(timeloop.Fast()) }
+
+// TimeloopSlow returns the Table V slow/conservative Timeloop configuration.
+func TimeloopSlow() BaselineMapper { return timeloop.New(timeloop.Slow()) }
+
+// DMazeFast returns the Table V fast/aggressive dMazeRunner configuration.
+func DMazeFast() BaselineMapper { return dmaze.New(dmaze.Fast()) }
+
+// DMazeSlow returns the Table V slow/conservative dMazeRunner configuration.
+func DMazeSlow() BaselineMapper { return dmaze.New(dmaze.Slow()) }
+
+// Interstellar returns the CK-preset Interstellar mapper.
+func Interstellar() BaselineMapper { return interstellar.New() }
+
+// CoSA returns the one-shot linear-relaxation CoSA mapper.
+func CoSA() BaselineMapper { return cosa.New() }
+
+// Marvel returns the decoupled off-chip/on-chip Marvel-style mapper
+// (rebuilt from its described strategy; the original is not open source).
+func Marvel() BaselineMapper { return marvel.New() }
+
+// Fixed dataflow reference points: hard-wired stationary schedules.
+func WeightStationary() BaselineMapper { return fixed.New(fixed.WeightStationary) }
+
+// OutputStationary returns the partial-sum-resident fixed dataflow.
+func OutputStationary() BaselineMapper { return fixed.New(fixed.OutputStationary) }
+
+// InputStationary returns the activation-resident fixed dataflow.
+func InputStationary() BaselineMapper { return fixed.New(fixed.InputStationary) }
+
+// ExplainOrderings returns the pruned ordering-trie candidates for w with
+// their reuse annotations (the paper's Fig. 4 view) — why the search
+// considers exactly these loop orders.
+func ExplainOrderings(w *Workload) string {
+	os, _ := order.Enumerate(w)
+	return order.Render(os)
+}
+
+// VerifyMapping functionally executes m's full loop nest on deterministic
+// data and checks the result against the untransformed reference execution.
+// Use it to confirm that a hand-written or imported mapping computes the
+// right answer, not just that it is structurally legal.
+func VerifyMapping(m *Mapping) (bool, error) { return exec.Verify(m) }
