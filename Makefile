@@ -1,0 +1,28 @@
+GO ?= go
+
+.PHONY: check vet build test race fuzz
+
+# check is the full pre-commit gate: static analysis, build, the whole test
+# suite, and the race detector over the concurrent search paths.
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# race exercises the goroutine-heavy paths — the core evaluation fan-out and
+# its cancellation/panic-isolation tests, the soak corpus, Timeloop's search
+# threads, and network scheduling — under the race detector. Scoped to the
+# packages that spawn goroutines so the instrumented run stays fast.
+race:
+	$(GO) test -race ./internal/core/ ./internal/baselines/timeloop/ .
+
+# fuzz runs each fuzz target briefly (parser and JSON decoders).
+fuzz:
+	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/tensor/
+	$(GO) test -fuzz=FuzzDecodeWorkload -fuzztime=10s ./internal/serde/

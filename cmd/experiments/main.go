@@ -18,15 +18,20 @@ import (
 )
 
 var (
-	exp   = flag.String("exp", "all", "experiment: table1 | table3 | fig6 | fig7 | fig8 | table6 | fig9 | spread | all")
-	quick = flag.Bool("quick", false, "shrink layer sets and search budgets")
-	seed  = flag.Int64("seed", 1, "seed for randomized baselines")
-	csv   = flag.Bool("csv", false, "emit fig6/fig7/fig8 rows as CSV instead of text")
+	exp     = flag.String("exp", "all", "experiment: table1 | table3 | fig6 | fig7 | fig8 | table6 | fig9 | spread | all")
+	quick   = flag.Bool("quick", false, "shrink layer sets and search budgets")
+	seed    = flag.Int64("seed", 1, "seed for randomized baselines")
+	csv     = flag.Bool("csv", false, "emit fig6/fig7/fig8 rows as CSV instead of text")
+	layerTO = flag.Duration("layer-timeout", 0, "per-workload wall-clock budget for every tool (0 = each tool's natural budget); early-stopped runs report best-so-far with a stopped annotation")
 )
 
 func main() {
 	flag.Parse()
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	if *layerTO < 0 {
+		fmt.Fprintln(os.Stderr, "-layer-timeout must be >= 0")
+		os.Exit(2)
+	}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, LayerTimeout: *layerTO}
 
 	run := func(name string, f func()) {
 		if *exp == name || *exp == "all" {

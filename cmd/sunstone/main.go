@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +43,8 @@ var (
 	accesses  = flag.Bool("accesses", false, "print per-level, per-tensor access counts")
 	explain   = flag.Bool("explain", false, "print the workload's reuse table, pruned loop orderings, and the mapping's loop nest")
 	verify    = flag.Bool("verify", false, "functionally execute the mapping and check it against the reference result")
+	timeout   = flag.Duration("timeout", 0, "wall-clock budget per search, e.g. 500ms or 10s (0 = unbounded); on expiry the best mapping found so far is reported")
+	contErr   = flag.Bool("continue-on-error", false, "with -all-layers: keep scheduling the remaining layers after one fails instead of failing fast")
 )
 
 func main() {
@@ -85,7 +88,7 @@ func main() {
 		fatal(err)
 	}
 
-	opt := sunstone.Options{BeamWidth: *beam}
+	opt := sunstone.Options{BeamWidth: *beam, Timeout: *timeout}
 	if *topDown {
 		opt.Direction = sunstone.TopDown
 	}
@@ -110,6 +113,12 @@ func main() {
 	fmt.Printf("EDP      %.4e pJ*cycle\nenergy   %.4e pJ\ncycles   %.0f\nsearch   %v, %d candidates, %d orderings\n",
 		res.Report.EDP, res.Report.EnergyPJ, res.Report.Cycles,
 		res.Elapsed, res.SpaceSize, res.OrderingsConsidered)
+	if res.Stopped != sunstone.StopComplete {
+		fmt.Printf("stopped  %s — reporting the best mapping found before the signal\n", res.Stopped)
+	}
+	for _, cerr := range res.CandidateErrors {
+		fmt.Fprintln(os.Stderr, "sunstone: candidate error:", cerr)
+	}
 	if *explain {
 		fmt.Printf("\ninferred reuse (Table III view):\n%s", indent(w.ReuseTable()))
 		fmt.Printf("\npruned loop orderings (Fig. 4 view):\n%s", indent(sunstone.ExplainOrderings(w)))
@@ -148,13 +157,25 @@ func main() {
 		for _, bl := range []sunstone.BaselineMapper{
 			sunstone.TimeloopFast(), sunstone.DMazeFast(), sunstone.Interstellar(), sunstone.CoSA(),
 		} {
-			r := bl.Map(w, a)
+			// Baselines honor the same -timeout budget via MapContext, so
+			// the comparison is wall-clock fair.
+			ctx := context.Background()
+			if *timeout > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, *timeout)
+				defer cancel()
+			}
+			r := bl.MapContext(ctx, w, a)
+			note := ""
+			if r.Stopped != sunstone.StopComplete {
+				note = " [stopped: " + r.Stopped.String() + "]"
+			}
 			if !r.Valid {
-				fmt.Printf("  %-10s INVALID (%s) in %v\n", bl.Name(), r.InvalidReason, r.Elapsed.Round(1e6))
+				fmt.Printf("  %-10s INVALID (%s) in %v%s\n", bl.Name(), r.InvalidReason, r.Elapsed.Round(1e6), note)
 				continue
 			}
-			fmt.Printf("  %-10s EDP %.4e (%.2fx Sunstone) in %v\n",
-				bl.Name(), r.Report.EDP, r.Report.EDP/res.Report.EDP, r.Elapsed.Round(1e6))
+			fmt.Printf("  %-10s EDP %.4e (%.2fx Sunstone) in %v%s\n",
+				bl.Name(), r.Report.EDP, r.Report.EDP/res.Report.EDP, r.Elapsed.Round(1e6), note)
 		}
 	}
 }
@@ -179,17 +200,33 @@ func runAllLayers() {
 	default:
 		fatal(fmt.Errorf("-all-layers needs -net resnet18|inception|alexnet|vgg16"))
 	}
-	sched, err := sunstone.ScheduleNetwork(*net, table, *batch, repeats, a, sunstone.Options{})
+	nopt := sunstone.NetworkOptions{
+		Options:         sunstone.Options{Timeout: *timeout},
+		ContinueOnError: *contErr,
+	}
+	sched, err := sunstone.ScheduleNetworkContext(context.Background(), *net, table, *batch, repeats, a, nopt)
+	fmt.Printf("%-12s %-3s %-12s %-12s %s\n", "layer", "x", "EDP", "energy pJ", "cycles")
+	for _, l := range sched.Layers {
+		if l.Err != nil {
+			fmt.Printf("%-12s FAILED: %v\n", l.Layer, l.Err)
+			continue
+		}
+		note := ""
+		if l.Result.Stopped != sunstone.StopComplete {
+			note = "  [stopped: " + l.Result.Stopped.String() + "]"
+		}
+		fmt.Printf("%-12s %-3d %-12.3e %-12.3e %.0f%s\n",
+			l.Layer, l.Repeats, l.Result.Report.EDP, l.Result.Report.EnergyPJ, l.Result.Report.Cycles, note)
+	}
+	fmt.Printf("\nnetwork totals: %.4e pJ, %.3e cycles, EDP %.4e (scheduled in %v",
+		sched.TotalEnergyPJ, sched.TotalCycles, sched.EDP, sched.Elapsed.Round(1e6))
+	if sched.Failed > 0 {
+		fmt.Printf("; %d layer(s) failed, totals cover the rest", sched.Failed)
+	}
+	fmt.Println(")")
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("%-12s %-3s %-12s %-12s %s\n", "layer", "x", "EDP", "energy pJ", "cycles")
-	for _, l := range sched.Layers {
-		fmt.Printf("%-12s %-3d %-12.3e %-12.3e %.0f\n",
-			l.Layer, l.Repeats, l.Result.Report.EDP, l.Result.Report.EnergyPJ, l.Result.Report.Cycles)
-	}
-	fmt.Printf("\nnetwork totals: %.4e pJ, %.3e cycles, EDP %.4e (scheduled in %v)\n",
-		sched.TotalEnergyPJ, sched.TotalCycles, sched.EDP, sched.Elapsed.Round(1e6))
 }
 
 func pickArch(name string) (*sunstone.Arch, error) {

@@ -1,0 +1,136 @@
+// Package anytime holds the shared vocabulary of the anytime-search
+// contract: every entry point of the search stack (the Sunstone optimizer,
+// the baseline mappers, the network scheduler) is cancellable, can be
+// deadline-bounded, and on early stop returns the best result completed so
+// far together with a StopReason instead of discarding work.
+//
+// The package also provides the panic-isolation primitives that keep one
+// poisoned cost-model evaluation from killing a whole search: a recovered
+// panic becomes a *PanicError carrying the offending candidate serialized
+// for reproduction.
+package anytime
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// StopReason records why a search returned.
+type StopReason int
+
+const (
+	// Complete: the search ran to its natural end (or its result is exact).
+	Complete StopReason = iota
+	// Deadline: a wall-clock budget (Options.Timeout or a context deadline)
+	// expired; the result is the best mapping completed before it did.
+	Deadline
+	// Canceled: the caller canceled the context; the result is the best
+	// mapping completed before the cancellation was observed.
+	Canceled
+	// Budget: the search exhausted its own enumeration budget (e.g. the
+	// top-down visit cap or Timeloop's MaxTime) and settled for the best
+	// candidate found within it.
+	Budget
+)
+
+func (r StopReason) String() string {
+	switch r {
+	case Deadline:
+		return "deadline"
+	case Canceled:
+		return "canceled"
+	case Budget:
+		return "budget"
+	default:
+		return "complete"
+	}
+}
+
+// FromContext maps the context's error state to a StopReason: Complete while
+// ctx is live, Deadline after its deadline passed, Canceled after a cancel.
+func FromContext(ctx context.Context) StopReason {
+	if ctx == nil {
+		return Complete
+	}
+	switch err := ctx.Err(); {
+	case err == nil:
+		return Complete
+	case errors.Is(err, context.DeadlineExceeded):
+		return Deadline
+	default:
+		return Canceled
+	}
+}
+
+// Poller amortizes context polling inside tight single-goroutine loops:
+// Stop really consults the context only every Every calls (and always on the
+// first), then latches the observed reason so subsequent calls are free.
+// Not safe for concurrent use; give each goroutine its own Poller.
+type Poller struct {
+	Ctx   context.Context
+	Every uint
+	n     uint
+	hit   StopReason
+}
+
+// Stop returns the latched stop reason, consulting the context at the
+// configured stride. Complete means "keep going".
+func (p *Poller) Stop() StopReason {
+	if p.hit != Complete {
+		return p.hit
+	}
+	every := p.Every
+	if every == 0 {
+		every = 1
+	}
+	if p.n%every == 0 {
+		p.hit = FromContext(p.Ctx)
+	}
+	p.n++
+	return p.hit
+}
+
+// PanicError is a panic recovered from a search worker, converted into a
+// per-candidate error so one poisoned evaluation cannot kill the process.
+// Repro carries the offending candidate (typically the serialized mapping)
+// so the failure can be replayed in isolation.
+type PanicError struct {
+	// Op names the operation that panicked (e.g. "evaluate candidate").
+	Op string
+	// Repro is the serialized offending input, for replay.
+	Repro string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the worker's stack at the point of the panic.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic during %s: %v (offending candidate follows)\n%s", e.Op, e.Value, e.Repro)
+}
+
+// PanicErrorFrom converts a recover() value into a *PanicError, or nil when
+// no panic occurred. repro is called lazily (and guarded) only on an actual
+// panic, so the happy path pays nothing for serialization. Use it directly
+// inside a deferred function:
+//
+//	defer func() {
+//	    if e := anytime.PanicErrorFrom(recover(), "evaluate", m.String); e != nil {
+//	        ...
+//	    }
+//	}()
+func PanicErrorFrom(v any, op string, repro func() string) *PanicError {
+	if v == nil {
+		return nil
+	}
+	e := &PanicError{Op: op, Value: v, Stack: debug.Stack(), Repro: "<no repro available>"}
+	if repro != nil {
+		func() {
+			defer func() { recover() }() // a broken candidate may not even serialize
+			e.Repro = repro()
+		}()
+	}
+	return e
+}

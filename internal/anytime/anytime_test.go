@@ -1,0 +1,92 @@
+package anytime
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestFromContext(t *testing.T) {
+	if r := FromContext(context.Background()); r != Complete {
+		t.Errorf("live context: got %v", r)
+	}
+	if r := FromContext(nil); r != Complete {
+		t.Errorf("nil context: got %v", r)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if r := FromContext(ctx); r != Canceled {
+		t.Errorf("canceled context: got %v", r)
+	}
+	dctx, dcancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer dcancel()
+	<-dctx.Done()
+	if r := FromContext(dctx); r != Deadline {
+		t.Errorf("expired context: got %v", r)
+	}
+}
+
+func TestStopReasonStrings(t *testing.T) {
+	for want, r := range map[string]StopReason{
+		"complete": Complete, "deadline": Deadline, "canceled": Canceled, "budget": Budget,
+	} {
+		if got := r.String(); got != want {
+			t.Errorf("StopReason(%d).String() = %q, want %q", int(r), got, want)
+		}
+	}
+}
+
+func TestPollerStrideAndLatch(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	p := &Poller{Ctx: ctx, Every: 4}
+	if p.Stop() != Complete {
+		t.Fatal("live poller reported a stop")
+	}
+	cancel()
+	// The next three calls fall between strides and still see Complete;
+	// the fourth consults the context and latches Canceled forever.
+	var last StopReason
+	for i := 0; i < 8; i++ {
+		last = p.Stop()
+	}
+	if last != Canceled {
+		t.Fatalf("poller never observed the cancel: %v", last)
+	}
+	if p.Stop() != Canceled {
+		t.Fatal("latched poller forgot its stop reason")
+	}
+}
+
+func TestPanicErrorFrom(t *testing.T) {
+	if e := PanicErrorFrom(nil, "op", nil); e != nil {
+		t.Fatalf("nil recover value produced an error: %v", e)
+	}
+	e := PanicErrorFrom("boom", "evaluate candidate", func() string { return "MAPPING" })
+	if e == nil {
+		t.Fatal("panic value produced no error")
+	}
+	for _, want := range []string{"evaluate candidate", "boom", "MAPPING"} {
+		if !strings.Contains(e.Error(), want) {
+			t.Errorf("error %q missing %q", e.Error(), want)
+		}
+	}
+	if len(e.Stack) == 0 {
+		t.Error("no stack captured")
+	}
+	var pe *PanicError
+	if !errors.As(error(e), &pe) {
+		t.Error("PanicError does not satisfy errors.As")
+	}
+}
+
+func TestPanicErrorFromReproPanics(t *testing.T) {
+	e := PanicErrorFrom("boom", "op", func() string { panic("repro also broken") })
+	if e == nil {
+		t.Fatal("no error")
+	}
+	if !strings.Contains(e.Repro, "no repro") {
+		t.Errorf("broken repro not defaulted: %q", e.Repro)
+	}
+}

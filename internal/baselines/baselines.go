@@ -4,11 +4,20 @@
 // (CK-preset unrolling), and CoSA (one-shot linear-relaxation) — each rebuilt
 // from its published search strategy (see DESIGN.md substitution table).
 // Every baseline is scored by the same cost model as Sunstone.
+//
+// Every mapper also honors the anytime contract (internal/anytime): MapContext
+// observes the context's deadline/cancellation, returns the best mapping
+// found so far with Result.Stopped set, and never lets a panicking cost-model
+// evaluation escape a search thread — so the slow Timeloop/dMazeRunner
+// configurations respect the same wall-clock budgets as Sunstone in
+// head-to-head experiments.
 package baselines
 
 import (
+	"context"
 	"time"
 
+	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
 	"sunstone/internal/cost"
 	"sunstone/internal/mapping"
@@ -27,13 +36,53 @@ type Result struct {
 	Valid bool
 	// InvalidReason explains a Valid == false result.
 	InvalidReason string
+	// Stopped records why the search returned: complete, deadline/canceled
+	// (context), or budget (the tool's own termination budget, e.g.
+	// Timeloop's MaxTime). A deadline-stopped result still carries the best
+	// mapping found before the signal.
+	Stopped anytime.StopReason
+	// Errors holds panics recovered from the tool's search threads (each an
+	// *anytime.PanicError with the offending candidate serialized); the
+	// search survives them by discarding the poisoned candidate.
+	Errors []error
 	// Evaluated counts the candidate mappings the tool examined.
 	Evaluated int
 	Elapsed   time.Duration
 }
 
-// Mapper is a dataflow optimizer under comparison.
+// Mapper is a dataflow optimizer under comparison. Map is the legacy
+// uninterruptible entry point; MapContext is the anytime form every
+// implementation must provide — Map(w, a) must equal
+// MapContext(context.Background(), w, a).
 type Mapper interface {
 	Name() string
 	Map(w *tensor.Workload, a *arch.Arch) Result
+	MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) Result
+}
+
+// RunContext adapts a fast, effectively non-interruptible search to the
+// MapContext contract: a context that is already done short-circuits to an
+// empty stopped result; otherwise fn runs to completion (these mappers are
+// one-shot or sub-second, so mid-run polling would buy nothing) and the run
+// counts as complete. A panic in fn is contained and reported as an invalid
+// result rather than crashing the caller.
+func RunContext(ctx context.Context, name string, fn func() Result) (out Result) {
+	start := time.Now()
+	defer func() {
+		if e := anytime.PanicErrorFrom(recover(), name+" search", nil); e != nil {
+			out = Result{
+				InvalidReason: "search panicked: " + e.Op,
+				Errors:        []error{e},
+				Elapsed:       time.Since(start),
+			}
+		}
+	}()
+	if r := anytime.FromContext(ctx); r != anytime.Complete {
+		return Result{
+			Stopped:       r,
+			InvalidReason: "stopped (" + r.String() + ") before the search started",
+			Elapsed:       time.Since(start),
+		}
+	}
+	return fn()
 }

@@ -14,9 +14,11 @@
 package dmaze
 
 import (
+	"context"
 	"math"
 	"time"
 
+	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
 	"sunstone/internal/baselines"
 	"sunstone/internal/baselines/mapsearch"
@@ -66,8 +68,17 @@ func (m *Mapper) Name() string { return m.Cfg.Name }
 
 // Map implements baselines.Mapper.
 func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
+	return m.MapContext(context.Background(), w, a)
+}
+
+// MapContext implements baselines.Mapper with the anytime contract: the
+// directed enumeration polls ctx between tiling candidates and, on a
+// deadline or cancel, returns the best thresholded mapping found so far
+// with Result.Stopped set.
+func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) baselines.Result {
 	start := time.Now()
 	res := baselines.Result{}
+	poll := &anytime.Poller{Ctx: ctx, Every: 16}
 
 	// dMazeRunner targets conventional accelerators with one spatial level.
 	if mapsearch.SpatialLevels(a) > 1 {
@@ -87,6 +98,7 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 	bestEDP := math.Inf(1)
 	evaluated := 0
 	anyTileMetUtil := false
+	stopped := anytime.Complete
 
 	// Directed enumeration: unconstrained tiling trees per level filtered
 	// by the utilization thresholds, spatial unrolling over dimensions that
@@ -108,6 +120,7 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 		unrolls = []unroll.Candidate{{}}
 	}
 
+search:
 	for _, u := range unrolls {
 		mu := base.Clone()
 		for d, f := range u {
@@ -137,6 +150,10 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 					}
 				}
 				for oi := range orderings {
+					if r := poll.Stop(); r != anytime.Complete {
+						stopped = r
+						break search
+					}
 					cand := mapsearch.CompleteWith(m2, &orderings[oi])
 					rep := m.Model.Evaluate(cand)
 					evaluated++
@@ -152,10 +169,14 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 
 	best.Evaluated = evaluated
 	best.Elapsed = time.Since(start)
+	best.Stopped = stopped
 	if best.Mapping == nil {
 		best.InvalidReason = "no mapping meets the minimum utilization constraints"
 		if !anyTileMetUtil {
 			best.InvalidReason = "no tiling reaches the minimum buffer utilization"
+		}
+		if best.Stopped != anytime.Complete {
+			best.InvalidReason = "stopped (" + best.Stopped.String() + ") before any mapping met the utilization constraints"
 		}
 		return best
 	}

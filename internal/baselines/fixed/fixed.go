@@ -10,6 +10,7 @@
 package fixed
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -85,6 +86,14 @@ func (m *Mapper) stationaryTensor(w *tensor.Workload) *tensor.Tensor {
 		}
 		return best
 	}
+}
+
+// MapContext implements baselines.Mapper: this search is one-shot and
+// sub-second, so it only short-circuits an already-done context and
+// otherwise runs to completion with panic containment (see
+// baselines.RunContext).
+func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) baselines.Result {
+	return baselines.RunContext(ctx, m.Name(), func() baselines.Result { return m.Map(w, a) })
 }
 
 // Map implements baselines.Mapper: the stationary operand's non-indexing

@@ -13,6 +13,7 @@
 package interstellar
 
 import (
+	"context"
 	"math"
 	"time"
 
@@ -40,6 +41,14 @@ func New() *Mapper { return &Mapper{Model: cost.Default, MinPEUtil: 0.5} }
 
 // Name implements baselines.Mapper.
 func (m *Mapper) Name() string { return "INTER" }
+
+// MapContext implements baselines.Mapper: this search is one-shot and
+// sub-second, so it only short-circuits an already-done context and
+// otherwise runs to completion with panic containment (see
+// baselines.RunContext).
+func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) baselines.Result {
+	return baselines.RunContext(ctx, m.Name(), func() baselines.Result { return m.Map(w, a) })
+}
 
 // Map implements baselines.Mapper.
 func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {

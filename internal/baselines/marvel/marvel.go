@@ -15,6 +15,7 @@
 package marvel
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -47,6 +48,14 @@ func New() *Mapper {
 
 // Name implements baselines.Mapper.
 func (m *Mapper) Name() string { return "Marvel" }
+
+// MapContext implements baselines.Mapper: this search is one-shot and
+// sub-second, so it only short-circuits an already-done context and
+// otherwise runs to completion with panic containment (see
+// baselines.RunContext).
+func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) baselines.Result {
+	return baselines.RunContext(ctx, m.Name(), func() baselines.Result { return m.Map(w, a) })
+}
 
 // Map implements baselines.Mapper.
 func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {

@@ -14,11 +14,13 @@
 package timeloop
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sync"
 	"time"
 
+	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
 	"sunstone/internal/baselines"
 	"sunstone/internal/cost"
@@ -69,6 +71,17 @@ func (m *Mapper) Name() string { return m.Cfg.Name }
 
 // Map implements baselines.Mapper.
 func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
+	return m.MapContext(context.Background(), w, a)
+}
+
+// MapContext implements baselines.Mapper with the anytime contract: every
+// search thread polls ctx alongside the tool's own MaxTime budget (every 256
+// samples), so a deadline or cancel stops the whole search within one
+// polling interval and returns the best mapping sampled so far. A panicking
+// cost-model evaluation is contained per sample: the poisoned candidate
+// counts as an invalid sample (feeding the TO termination condition, exactly
+// like Timeloop's own rejection path) and is reported in Result.Errors.
+func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) baselines.Result {
 	start := time.Now()
 	cfg := m.Cfg
 	if cfg.Threads <= 0 {
@@ -78,11 +91,24 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 		cfg.MaxTime = 20 * time.Second
 	}
 	deadline := start.Add(cfg.MaxTime)
+	budgetHit := false
 
 	type threadBest struct {
 		m         *mapping.Mapping
 		rep       cost.Report
 		evaluated int
+		budgetHit bool
+		panics    []error
+	}
+	// evalSample contains a poisoned evaluation: the panic becomes a
+	// per-candidate error and the sample reads as invalid.
+	evalSample := func(cand *mapping.Mapping) (rep cost.Report, perr error) {
+		defer func() {
+			if e := anytime.PanicErrorFrom(recover(), "Timeloop sample evaluation", cand.String); e != nil {
+				perr = e
+			}
+		}()
+		return m.Model.Evaluate(cand), nil
 	}
 	results := make([]threadBest, cfg.Threads)
 	var wg sync.WaitGroup
@@ -96,12 +122,25 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 			var bestRep cost.Report
 			invalidStreak, noImproveStreak, evaluated := 0, 0, 0
 			for invalidStreak < cfg.TO && noImproveStreak < cfg.VC {
-				if evaluated%256 == 0 && time.Now().After(deadline) {
-					break
+				if evaluated%256 == 0 {
+					if ctx.Err() != nil {
+						break
+					}
+					if time.Now().After(deadline) {
+						results[t].budgetHit = true
+						break
+					}
 				}
 				cand := randomMapping(w, a, rng)
-				rep := m.Model.Evaluate(cand)
+				rep, perr := evalSample(cand)
 				evaluated++
+				if perr != nil {
+					if len(results[t].panics) < 8 {
+						results[t].panics = append(results[t].panics, perr)
+					}
+					invalidStreak++
+					continue
+				}
 				if !rep.Valid {
 					invalidStreak++
 					continue
@@ -116,7 +155,9 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 					noImproveStreak++
 				}
 			}
-			results[t] = threadBest{m: best, rep: bestRep, evaluated: evaluated}
+			results[t].m = best
+			results[t].rep = bestRep
+			results[t].evaluated = evaluated
 		}(t)
 	}
 	wg.Wait()
@@ -125,15 +166,30 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 	bestEDP := math.Inf(1)
 	for _, r := range results {
 		out.Evaluated += r.evaluated
+		budgetHit = budgetHit || r.budgetHit
+		for _, e := range r.panics {
+			if len(out.Errors) < 8 {
+				out.Errors = append(out.Errors, e)
+			}
+		}
 		if r.m != nil && r.rep.EDP < bestEDP {
 			bestEDP = r.rep.EDP
 			out.Mapping = r.m
 			out.Report = r.rep
 		}
 	}
+	switch {
+	case anytime.FromContext(ctx) != anytime.Complete:
+		out.Stopped = anytime.FromContext(ctx)
+	case budgetHit:
+		out.Stopped = anytime.Budget
+	}
 	if out.Mapping == nil {
 		out.Valid = false
 		out.InvalidReason = "random search found no valid mapping"
+		if out.Stopped != anytime.Complete {
+			out.InvalidReason += " before the search stopped (" + out.Stopped.String() + ")"
+		}
 		return out
 	}
 	out.Valid = true

@@ -1,9 +1,13 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
+	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
+	"sunstone/internal/cost"
 	"sunstone/internal/factor"
 	"sunstone/internal/mapping"
 	"sunstone/internal/order"
@@ -12,72 +16,152 @@ import (
 	"sunstone/internal/unroll"
 )
 
+// incumbent is the anytime best-so-far: the best *completed* (evaluable)
+// mapping observed at any point of the search, maintained so an early stop
+// can return real work instead of nothing.
+type incumbent struct {
+	m     *mapping.Mapping
+	rep   cost.Report
+	score float64
+}
+
+// observe folds a scored, completed state into the incumbent.
+func (inc *incumbent) observe(s state) {
+	if s.completed != nil && s.rep.Valid && (inc.m == nil || s.score < inc.score) {
+		inc.m, inc.rep, inc.score = s.completed, s.rep, s.score
+	}
+}
+
+// finish stamps res with the incumbent and the stop reason. When the search
+// was stopped before any valid mapping completed, it reports an error — the
+// only case where an anytime return has nothing to give.
+func (inc *incumbent) finish(res Result, reason StopReason) (Result, error) {
+	res.Stopped = reason
+	if inc.m == nil {
+		return res, fmt.Errorf("search stopped (%s) before any valid mapping was completed", reason)
+	}
+	res.Mapping = inc.m
+	res.Report = inc.rep
+	return res, nil
+}
+
 // bottomUp optimizes level by level starting at the memory closest to the
 // MACs (the paper's default; Table VI shows it examines an order of
 // magnitude fewer candidates than top-down because completed-cost estimates
 // are tight when the low levels — where most accesses happen — are fixed
-// first).
-func bottomUp(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
+// first). It polls ctx between orderings, candidates and levels; on
+// cancellation it returns the incumbent best completed mapping.
+func bottomUp(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
 	orderings, ostats := order.Enumerate(w)
 	res := Result{OrderingsConsidered: ostats.Survivors}
 
 	states := []state{{m: mapping.New(w, a)}}
 	top := len(a.Levels) - 1
 
+	// Seed the incumbent with the trivial completion (everything at the top
+	// level) so even an immediate cancel returns a valid mapping.
+	var inc incumbent
+	if trivial := complete(states[0].m); trivial != nil {
+		if rep, err := safeEval(opt.Model, trivial); err == nil {
+			inc.observe(state{completed: trivial, rep: rep, score: opt.Objective.Score(rep)})
+		} else {
+			res.CandidateErrors = appendCapped(res.CandidateErrors, err)
+		}
+	}
+
 	for l := 0; l < top; l++ {
+		if r := anytime.FromContext(ctx); r != StopComplete {
+			return inc.finish(res, r)
+		}
 		var produced []*mapping.Mapping
 		for _, st := range states {
-			cands, effort := expandLevel(st.m, l, orderings, opt)
+			cands, effort := expandLevel(ctx, st.m, l, orderings, opt)
 			produced = append(produced, cands...)
 			res.SpaceSize += effort
+			if anytime.FromContext(ctx) != StopComplete {
+				break // partial batch: score what we have, then stop above
+			}
 		}
 		if len(produced) == 0 {
+			if r := anytime.FromContext(ctx); r != StopComplete {
+				return inc.finish(res, r)
+			}
 			return res, fmt.Errorf("no feasible candidates at level %d (%s): tiles cannot fit", l, a.Levels[l].Name)
 		}
-		scored := evalAll(produced, opt)
+		scored, panics := evalAll(ctx, produced, opt)
+		for _, e := range panics {
+			res.CandidateErrors = appendCapped(res.CandidateErrors, e)
+		}
 		res.SpaceSize += len(produced)
 		states = prune(scored, opt)
 		if len(states) == 0 {
-			return res, fmt.Errorf("all candidates at level %d are invalid", l)
+			if r := anytime.FromContext(ctx); r != StopComplete {
+				return inc.finish(res, r)
+			}
+			return res, errors.Join(append([]error{fmt.Errorf("all candidates at level %d are invalid", l)}, res.CandidateErrors...)...)
+		}
+		inc.observe(states[0])
+		if r := anytime.FromContext(ctx); r != StopComplete {
+			return inc.finish(res, r)
 		}
 	}
 
 	best := states[0]
-	final := complete(best.m)
-	rep := opt.Model.Evaluate(final)
+	final, rep := best.completed, best.rep
+	if final == nil {
+		// Evaluation of the winner was skipped or poisoned; fall back to
+		// the incumbent.
+		return inc.finish(res, anytime.FromContext(ctx))
+	}
 	if !opt.NoPolish {
 		var evals int
-		final, rep, evals = polish(final, rep, orderings, opt)
+		var reason StopReason
+		final, rep, evals, reason = polish(ctx, final, rep, orderings, opt)
 		res.SpaceSize += evals
+		res.Stopped = reason
 	}
 	res.Mapping = final
 	res.Report = rep
 	return res, nil
 }
 
+// appendCapped appends err to errs unless the cap is reached.
+func appendCapped(errs []error, err error) []error {
+	if len(errs) >= maxCandidateErrors {
+		return errs
+	}
+	return append(errs, err)
+}
+
 // expandLevel generates the candidate extensions of partial mapping base at
 // step l: loop ordering for level l+1, tiling of level l, spatial unrolling
 // at level 0 (step 0 only) and at level l+1. Returns the candidates plus the
 // enumeration effort (tree nodes visited), which depends on the intra-level
-// Strategy.
-func expandLevel(base *mapping.Mapping, l int, orderings []order.Ordering, opt Options) ([]*mapping.Mapping, int) {
+// Strategy. Cancellation is polled between orderings — the bounded unit of
+// work here — so a stop truncates the candidate set rather than discarding
+// it.
+func expandLevel(ctx context.Context, base *mapping.Mapping, l int, orderings []order.Ordering, opt Options) ([]*mapping.Mapping, int) {
 	w := base.Workload
 	a := base.Arch
 	effort := 0
+	poll := &anytime.Poller{Ctx: ctx}
 
 	// Strategy accounting: the non-default intra-level orders enumerate
 	// their first stage without the ordering's principle guidance and
 	// filter later, so they visit extra nodes for the same final set.
 	switch opt.Strategy {
 	case TileUnrollOrder:
-		effort += unguidedTileEffort(base, l, opt)
+		effort += unguidedTileEffort(ctx, base, l, opt)
 	case UnrollTileOrder:
 		effort += unguidedUnrollEffort(base, l, opt)
-		effort += unguidedTileEffort(base, l, opt)
+		effort += unguidedTileEffort(ctx, base, l, opt)
 	}
 
 	var out []*mapping.Mapping
 	for oi := range orderings {
+		if poll.Stop() != StopComplete {
+			break
+		}
 		o := &orderings[oi]
 		m1 := base.Clone()
 		m1.Levels[l+1].Order = o.Complete(w)
@@ -102,7 +186,7 @@ func expandLevel(base *mapping.Mapping, l int, orderings []order.Ordering, opt O
 				effort += len(withSpatial)
 			}
 			for _, m3 := range withSpatial {
-				tiles, tstats := enumerateTiles(m3, l, grow, opt)
+				tiles, tstats := enumerateTiles(ctx, m3, l, grow, opt)
 				effort += tstats.NodesVisited
 				for _, tc := range tiles {
 					m4 := m3.Clone()
@@ -122,9 +206,15 @@ func expandLevel(base *mapping.Mapping, l int, orderings []order.Ordering, opt O
 
 // enumerateTiles runs the tiling tree for level l of partial mapping m with
 // the given grow dimensions, checking capacity feasibility from level l up.
-func enumerateTiles(m *mapping.Mapping, l int, grow []tensor.Dim, opt Options) ([]tile.Candidate, tile.Stats) {
+// A canceled context makes the fits predicate reject everything, which
+// collapses the remaining tree growth within a few dozen probes.
+func enumerateTiles(ctx context.Context, m *mapping.Mapping, l int, grow []tensor.Dim, opt Options) ([]tile.Candidate, tile.Stats) {
 	scratch := m.Clone()
+	poll := &anytime.Poller{Ctx: ctx, Every: 64}
 	fits := func(c tile.Candidate) bool {
+		if poll.Stop() != StopComplete {
+			return false
+		}
 		for d := range m.Workload.Dims {
 			delete(scratch.Levels[l].Temporal, d)
 		}
@@ -243,8 +333,8 @@ func remainingQuota(m *mapping.Mapping) map[tensor.Dim]int {
 
 // unguidedTileEffort counts the tiling-tree nodes an ordering-last strategy
 // visits: the tree grown along every dimension, no Tiling Principle filter.
-func unguidedTileEffort(m *mapping.Mapping, l int, opt Options) int {
-	_, stats := enumerateTiles(m, l, nil, opt)
+func unguidedTileEffort(ctx context.Context, m *mapping.Mapping, l int, opt Options) int {
+	_, stats := enumerateTiles(ctx, m, l, nil, opt)
 	return stats.NodesVisited
 }
 

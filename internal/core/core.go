@@ -24,17 +24,36 @@
 package core
 
 import (
+	"context"
+	"errors"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
 	"sync"
 	"time"
 
+	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
 	"sunstone/internal/cost"
 	"sunstone/internal/mapping"
 	"sunstone/internal/order"
+	"sunstone/internal/serde"
 	"sunstone/internal/tensor"
+)
+
+// StopReason re-exports the anytime-search stop taxonomy (see
+// internal/anytime): every Optimize entry point is an anytime algorithm that
+// on cancellation, deadline, or budget exhaustion returns the best mapping
+// completed so far with Result.Stopped set, instead of discarding work.
+type StopReason = anytime.StopReason
+
+// Stop reasons for Result.Stopped.
+const (
+	StopComplete = anytime.Complete
+	StopDeadline = anytime.Deadline
+	StopCanceled = anytime.Canceled
+	StopBudget   = anytime.Budget
 )
 
 // Direction selects the inter-level optimization order (Table VI).
@@ -163,6 +182,70 @@ type Options struct {
 	// The cap exists because the top-down space is orders of magnitude
 	// larger (Table VI) — exactly the pathology the paper reports.
 	TopDownVisitBudget int
+	// Timeout bounds the search wall-clock (0 = unbounded). When it
+	// expires the search stops at the next cancellation poll and returns
+	// the best mapping completed so far with Result.Stopped = StopDeadline.
+	// Equivalent to passing OptimizeContext a context with that deadline.
+	Timeout time.Duration
+}
+
+// Maximum sane values for Options.Validate: beyond these the caller almost
+// certainly passed a wrong unit (e.g. nanoseconds as a count) and the search
+// would never finish or would exhaust memory.
+const (
+	maxBeamWidth  = 1 << 20
+	maxThreads    = 4096
+	maxPerStep    = 1 << 20
+	maxAlphaSlack = 1e12
+)
+
+// Validate rejects option values that today would be silently defaulted or
+// silently accepted but can never be what the caller meant: NaN or negative
+// floats, MinUtilization above 1 (no unrolling can exceed full utilization),
+// and absurd Threads/BeamWidth magnitudes. Zero values remain "use the
+// default" and are always accepted. Optimize calls this on every run.
+func (o Options) Validate() error {
+	var errs []error
+	badf := func(name string, v float64) {
+		errs = append(errs, fmt.Errorf("Options.%s = %v: must be a finite non-negative number (0 = default)", name, v))
+	}
+	if math.IsNaN(o.AlphaSlack) || math.IsInf(o.AlphaSlack, 0) || o.AlphaSlack < 0 {
+		badf("AlphaSlack", o.AlphaSlack)
+	} else if o.AlphaSlack > maxAlphaSlack {
+		errs = append(errs, fmt.Errorf("Options.AlphaSlack = %v: larger than %g disables pruning entirely; use 0 for the default", o.AlphaSlack, float64(maxAlphaSlack)))
+	}
+	if math.IsNaN(o.MinUtilization) || math.IsInf(o.MinUtilization, 0) || o.MinUtilization < 0 {
+		badf("MinUtilization", o.MinUtilization)
+	} else if o.MinUtilization > 1 {
+		errs = append(errs, fmt.Errorf("Options.MinUtilization = %v: utilization is a fraction, must be <= 1", o.MinUtilization))
+	}
+	badRange := func(name string, v, max int) {
+		if v < 0 {
+			errs = append(errs, fmt.Errorf("Options.%s = %d: must be non-negative (0 = default)", name, v))
+		} else if v > max {
+			errs = append(errs, fmt.Errorf("Options.%s = %d: exceeds the sane maximum %d", name, v, max))
+		}
+	}
+	badRange("BeamWidth", o.BeamWidth, maxBeamWidth)
+	badRange("Threads", o.Threads, maxThreads)
+	badRange("TilesPerStep", o.TilesPerStep, maxPerStep)
+	badRange("UnrollsPerStep", o.UnrollsPerStep, maxPerStep)
+	if o.TopDownVisitBudget < 0 {
+		errs = append(errs, fmt.Errorf("Options.TopDownVisitBudget = %d: must be non-negative (0 = default)", o.TopDownVisitBudget))
+	}
+	if o.Timeout < 0 {
+		errs = append(errs, fmt.Errorf("Options.Timeout = %v: must be non-negative (0 = unbounded)", o.Timeout))
+	}
+	if o.Direction != BottomUp && o.Direction != TopDown {
+		errs = append(errs, fmt.Errorf("Options.Direction = %d: unknown direction", int(o.Direction)))
+	}
+	if o.Strategy < OrderTileUnroll || o.Strategy > UnrollTileOrder {
+		errs = append(errs, fmt.Errorf("Options.Strategy = %d: unknown strategy", int(o.Strategy)))
+	}
+	if o.Objective < MinEDP || o.Objective > MinED2P {
+		errs = append(errs, fmt.Errorf("Options.Objective = %d: unknown objective", int(o.Objective)))
+	}
+	return errors.Join(errs...)
 }
 
 func (o Options) withDefaults() Options {
@@ -197,16 +280,45 @@ func (o Options) withDefaults() Options {
 type Result struct {
 	Mapping *mapping.Mapping
 	Report  cost.Report
+	// Stopped records why the search returned: StopComplete for a full
+	// run, StopDeadline/StopCanceled when the context ended the search
+	// early (Mapping is then the best completed so far), StopBudget when
+	// an enumeration budget was exhausted.
+	Stopped StopReason
 	// SpaceSize counts the candidate mappings the search examined — the
 	// paper's "space size" merit (Tables I and VI).
 	SpaceSize int
 	// OrderingsConsidered is the surviving ordering-trie candidate count.
 	OrderingsConsidered int
-	Elapsed             time.Duration
+	// CandidateErrors holds panics recovered from candidate evaluations
+	// (each an *anytime.PanicError with the offending mapping serialized),
+	// capped at maxCandidateErrors. The search survives them: a poisoned
+	// candidate simply scores invalid.
+	CandidateErrors []error
+	Elapsed         time.Duration
 }
 
-// Optimize searches for the best mapping of w onto a.
+// maxCandidateErrors caps Result.CandidateErrors so a systematically
+// panicking cost model cannot balloon memory; further panics are dropped
+// after the first few identical repros.
+const maxCandidateErrors = 8
+
+// Optimize searches for the best mapping of w onto a. It is
+// OptimizeContext with a background context; Options.Timeout still applies.
 func Optimize(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
+	return OptimizeContext(context.Background(), w, a, opt)
+}
+
+// OptimizeContext searches for the best mapping of w onto a under ctx.
+// The search is an *anytime* algorithm: it polls ctx at bounded intervals,
+// and on cancellation or deadline (from ctx or Options.Timeout) it stops
+// within one polling interval and returns the best completed mapping seen so
+// far with Result.Stopped set — a nil error as long as at least one valid
+// mapping was completed before the signal.
+func OptimizeContext(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
+	if err := opt.Validate(); err != nil {
+		return Result{}, err
+	}
 	opt = opt.withDefaults()
 	if err := w.Validate(); err != nil {
 		return Result{}, err
@@ -214,13 +326,21 @@ func Optimize(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
 	if err := a.Validate(); err != nil {
 		return Result{}, err
 	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if opt.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, opt.Timeout)
+		defer cancel()
+	}
 	start := time.Now()
 	var res Result
 	var err error
 	if opt.Direction == TopDown {
-		res, err = topDown(w, a, opt)
+		res, err = topDown(ctx, w, a, opt)
 	} else {
-		res, err = bottomUp(w, a, opt)
+		res, err = bottomUp(ctx, w, a, opt)
 	}
 	res.Elapsed = time.Since(start)
 	return res, err
@@ -228,10 +348,11 @@ func Optimize(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
 
 // state is one partial mapping plus its completed-cost estimate.
 type state struct {
-	m     *mapping.Mapping
-	score float64 // objective value of the completed form
-	rep   cost.Report
-	key   string // deterministic tie-break
+	m         *mapping.Mapping
+	completed *mapping.Mapping // the evaluated completion of m (anytime incumbent)
+	score     float64          // objective value of the completed form
+	rep       cost.Report
+	key       string // deterministic tie-break
 }
 
 // complete clones m into a full (evaluable) mapping: every intermediate
@@ -323,10 +444,16 @@ func feasible(m *mapping.Mapping, from int) bool {
 }
 
 // evalAll scores the completed forms of the given mappings in parallel and
-// returns them as states sorted by (EDP, render) for determinism.
-func evalAll(ms []*mapping.Mapping, opt Options) []state {
+// returns them as states sorted by (EDP, render) for determinism, plus any
+// panics recovered from poisoned evaluations (capped at
+// maxCandidateErrors). Once ctx is done the remaining unevaluated mappings
+// are skipped — they surface as +Inf states the caller's prune discards —
+// so a cancel drains the worker pool within one evaluation per thread.
+func evalAll(ctx context.Context, ms []*mapping.Mapping, opt Options) ([]state, []error) {
 	states := make([]state, len(ms))
 	var wg sync.WaitGroup
+	var mu sync.Mutex
+	var panics []error
 	sem := make(chan struct{}, opt.Threads)
 	for i := range ms {
 		wg.Add(1)
@@ -334,8 +461,23 @@ func evalAll(ms []*mapping.Mapping, opt Options) []state {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			rep := opt.Model.Evaluate(complete(ms[i]))
-			states[i] = state{m: ms[i], score: opt.Objective.Score(rep), rep: rep, key: ms[i].String()}
+			defer func() {
+				if e := anytime.PanicErrorFrom(recover(), "evaluate candidate mapping", func() string { return reproMapping(ms[i]) }); e != nil {
+					states[i] = state{m: ms[i], score: math.Inf(1), key: ms[i].String()}
+					mu.Lock()
+					if len(panics) < maxCandidateErrors {
+						panics = append(panics, e)
+					}
+					mu.Unlock()
+				}
+			}()
+			if ctx.Err() != nil {
+				states[i] = state{m: ms[i], score: math.Inf(1), key: ms[i].String()}
+				return
+			}
+			c := complete(ms[i])
+			rep := opt.Model.Evaluate(c)
+			states[i] = state{m: ms[i], completed: c, score: opt.Objective.Score(rep), rep: rep, key: ms[i].String()}
 		}(i)
 	}
 	wg.Wait()
@@ -345,7 +487,32 @@ func evalAll(ms []*mapping.Mapping, opt Options) []state {
 		}
 		return states[i].key < states[j].key
 	})
-	return states
+	return states, panics
+}
+
+// safeEval evaluates m with the given model, converting a panic in the cost
+// model into an invalid report plus a *anytime.PanicError. Used wherever a
+// single evaluation runs outside the evalAll worker pool.
+func safeEval(model cost.Model, m *mapping.Mapping) (rep cost.Report, err error) {
+	defer func() {
+		if e := anytime.PanicErrorFrom(recover(), "evaluate mapping", func() string { return reproMapping(m) }); e != nil {
+			rep = cost.Report{EDP: math.Inf(1), EnergyPJ: math.Inf(1), Cycles: math.Inf(1), Invalid: e}
+			err = e
+		}
+	}()
+	return model.Evaluate(m), nil
+}
+
+// reproMapping serializes m for panic-repro messages: JSON (reloadable via
+// serde.DecodeMapping) when possible, the human render otherwise.
+func reproMapping(m *mapping.Mapping) string {
+	if m == nil {
+		return "<nil mapping>"
+	}
+	if data, err := serde.EncodeMapping(m); err == nil {
+		return string(data)
+	}
+	return m.String()
 }
 
 // prune applies beam and alpha-beta selection to sorted states.

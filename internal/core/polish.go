@@ -1,6 +1,9 @@
 package core
 
 import (
+	"context"
+
+	"sunstone/internal/anytime"
 	"sunstone/internal/cost"
 	"sunstone/internal/factor"
 	"sunstone/internal/mapping"
@@ -14,18 +17,30 @@ import (
 // search's per-level decomposition is near-optimal but can leave small
 // cross-level imbalances; a few dozen local moves recover them at a cost of
 // a few hundred evaluations (counted in the returned total).
-func polish(best *mapping.Mapping, rep cost.Report, orderings []order.Ordering, opt Options) (*mapping.Mapping, cost.Report, int) {
+//
+// Polish is inherently anytime — the input mapping is already complete and
+// every accepted move only improves it — so cancellation simply stops the
+// climb wherever it is and reports the reason; a panicking evaluation
+// rejects that one move.
+func polish(ctx context.Context, best *mapping.Mapping, rep cost.Report, orderings []order.Ordering, opt Options) (*mapping.Mapping, cost.Report, int, StopReason) {
 	cur := best
 	curRep := rep
 	evals := 0
 	const maxRounds = 8
+	poll := &anytime.Poller{Ctx: ctx}
 
 	for round := 0; round < maxRounds; round++ {
 		improved := false
 
 		try := func(cand *mapping.Mapping) bool {
-			r := opt.Model.Evaluate(cand)
+			if poll.Stop() != StopComplete {
+				return false
+			}
+			r, err := safeEval(opt.Model, cand)
 			evals++
+			if err != nil {
+				return false // poisoned move: skip it, keep climbing
+			}
 			if r.Valid && opt.Objective.Score(r) < opt.Objective.Score(curRep)*(1-1e-12) {
 				cur, curRep = cand, r
 				return true
@@ -120,11 +135,11 @@ func polish(best *mapping.Mapping, rep cost.Report, orderings []order.Ordering, 
 			}
 		}
 
-		if !improved {
+		if !improved || poll.Stop() != StopComplete {
 			break
 		}
 	}
-	return cur, curRep, evals
+	return cur, curRep, evals, poll.Stop()
 }
 
 // uniquePrimes returns the distinct prime factors of n.

@@ -1,8 +1,11 @@
 package core
 
 import (
+	"context"
+	"errors"
 	"fmt"
 
+	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
 	"sunstone/internal/factor"
 	"sunstone/internal/mapping"
@@ -20,7 +23,7 @@ import (
 // for why this direction examines an order of magnitude more candidates —
 // and the alpha-beta estimates are looser because low-level access counts
 // are unknown until the very end.
-func topDown(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
+func topDown(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
 	orderings, ostats := order.Enumerate(w)
 	res := Result{OrderingsConsidered: ostats.Survivors}
 
@@ -32,51 +35,90 @@ func topDown(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
 	if stepBudget < 1 {
 		stepBudget = 1
 	}
+	budgetHit := false
+
+	// Anytime incumbent, seeded with the trivial completion so even an
+	// immediate cancel has a valid mapping to return.
+	var inc incumbent
+	if trivial := complete(states[0].m); trivial != nil {
+		if rep, err := safeEval(opt.Model, trivial); err == nil {
+			inc.observe(state{completed: trivial, rep: rep, score: opt.Objective.Score(rep)})
+		} else {
+			res.CandidateErrors = appendCapped(res.CandidateErrors, err)
+		}
+	}
 
 	for m := top; m >= 1; m-- {
+		if r := anytime.FromContext(ctx); r != StopComplete {
+			return inc.finish(res, r)
+		}
 		var produced []*mapping.Mapping
 		remaining := stepBudget
 		for _, st := range states {
-			cands, visited := expandTopLevel(st.m, m, orderings, opt, remaining)
+			cands, visited := expandTopLevel(ctx, st.m, m, orderings, opt, remaining)
 			res.SpaceSize += visited
 			remaining -= visited
 			produced = append(produced, cands...)
 			if remaining <= 0 {
+				budgetHit = true
+				break
+			}
+			if anytime.FromContext(ctx) != StopComplete {
 				break
 			}
 		}
 		if len(produced) == 0 {
+			if r := anytime.FromContext(ctx); r != StopComplete {
+				return inc.finish(res, r)
+			}
 			return res, fmt.Errorf("top-down: no feasible candidates at level %d (%s)", m, a.Levels[m].Name)
 		}
 		// Score by completing downward: remaining factors land in the
 		// level-(m-1) tile, lower levels at 1. (The final step's states are
 		// already complete mappings.)
-		scored := scoreTopDown(produced, m-1, opt)
+		scored, panics := scoreTopDown(ctx, produced, m-1, opt)
+		for _, e := range panics {
+			res.CandidateErrors = appendCapped(res.CandidateErrors, e)
+		}
 		states = prune(scored, opt)
 		if len(states) == 0 {
-			return res, fmt.Errorf("top-down: all candidates invalid at level %d", m)
+			if r := anytime.FromContext(ctx); r != StopComplete {
+				return inc.finish(res, r)
+			}
+			return res, errors.Join(append([]error{fmt.Errorf("top-down: all candidates invalid at level %d", m)}, res.CandidateErrors...)...)
 		}
+		inc.observe(states[0])
 	}
 
 	best := states[0]
-	rep := opt.Model.Evaluate(best.m)
-	res.Mapping = best.m
-	res.Report = rep
+	if best.completed == nil || !best.rep.Valid {
+		return inc.finish(res, anytime.FromContext(ctx))
+	}
+	res.Mapping = best.completed
+	res.Report = best.rep
+	if budgetHit {
+		res.Stopped = StopBudget
+	}
 	return res, nil
 }
 
 // expandTopLevel enumerates (ordering, spatial, temporal-factor) choices for
 // level m of partial mapping base. The returned visit count includes
 // capacity-rejected combinations (they were examined). Enumeration stops
-// when the remaining visit budget is exhausted.
-func expandTopLevel(base *mapping.Mapping, m int, orderings []order.Ordering, opt Options, budget int) ([]*mapping.Mapping, int) {
+// when the remaining visit budget is exhausted or the context is canceled
+// (polled every 1024 visits — the recursion itself is the hot loop here).
+func expandTopLevel(ctx context.Context, base *mapping.Mapping, m int, orderings []order.Ordering, opt Options, budget int) ([]*mapping.Mapping, int) {
 	w := base.Workload
 	a := base.Arch
 	visited := 0
 	var out []*mapping.Mapping
+	poll := &anytime.Poller{Ctx: ctx, Every: 1024}
 
 	dims := w.Order
 	for oi := range orderings {
+		if poll.Stop() != StopComplete {
+			break
+		}
 		o := &orderings[oi]
 		m1 := base.Clone()
 		m1.Levels[m].Order = o.Complete(w)
@@ -109,7 +151,7 @@ func expandTopLevel(base *mapping.Mapping, m int, orderings []order.Ordering, op
 			cur := make(map[tensor.Dim]int, len(dims))
 			var rec func(i int)
 			rec = func(i int) {
-				if visited >= budget {
+				if visited >= budget || poll.Stop() != StopComplete {
 					return
 				}
 				if i == len(dims) {
@@ -229,7 +271,7 @@ func partialRemainderCanFit(m2 *mapping.Mapping, m int, cur map[tensor.Dim]int, 
 // scoreTopDown scores top-down partial mappings by completing them downward:
 // the remaining extents are placed as the level-lvl tile (lower levels stay
 // 1), then the full model runs. For lvl == 0 the mapping is complete as-is.
-func scoreTopDown(ms []*mapping.Mapping, lvl int, opt Options) []state {
+func scoreTopDown(ctx context.Context, ms []*mapping.Mapping, lvl int, opt Options) ([]state, []error) {
 	completed := make([]*mapping.Mapping, len(ms))
 	for i, m := range ms {
 		c := m.Clone()
@@ -243,9 +285,10 @@ func scoreTopDown(ms []*mapping.Mapping, lvl int, opt Options) []state {
 		}
 		completed[i] = c
 	}
-	states := evalAll(completed, opt)
+	states, panics := evalAll(ctx, completed, opt)
 	// Re-point the states at the *partial* mappings so the next step
-	// extends them (evalAll sorted by the completed cost; map back).
+	// extends them (evalAll sorted by the completed cost; map back). The
+	// completed form stays in state.completed for incumbent tracking.
 	byPtr := map[*mapping.Mapping]*mapping.Mapping{}
 	for i := range completed {
 		byPtr[completed[i]] = ms[i]
@@ -255,5 +298,5 @@ func scoreTopDown(ms []*mapping.Mapping, lvl int, opt Options) []state {
 			states[i].m = byPtr[states[i].m]
 		}
 	}
-	return states
+	return states, panics
 }

@@ -38,12 +38,22 @@ import (
 	"sunstone/internal/tensor"
 )
 
+// Probe observes every evaluation before it runs. Stress tests install
+// panicking or delaying probes to simulate poisoned cost models; the search
+// stack's panic isolation must contain whatever a probe throws.
+type Probe interface {
+	BeforeEvaluate(m *mapping.Mapping)
+}
+
 // Model configures cost evaluation.
 type Model struct {
 	// SlidingReuse enables the sliding-window overlap discount. On by
 	// default (Timeloop models halo reuse too); the paper's Eqs. (1)-(3)
 	// hold either way for their loop order.
 	SlidingReuse bool
+	// Probe, if set, is called at the start of every Evaluate (fault
+	// injection for robustness tests; nil in production).
+	Probe Probe
 }
 
 // Default is the model configuration used throughout the experiments.
@@ -91,6 +101,9 @@ func Evaluate(m *mapping.Mapping) Report { return Default.Evaluate(m) }
 // Evaluate validates and scores a mapping. Invalid mappings get
 // Valid=false and +Inf EDP but are still safe to compare.
 func (mo Model) Evaluate(m *mapping.Mapping) Report {
+	if mo.Probe != nil {
+		mo.Probe.BeforeEvaluate(m)
+	}
 	r := Report{
 		Breakdown: map[string]float64{},
 		Accesses:  map[string]Access{},

@@ -11,12 +11,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 	"strings"
 	"time"
 
+	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
 	"sunstone/internal/baselines"
 	"sunstone/internal/baselines/cosa"
@@ -34,6 +36,11 @@ type Config struct {
 	Quick bool
 	// Seed drives every randomized baseline.
 	Seed int64
+	// LayerTimeout, when positive, bounds each tool's per-workload search
+	// wall-clock via the anytime contract: a run that hits the deadline
+	// still reports its best mapping so far, with ToolRun.Stopped noting
+	// the early stop. Zero means every tool runs its own natural budget.
+	LayerTimeout time.Duration
 }
 
 // DefaultConfig is the configuration the committed EXPERIMENTS.md numbers
@@ -71,14 +78,29 @@ type ToolRun struct {
 	EDP      float64
 	EnergyPJ float64
 	Cycles   float64
-	Seconds  float64
-	Valid    bool
-	Reason   string
+	// Seconds is the tool's wall-clock time-to-solution for this cell.
+	Seconds float64
+	Valid   bool
+	Reason  string
+	// Stopped is empty for a run that completed naturally; otherwise the
+	// StopReason string ("deadline", "canceled", "budget") of an anytime
+	// early return — the EDP then reflects the best mapping found so far.
+	Stopped string
 }
 
-// runSunstone wraps the optimizer as a ToolRun producer.
-func runSunstone(w *tensor.Workload, a *arch.Arch) ToolRun {
-	res, err := core.Optimize(w, a, core.Options{})
+// stoppedLabel renders a StopReason for ToolRun.Stopped: empty when the
+// search ran to completion.
+func stoppedLabel(r anytime.StopReason) string {
+	if r == anytime.Complete {
+		return ""
+	}
+	return r.String()
+}
+
+// runSunstone wraps the optimizer as a ToolRun producer; cfg.LayerTimeout
+// bounds the search via Options.Timeout.
+func runSunstone(cfg Config, w *tensor.Workload, a *arch.Arch) ToolRun {
+	res, err := core.Optimize(w, a, core.Options{Timeout: cfg.LayerTimeout})
 	tr := ToolRun{Tool: "Sunstone", Workload: w.Name}
 	if err != nil {
 		tr.Reason = err.Error()
@@ -89,14 +111,24 @@ func runSunstone(w *tensor.Workload, a *arch.Arch) ToolRun {
 	tr.Cycles = res.Report.Cycles
 	tr.Seconds = res.Elapsed.Seconds()
 	tr.Valid = res.Report.Valid
+	tr.Stopped = stoppedLabel(res.Stopped)
 	return tr
 }
 
-func runBaseline(m baselines.Mapper, w *tensor.Workload, a *arch.Arch) ToolRun {
-	r := m.Map(w, a)
+// runBaseline runs one prior-art mapper under cfg.LayerTimeout (via the
+// MapContext anytime contract) so head-to-head wall-clock budgets are fair.
+func runBaseline(cfg Config, m baselines.Mapper, w *tensor.Workload, a *arch.Arch) ToolRun {
+	ctx := context.Background()
+	if cfg.LayerTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.LayerTimeout)
+		defer cancel()
+	}
+	r := m.MapContext(ctx, w, a)
 	tr := ToolRun{
 		Tool: m.Name(), Workload: w.Name,
 		Seconds: r.Elapsed.Seconds(), Valid: r.Valid, Reason: r.InvalidReason,
+		Stopped: stoppedLabel(r.Stopped),
 	}
 	if r.Valid {
 		tr.EDP = r.Report.EDP
@@ -129,12 +161,16 @@ func RenderRuns(title string, runs []ToolRun) string {
 		}
 		fmt.Fprintf(&b, "  %s\n", wname)
 		for _, r := range rows {
+			note := ""
+			if r.Stopped != "" {
+				note = "  [stopped: " + r.Stopped + "]"
+			}
 			if !r.Valid {
-				fmt.Fprintf(&b, "    %-12s INVALID (%s)  time %.2fs\n", r.Tool, r.Reason, r.Seconds)
+				fmt.Fprintf(&b, "    %-12s INVALID (%s)  time %.2fs%s\n", r.Tool, r.Reason, r.Seconds, note)
 				continue
 			}
 			rel := r.EDP / sunEDP
-			fmt.Fprintf(&b, "    %-12s EDP %.3e (%.2fx Sunstone)  time %.2fs\n", r.Tool, r.EDP, rel, r.Seconds)
+			fmt.Fprintf(&b, "    %-12s EDP %.3e (%.2fx Sunstone)  time %.2fs%s\n", r.Tool, r.EDP, rel, r.Seconds, note)
 		}
 	}
 	return b.String()
@@ -266,9 +302,9 @@ func Fig6(cfg Config) []ToolRun {
 	a := arch.Conventional()
 	var runs []ToolRun
 	for _, w := range ws {
-		runs = append(runs, runSunstone(w, a))
-		runs = append(runs, runBaseline(timeloop.New(cfg.tlFast()), w, a))
-		runs = append(runs, runBaseline(timeloop.New(cfg.tlSlow()), w, a))
+		runs = append(runs, runSunstone(cfg, w, a))
+		runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlFast()), w, a))
+		runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlSlow()), w, a))
 	}
 	return runs
 }
@@ -280,12 +316,12 @@ func Fig7(cfg Config) []ToolRun {
 	a := arch.Conventional()
 	var runs []ToolRun
 	for _, w := range inceptionWULayers(cfg.Quick) {
-		runs = append(runs, runSunstone(w, a))
-		runs = append(runs, runBaseline(timeloop.New(cfg.tlFast()), w, a))
-		runs = append(runs, runBaseline(timeloop.New(cfg.tlSlow()), w, a))
-		runs = append(runs, runBaseline(dmaze.New(dmaze.Fast()), w, a))
-		runs = append(runs, runBaseline(dmaze.New(dmaze.Slow()), w, a))
-		runs = append(runs, runBaseline(interstellar.New(), w, a))
+		runs = append(runs, runSunstone(cfg, w, a))
+		runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlFast()), w, a))
+		runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlSlow()), w, a))
+		runs = append(runs, runBaseline(cfg, dmaze.New(dmaze.Fast()), w, a))
+		runs = append(runs, runBaseline(cfg, dmaze.New(dmaze.Slow()), w, a))
+		runs = append(runs, runBaseline(cfg, interstellar.New(), w, a))
 	}
 	return runs
 }
@@ -297,12 +333,12 @@ func Fig8(cfg Config) []ToolRun {
 	a := arch.Simba()
 	var runs []ToolRun
 	for _, w := range resnetLayers(cfg.Quick, 16) {
-		runs = append(runs, runSunstone(w, a))
-		runs = append(runs, runBaseline(timeloop.New(cfg.tlFast()), w, a))
+		runs = append(runs, runSunstone(cfg, w, a))
+		runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlFast()), w, a))
 		if !cfg.Quick {
-			runs = append(runs, runBaseline(timeloop.New(cfg.tlSlow()), w, a))
+			runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlSlow()), w, a))
 		}
-		runs = append(runs, runBaseline(cosa.New(), w, a))
+		runs = append(runs, runBaseline(cfg, cosa.New(), w, a))
 	}
 	return runs
 }
@@ -318,14 +354,16 @@ func sortedKeys(m map[string]float64) []string {
 }
 
 // RunsCSV renders tool runs as CSV (workload,tool,valid,edp,energy_pj,
-// cycles,seconds,reason) for plotting the figures externally.
+// cycles,seconds,stopped,reason) for plotting the figures externally. The
+// stopped column is empty for naturally-completed runs and otherwise holds
+// the StopReason string of an anytime early return.
 func RunsCSV(runs []ToolRun) string {
 	var b strings.Builder
-	b.WriteString("workload,tool,valid,edp,energy_pj,cycles,seconds,reason\n")
+	b.WriteString("workload,tool,valid,edp,energy_pj,cycles,seconds,stopped,reason\n")
 	for _, r := range runs {
 		reason := strings.ReplaceAll(r.Reason, ",", ";")
-		fmt.Fprintf(&b, "%s,%s,%t,%g,%g,%g,%.3f,%s\n",
-			r.Workload, r.Tool, r.Valid, r.EDP, r.EnergyPJ, r.Cycles, r.Seconds, reason)
+		fmt.Fprintf(&b, "%s,%s,%t,%g,%g,%g,%.3f,%s,%s\n",
+			r.Workload, r.Tool, r.Valid, r.EDP, r.EnergyPJ, r.Cycles, r.Seconds, r.Stopped, reason)
 	}
 	return b.String()
 }

@@ -236,14 +236,37 @@ func DecodeMapping(data []byte, w *tensor.Workload, a *arch.Arch) (*mapping.Mapp
 			len(in.Levels), a.Name, len(a.Levels))
 	}
 	m := mapping.New(w, a)
+	// Every loop must name a workload dimension with a positive bound;
+	// unknown dims would silently corrupt extent and coverage accounting.
+	checkDim := func(lvl int, d string, f int, kind string) error {
+		if _, ok := w.Dims[tensor.Dim(d)]; !ok {
+			return fmt.Errorf("level %s: %s loop over %q: workload %q has no such dimension",
+				a.Levels[lvl].Name, kind, d, w.Name)
+		}
+		if f < 1 {
+			return fmt.Errorf("level %s: %s loop over %s has bound %d, must be >= 1",
+				a.Levels[lvl].Name, kind, d, f)
+		}
+		return nil
+	}
 	for lvl, mlj := range in.Levels {
 		for d, f := range mlj.Temporal {
+			if err := checkDim(lvl, d, f, "temporal"); err != nil {
+				return nil, err
+			}
 			m.Levels[lvl].Temporal[tensor.Dim(d)] = f
 		}
 		for d, f := range mlj.Spatial {
+			if err := checkDim(lvl, d, f, "spatial"); err != nil {
+				return nil, err
+			}
 			m.Levels[lvl].Spatial[tensor.Dim(d)] = f
 		}
 		for _, d := range mlj.Order {
+			if _, ok := w.Dims[tensor.Dim(d)]; !ok {
+				return nil, fmt.Errorf("level %s: loop order names %q: workload %q has no such dimension",
+					a.Levels[lvl].Name, d, w.Name)
+			}
 			m.Levels[lvl].Order = append(m.Levels[lvl].Order, tensor.Dim(d))
 		}
 	}

@@ -5,8 +5,8 @@ import (
 	"testing"
 
 	"sunstone/internal/arch"
-	"sunstone/internal/core"
-	"sunstone/internal/cost"
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
 	"sunstone/internal/workloads"
 )
 
@@ -101,28 +101,6 @@ func TestDecodeArchRejectsInvalid(t *testing.T) {
 	}
 }
 
-func TestMappingRoundTripThroughOptimizer(t *testing.T) {
-	w := workloads.Conv1D("c", 8, 8, 28, 3)
-	a := arch.Tiny(256)
-	res, err := core.Optimize(w, a, core.Options{})
-	if err != nil {
-		t.Fatal(err)
-	}
-	data, err := EncodeMapping(res.Mapping)
-	if err != nil {
-		t.Fatal(err)
-	}
-	back, err := DecodeMapping(data, w, a)
-	if err != nil {
-		t.Fatal(err)
-	}
-	// The decoded mapping must evaluate to exactly the same cost.
-	r1, r2 := cost.Evaluate(res.Mapping), cost.Evaluate(back)
-	if r1.EDP != r2.EDP || r1.EnergyPJ != r2.EnergyPJ {
-		t.Errorf("round trip changed cost: %v vs %v", r2.EDP, r1.EDP)
-	}
-}
-
 func TestDecodeMappingRejects(t *testing.T) {
 	w := workloads.Conv1D("c", 8, 8, 28, 3)
 	a := arch.Tiny(256)
@@ -155,4 +133,115 @@ func FuzzDecodeWorkload(f *testing.F) {
 			t.Errorf("DecodeWorkload accepted an invalid workload: %v", verr)
 		}
 	})
+}
+
+// trivialMapping builds the everything-at-DRAM mapping of w on a: all loops
+// temporal at the top (unbounded) level, workload order at every level.
+func trivialMapping(w *tensor.Workload, a *arch.Arch) *mapping.Mapping {
+	m := mapping.New(w, a)
+	top := len(m.Levels) - 1
+	for d, n := range w.Dims {
+		m.Levels[top].Temporal[d] = n
+	}
+	for lvl := range m.Levels {
+		m.Levels[lvl].Order = append([]tensor.Dim(nil), w.Order...)
+	}
+	return m
+}
+
+// TestDecodeTruncatedNeverPanics feeds every prefix of valid encodings to
+// the three decoders: truncated JSON must yield a clean error, never a panic,
+// and anything accepted must re-validate.
+func TestDecodeTruncatedNeverPanics(t *testing.T) {
+	w := workloads.Conv1D("c", 8, 8, 28, 3)
+	a := arch.Tiny(256)
+	wj, err := EncodeWorkload(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aj, err := EncodeArch(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := trivialMapping(w, a)
+	if verr := m.Validate(); verr != nil {
+		t.Fatalf("trivial mapping invalid: %v", verr)
+	}
+	mj, err := EncodeMapping(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	check := func(name string, data []byte, decode func([]byte) error) {
+		for i := 0; i <= len(data); i++ {
+			prefix := data[:i]
+			func() {
+				defer func() {
+					if r := recover(); r != nil {
+						t.Fatalf("%s panicked on %d-byte truncation: %v", name, i, r)
+					}
+				}()
+				_ = decode(prefix)
+			}()
+		}
+	}
+	check("DecodeWorkload", wj, func(b []byte) error {
+		dw, derr := DecodeWorkload(b)
+		if derr == nil {
+			if verr := dw.Validate(); verr != nil {
+				t.Fatalf("accepted workload fails validation: %v", verr)
+			}
+		}
+		return derr
+	})
+	check("DecodeArch", aj, func(b []byte) error {
+		da, derr := DecodeArch(b)
+		if derr == nil {
+			if verr := da.Validate(); verr != nil {
+				t.Fatalf("accepted arch fails validation: %v", verr)
+			}
+		}
+		return derr
+	})
+	check("DecodeMapping", mj, func(b []byte) error {
+		_, derr := DecodeMapping(b, w, a)
+		return derr
+	})
+}
+
+// TestDecodeWorkloadMalformed: structurally valid JSON carrying semantic
+// corruption — unknown dims in axes, duplicate tensors, empty names — must
+// error, never panic.
+func TestDecodeWorkloadMalformed(t *testing.T) {
+	cases := []string{
+		// axis references a dimension that was never declared
+		`{"name":"x","dims":{"K":4},"tensors":[{"name":"o","axes":[[{"dim":"Z","stride":1}]],"output":true}]}`,
+		// zero-sized dimension
+		`{"name":"x","dims":{"K":0},"tensors":[{"name":"o","axes":[[{"dim":"K","stride":1}]],"output":true}]}`,
+		// negative dimension
+		`{"name":"x","dims":{"K":-3},"tensors":[{"name":"o","axes":[[{"dim":"K","stride":1}]],"output":true}]}`,
+		// no output tensor
+		`{"name":"x","dims":{"K":4},"tensors":[{"name":"a","axes":[[{"dim":"K","stride":1}]]}]}`,
+		// no tensors at all
+		`{"name":"x","dims":{"K":4},"tensors":[]}`,
+	}
+	for _, src := range cases {
+		if _, err := DecodeWorkload([]byte(src)); err == nil {
+			t.Errorf("DecodeWorkload accepted malformed input %s", src)
+		}
+	}
+}
+
+// TestDecodeMappingUnknownDim: a mapping JSON whose loops name dimensions the
+// workload does not have must be rejected by validation, not crash coverage
+// accounting.
+func TestDecodeMappingUnknownDim(t *testing.T) {
+	w := workloads.Conv1D("c", 8, 8, 28, 3)
+	a := arch.Tiny(256)
+	src := `{"workload":"c","arch":"tiny","levels":[` +
+		`{"level":"L1"},` +
+		`{"level":"DRAM","temporal":{"Z":8,"K":8,"C":8,"P":28,"R":3}}]}`
+	if _, err := DecodeMapping([]byte(src), w, a); err == nil {
+		t.Error("DecodeMapping accepted a mapping with an unknown dimension")
+	}
 }

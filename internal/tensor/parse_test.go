@@ -175,3 +175,52 @@ func FuzzParse(f *testing.F) {
 		}
 	})
 }
+
+// TestParseTruncatedNeverPanics feeds every prefix of a valid description to
+// the parser: truncation at any byte must produce a clean error (or, for a
+// prefix that happens to stay well-formed, a valid workload) — never a panic.
+func TestParseTruncatedNeverPanics(t *testing.T) {
+	src := "dimensions = {K:4, C:4, P:7, R:3}\n" +
+		"tensor_description = {\n" +
+		"  operand1 = [C, (P, R)],\n" +
+		"  operand2 = [K, C, R],\n" +
+		"  output = [K, P]\n" +
+		"}\n"
+	for i := 0; i <= len(src); i++ {
+		prefix := src[:i]
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("Parse panicked on %d-byte truncation: %v", i, r)
+				}
+			}()
+			w, err := Parse(prefix)
+			if err == nil {
+				if w == nil {
+					t.Fatalf("%d-byte truncation: nil workload with nil error", i)
+				}
+				if verr := w.Validate(); verr != nil {
+					t.Fatalf("%d-byte truncation accepted an invalid workload: %v", i, verr)
+				}
+			}
+		}()
+	}
+}
+
+// TestParseMalformedDims covers dimension-table corruption beyond the basic
+// error table: duplicate dims inside one tensor's axis list, a dim used in a
+// window that was never declared, and stray separators.
+func TestParseMalformedDims(t *testing.T) {
+	cases := []string{
+		"dimensions = {K:4, P:4, R:3}\ntensor_description = { output = [(K, Z)] }",
+		"dimensions = {K:0}\ntensor_description = { output = [K] }",
+		"dimensions = {K:-2}\ntensor_description = { output = [K] }",
+		"dimensions = {K:4,}\ntensor_description = { output = [K }",
+		"dimensions = {K:4}\ntensor_description = { output = [K]",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q) accepted malformed input", src)
+		}
+	}
+}

@@ -1,10 +1,14 @@
 package sunstone
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"time"
+
+	"sunstone/internal/anytime"
 )
 
 // LayerSchedule is one layer's outcome within a network schedule.
@@ -12,6 +16,9 @@ type LayerSchedule struct {
 	Layer   string
 	Result  Result
 	Repeats int // identical layers mapped once, counted Repeats times
+	// Err is this layer's failure, if any (nil for a mapped layer). Failed
+	// layers carry no mapping and are excluded from the network totals.
+	Err error
 }
 
 // NetworkSchedule aggregates a whole network's mapping results.
@@ -22,22 +29,69 @@ type NetworkSchedule struct {
 	TotalCycles   float64
 	// EDP is the network-level energy-delay product (total energy x total
 	// cycles, layers executed back to back).
-	EDP     float64
+	EDP float64
+	// Failed counts layers that returned an error; when it is non-zero the
+	// totals cover only the layers that succeeded.
+	Failed  int
 	Elapsed time.Duration
+}
+
+// NetworkOptions configures ScheduleNetworkContext: the per-layer optimizer
+// Options plus network-level policy.
+type NetworkOptions struct {
+	Options
+	// ContinueOnError keeps optimizing the remaining layers after one
+	// fails, collecting every per-layer error (joined in the returned
+	// error) and still returning the layers that succeeded. The default
+	// (false) is errgroup-style fail-fast: the first failure cancels the
+	// sibling layer searches, which then return their best-so-far mappings
+	// with Result.Stopped = StopCanceled.
+	ContinueOnError bool
 }
 
 // ScheduleNetwork maps every layer of a network onto the architecture,
 // optimizing layers concurrently (each layer's search is independent), and
 // returns per-layer mappings plus network totals. Repeats lets callers
 // weight shapes that occur multiple times (e.g. the four conv2_x blocks of
-// ResNet-18); pass nil for one occurrence each.
+// ResNet-18); pass nil for one occurrence each. It is ScheduleNetworkContext
+// with a background context and fail-fast error policy.
 func ScheduleNetwork(network string, shapes []ConvShape, batch int, repeats []int, a *Arch, opt Options) (NetworkSchedule, error) {
+	return ScheduleNetworkContext(context.Background(), network, shapes, batch, repeats, a, NetworkOptions{Options: opt})
+}
+
+// ScheduleNetworkContext maps every layer of a network onto the architecture
+// under ctx. The per-layer searches run concurrently and inherit ctx (plus
+// Options.Timeout, which bounds each layer's search individually), so
+// canceling ctx degrades every in-flight layer to its best-so-far mapping.
+//
+// Error policy: a failed layer never aborts the others mid-flight without
+// trace. By default the first failure cancels the sibling searches
+// (errgroup-style fail-fast) and the joined errors of every failed layer are
+// returned; with opt.ContinueOnError all layers run to their own conclusion
+// and the schedule keeps every layer that succeeded. In both modes the
+// returned error is the errors.Join of all per-layer failures, and a panic
+// in one layer's search (e.g. a poisoned cost-model evaluation) is isolated
+// to that layer as an *anytime.PanicError instead of crashing the process.
+func ScheduleNetworkContext(ctx context.Context, network string, shapes []ConvShape, batch int, repeats []int, a *Arch, opt NetworkOptions) (NetworkSchedule, error) {
 	if repeats != nil && len(repeats) != len(shapes) {
 		return NetworkSchedule{}, fmt.Errorf("repeats has %d entries for %d shapes", len(repeats), len(shapes))
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	start := time.Now()
 	out := NetworkSchedule{Network: network, Layers: make([]LayerSchedule, len(shapes))}
 	errs := make([]error, len(shapes))
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	failLayer := func(i int, err error) {
+		errs[i] = err
+		out.Layers[i].Err = err
+		if !opt.ContinueOnError {
+			cancel() // fail fast: siblings stop at their next poll
+		}
+	}
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
@@ -47,10 +101,16 @@ func ScheduleNetwork(network string, shapes []ConvShape, batch int, repeats []in
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			out.Layers[i].Layer = shapes[i].Name
+			defer func() {
+				if e := anytime.PanicErrorFrom(recover(), "schedule layer "+shapes[i].Name, nil); e != nil {
+					failLayer(i, fmt.Errorf("%s: %w", shapes[i].Name, e))
+				}
+			}()
 			w := shapes[i].Inference(batch)
-			res, err := Optimize(w, a, opt)
+			res, err := OptimizeContext(ctx, w, a, opt.Options)
 			if err != nil {
-				errs[i] = fmt.Errorf("%s: %w", shapes[i].Name, err)
+				failLayer(i, fmt.Errorf("%s: %w", shapes[i].Name, err))
 				return
 			}
 			rep := 1
@@ -61,19 +121,19 @@ func ScheduleNetwork(network string, shapes []ConvShape, batch int, repeats []in
 		}(i)
 	}
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return out, err
-		}
-	}
+
 	for i := range out.Layers {
 		l := &out.Layers[i]
+		if l.Err != nil || l.Result.Mapping == nil {
+			out.Failed++
+			continue
+		}
 		out.TotalEnergyPJ += l.Result.Report.EnergyPJ * float64(l.Repeats)
 		out.TotalCycles += l.Result.Report.Cycles * float64(l.Repeats)
 	}
 	out.EDP = out.TotalEnergyPJ * out.TotalCycles
 	out.Elapsed = time.Since(start)
-	return out, nil
+	return out, errors.Join(errs...)
 }
 
 // ResNet18Repeats gives the occurrence count of each ResNet18Layers shape in

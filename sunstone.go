@@ -21,9 +21,48 @@
 //	w := sunstone.Conv2D("layer", 16, 64, 64, 56, 56, 3, 3, 1, 1)
 //	res, err := sunstone.Optimize(w, sunstone.Simba(), sunstone.Options{})
 //	fmt.Println(res.Mapping, res.Report.EDP)
+//
+// # Anytime optimization: cancellation, deadlines, graceful degradation
+//
+// Every search entry point is an *anytime* algorithm. OptimizeContext (and
+// Optimize with Options.Timeout set) polls cancellation at bounded
+// intervals; when the context is canceled or its deadline expires, the
+// search stops within one polling interval — in practice well under 100ms —
+// and returns the best mapping completed so far, with Result.Stopped
+// recording why it returned:
+//
+//   - StopComplete — the search ran to its natural end;
+//   - StopDeadline — Options.Timeout or the context deadline expired;
+//   - StopCanceled — the caller canceled the context;
+//   - StopBudget — an internal enumeration budget was exhausted (e.g. the
+//     top-down visit cap of Options.TopDownVisitBudget).
+//
+// A stopped search returns a nil error as long as at least one valid
+// mapping was completed before the signal: the incumbent is seeded with the
+// trivial everything-at-DRAM completion before level-by-level optimization
+// begins, so in practice only a stop during workload/arch validation comes
+// back empty. Best-so-far mappings are complete, structurally valid, and
+// pass VerifyMapping — only their cost is worse than what a full search
+// would have found.
+//
+// Panic isolation: every parallel evaluation worker (the core fan-out, each
+// baseline mapper's search threads, and each layer of ScheduleNetwork)
+// converts a panicking cost-model evaluation into a per-candidate error
+// carrying the offending mapping serialized for reproduction (see
+// Result.CandidateErrors), so one poisoned candidate degrades a single
+// evaluation instead of killing the process. ScheduleNetworkContext extends
+// the same contract across layers: fail-fast sibling cancellation by
+// default, or NetworkOptions.ContinueOnError to collect every per-layer
+// error (joined with errors.Join) while still returning the layers that
+// succeeded. The baseline mappers implement the same deadline contract via
+// BaselineMapper.MapContext, so head-to-head time-bounded comparisons are
+// fair. See DESIGN.md ("Anytime search") for the full taxonomy.
 package sunstone
 
 import (
+	"context"
+
+	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
 	"sunstone/internal/baselines"
 	"sunstone/internal/baselines/cosa"
@@ -90,6 +129,22 @@ const (
 // Objective is the figure of merit the search minimizes.
 type Objective = core.Objective
 
+// StopReason records why a search returned (see the package comment's
+// anytime-optimization section).
+type StopReason = anytime.StopReason
+
+// Stop reasons for Result.Stopped and BaselineResult.Stopped.
+const (
+	StopComplete = core.StopComplete
+	StopDeadline = core.StopDeadline
+	StopCanceled = core.StopCanceled
+	StopBudget   = core.StopBudget
+)
+
+// PanicError is a panic recovered from a search worker and converted into a
+// per-candidate error, carrying the offending mapping serialized for repro.
+type PanicError = anytime.PanicError
+
 // Optimization objectives: the paper's EDP plus energy / delay / ED^2P
 // extensions.
 const (
@@ -148,9 +203,17 @@ var (
 	TinySpatial  = arch.TinySpatial
 )
 
-// Optimize runs the Sunstone optimizer.
+// Optimize runs the Sunstone optimizer. It is OptimizeContext with a
+// background context; Options.Timeout still bounds the wall-clock.
 func Optimize(w *Workload, a *Arch, opt Options) (Result, error) {
 	return core.Optimize(w, a, opt)
+}
+
+// OptimizeContext runs the Sunstone optimizer under ctx as an anytime
+// algorithm: on cancellation or deadline it returns the best mapping
+// completed so far with Result.Stopped set (see the package comment).
+func OptimizeContext(ctx context.Context, w *Workload, a *Arch, opt Options) (Result, error) {
+	return core.OptimizeContext(ctx, w, a, opt)
 }
 
 // Evaluate scores an arbitrary mapping with the default cost model.
