@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz
+.PHONY: check vet build test race fuzz bench bench-smoke
 
 # check is the full pre-commit gate: static analysis, build, the whole test
 # suite, and the race detector over the concurrent search paths.
@@ -20,7 +20,20 @@ test:
 # threads, and network scheduling — under the race detector. Scoped to the
 # packages that spawn goroutines so the instrumented run stays fast.
 race:
-	$(GO) test -race ./internal/core/ ./internal/baselines/timeloop/ .
+	$(GO) test -race ./internal/core/ ./internal/cost/ ./internal/baselines/timeloop/ .
+
+# bench reruns the search/evaluation benchmarks and refreshes BENCH_PR2.json,
+# the machine-readable before/after trajectory for the fast-path work: the
+# committed benchdata/pr2_before.txt baseline stays fixed, the after side is
+# regenerated on the current tree.
+bench:
+	$(GO) test -run xxx -bench 'BenchmarkOptimize|BenchmarkEvaluate' -benchmem -count 3 . | tee benchdata/pr2_after.txt
+	$(GO) run ./cmd/benchjson -before benchdata/pr2_before.txt -after benchdata/pr2_after.txt -out BENCH_PR2.json
+
+# bench-smoke compiles and runs every benchmark for a single iteration — a
+# fast regression guard that the harness itself still works.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x .
 
 # fuzz runs each fuzz target briefly (parser and JSON decoders).
 fuzz:

@@ -135,15 +135,24 @@ func BenchmarkOptimizeConvConventional(b *testing.B) {
 }
 
 // BenchmarkOptimizeConvSimba measures a search on the deeper Simba
-// hierarchy (two spatial levels, bypass) — the scalability case.
+// hierarchy (two spatial levels, bypass) — the scalability case. The
+// cache-hit-rate metric tracks how much of the search's evaluation load the
+// memoization layer absorbs.
 func BenchmarkOptimizeConvSimba(b *testing.B) {
 	w := sunstone.ResNet18Layers[1].Inference(16)
 	a := sunstone.Simba()
 	b.ResetTimer()
+	var hits, misses uint64
 	for i := 0; i < b.N; i++ {
-		if _, err := sunstone.Optimize(w, a, sunstone.Options{}); err != nil {
+		res, err := sunstone.Optimize(w, a, sunstone.Options{})
+		if err != nil {
 			b.Fatal(err)
 		}
+		hits += res.EvalCacheHits
+		misses += res.EvalCacheMisses
+	}
+	if total := hits + misses; total > 0 {
+		b.ReportMetric(100*float64(hits)/float64(total), "cache-hit-%")
 	}
 }
 
@@ -173,6 +182,49 @@ func BenchmarkEvaluateMapping(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		rep := sunstone.Evaluate(m)
 		if !rep.Valid {
+			b.Fatal("invalid")
+		}
+	}
+}
+
+// BenchmarkEvaluateEDP measures one scalar fast-path evaluation on the
+// memoized path (same mapping every iteration — a cache hit after the first
+// call). Steady state must be allocation-free: 0 allocs/op.
+func BenchmarkEvaluateEDP(b *testing.B) {
+	w := sunstone.ResNet18Layers[1].Inference(16)
+	a := sunstone.Conventional()
+	res, err := sunstone.Optimize(w, a, sunstone.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := res.Mapping
+	ev := sunstone.NewCostSession(w, a).NewEvaluator()
+	ev.EvaluateEDP(m) // warm: the first call pays the cache insert
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, valid := ev.EvaluateEDP(m); !valid {
+			b.Fatal("invalid")
+		}
+	}
+}
+
+// BenchmarkEvaluateEDPUncached measures the raw scalar compute path with the
+// memoization layer bypassed — the true cost of one model evaluation. Also
+// 0 allocs/op.
+func BenchmarkEvaluateEDPUncached(b *testing.B) {
+	w := sunstone.ResNet18Layers[1].Inference(16)
+	a := sunstone.Conventional()
+	res, err := sunstone.Optimize(w, a, sunstone.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	m := res.Mapping
+	ev := sunstone.NewCostSession(w, a).NewEvaluator()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, _, valid := ev.EvaluateEDPUncached(m); !valid {
 			b.Fatal("invalid")
 		}
 	}

@@ -1,0 +1,161 @@
+// Command benchjson converts Go benchmark output (benchfmt text, as written
+// by `go test -bench`) into a JSON trajectory record. `make bench` uses it
+// to produce BENCH_PR2.json from a committed before file and a fresh after
+// run, so performance PRs carry a machine-readable before/after artifact and
+// later sessions can extend the trajectory without re-running old binaries.
+//
+// Repeated runs of the same benchmark (-count N) are averaged; the sample
+// count is recorded. Only the standard line shape is parsed:
+//
+//	BenchmarkName  <iters>  <value> <unit>  [<value> <unit>]...
+//
+// Config lines ("key: value") before the first benchmark line are kept as
+// environment metadata.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Run is one parsed benchmark file.
+type Run struct {
+	Env        map[string]string `json:"env"`
+	Benchmarks []Benchmark       `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's metrics, averaged over its samples.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Samples int                `json:"samples"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+func main() {
+	before := flag.String("before", "", "benchfmt file from before the change")
+	after := flag.String("after", "", "benchfmt file from after the change")
+	out := flag.String("out", "", "output JSON path (default stdout)")
+	flag.Parse()
+	if *after == "" {
+		fmt.Fprintln(os.Stderr, "benchjson: -after is required")
+		os.Exit(2)
+	}
+	doc := map[string]any{}
+	if *before != "" {
+		r, err := parseFile(*before)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchjson:", err)
+			os.Exit(1)
+		}
+		doc["before"] = r
+	}
+	r, err := parseFile(*after)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	doc["after"] = r
+	if b, ok := doc["before"].(*Run); ok {
+		doc["speedup"] = speedups(b, r)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+// speedups reports before/after wall-clock ratios for benchmarks present in
+// both runs (>1 means the change made it faster).
+func speedups(before, after *Run) map[string]float64 {
+	b := map[string]float64{}
+	for _, bm := range before.Benchmarks {
+		if v, ok := bm.Metrics["ns/op"]; ok && v > 0 {
+			b[bm.Name] = v
+		}
+	}
+	out := map[string]float64{}
+	for _, bm := range after.Benchmarks {
+		if v, ok := bm.Metrics["ns/op"]; ok && v > 0 && b[bm.Name] > 0 {
+			out[bm.Name] = round3(b[bm.Name] / v)
+		}
+	}
+	return out
+}
+
+func round3(x float64) float64 { return float64(int64(x*1000+0.5)) / 1000 }
+
+func parseFile(path string) (*Run, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	run := &Run{Env: map[string]string{}}
+	type acc struct {
+		samples int
+		sums    map[string]float64
+	}
+	accs := map[string]*acc{}
+	var names []string
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || line == "PASS" || strings.HasPrefix(line, "ok ") || strings.HasPrefix(line, "ok\t") {
+			continue
+		}
+		if !strings.HasPrefix(line, "Benchmark") {
+			if k, v, ok := strings.Cut(line, ": "); ok {
+				run.Env[k] = v
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		name := fields[0]
+		a := accs[name]
+		if a == nil {
+			a = &acc{sums: map[string]float64{}}
+			accs[name] = a
+			names = append(names, name)
+		}
+		a.samples++
+		for i := 2; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			a.sums[fields[i+1]] += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := accs[name]
+		bm := Benchmark{Name: name, Samples: a.samples, Metrics: map[string]float64{}}
+		for unit, sum := range a.sums {
+			bm.Metrics[unit] = sum / float64(a.samples)
+		}
+		run.Benchmarks = append(run.Benchmarks, bm)
+	}
+	return run, nil
+}

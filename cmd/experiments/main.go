@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"sunstone/internal/experiments"
+	"sunstone/internal/profiling"
 )
 
 var (
@@ -23,6 +24,8 @@ var (
 	seed    = flag.Int64("seed", 1, "seed for randomized baselines")
 	csv     = flag.Bool("csv", false, "emit fig6/fig7/fig8 rows as CSV instead of text")
 	layerTO = flag.Duration("layer-timeout", 0, "per-workload wall-clock budget for every tool (0 = each tool's natural budget); early-stopped runs report best-so-far with a stopped annotation")
+	cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
 )
 
 func main() {
@@ -31,6 +34,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "-layer-timeout must be >= 0")
 		os.Exit(2)
 	}
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(2)
+	}
+	defer stopProf()
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, LayerTimeout: *layerTO}
 
 	run := func(name string, f func()) {

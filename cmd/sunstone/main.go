@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"sunstone"
+	"sunstone/internal/profiling"
 )
 
 var (
@@ -45,10 +46,17 @@ var (
 	verify    = flag.Bool("verify", false, "functionally execute the mapping and check it against the reference result")
 	timeout   = flag.Duration("timeout", 0, "wall-clock budget per search, e.g. 500ms or 10s (0 = unbounded); on expiry the best mapping found so far is reported")
 	contErr   = flag.Bool("continue-on-error", false, "with -all-layers: keep scheduling the remaining layers after one fails instead of failing fast")
+	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
 )
 
 func main() {
 	flag.Parse()
+	stopProf, perr := profiling.Start(*cpuProf, *memProf)
+	if perr != nil {
+		fatal(perr)
+	}
+	defer stopProf()
 	var a *sunstone.Arch
 	var err error
 	if *afile != "" {

@@ -60,6 +60,22 @@ type Mapper interface {
 	MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) Result
 }
 
+// FinalReport materializes the full cost.Report — breakdowns, per-buffer
+// accesses — for the winning mapping of a search that scored candidates on
+// the fast scalar path (cost.Evaluator.EvaluateEDP). The scalar path already
+// established the mapping's objective and validity; this recovers the
+// detailed report for display. A cost-model panic here (e.g. an injected
+// probe fault) falls back to a Report synthesized from the scalars instead
+// of losing the search's result.
+func FinalReport(model cost.Model, m *mapping.Mapping, edp, energyPJ, cycles float64, valid bool) (rep cost.Report) {
+	defer func() {
+		if e := anytime.PanicErrorFrom(recover(), "final report evaluation", m.String); e != nil {
+			rep = cost.Report{Valid: valid, EDP: edp, EnergyPJ: energyPJ, Cycles: cycles}
+		}
+	}()
+	return model.Evaluate(m)
+}
+
 // RunContext adapts a fast, effectively non-interruptible search to the
 // MapContext contract: a context that is already done short-circuits to an
 // empty stopped result; otherwise fn runs to completion (these mappers are

@@ -182,30 +182,34 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 		candidates = append(candidates, orderings[i].Complete(w))
 	}
 	var best *mapping.Mapping
-	var bestRep cost.Report
+	var bestEDP, bestEnergyPJ, bestCycles float64
+	bestValid := false
 	evaluated := 0
+	// Fast-path evaluator for the permutation scoring; the winner's full
+	// Report (including the Invalid diagnosis) is materialized afterwards.
+	ev := m.Model.NewSession(w, a).NewEvaluator()
 	for _, ord := range candidates {
 		cand := mp.Clone()
 		for l := 1; l < len(a.Levels); l++ {
 			cand.Levels[l].Order = append([]tensor.Dim(nil), ord...)
 		}
-		rep := m.Model.Evaluate(cand)
+		edp, energyPJ, cycles, valid := ev.EvaluateEDP(cand)
 		evaluated++
-		if best == nil || (rep.Valid && !bestRep.Valid) ||
-			(rep.Valid == bestRep.Valid && rep.EDP < bestRep.EDP) {
-			best, bestRep = cand, rep
+		if best == nil || (valid && !bestValid) ||
+			(valid == bestValid && edp < bestEDP) {
+			best, bestEDP, bestEnergyPJ, bestCycles, bestValid = cand, edp, energyPJ, cycles, valid
 		}
 	}
 
+	rep := baselines.FinalReport(m.Model, best, bestEDP, bestEnergyPJ, bestCycles, bestValid)
 	res := baselines.Result{
 		Mapping:   best,
-		Report:    bestRep,
-		Valid:     bestRep.Valid,
+		Report:    rep,
+		Valid:     rep.Valid,
 		Evaluated: evaluated,
 		Elapsed:   time.Since(start),
 	}
-	rep := bestRep
-	if !rep.Valid {
+	if !rep.Valid && rep.Invalid != nil {
 		res.InvalidReason = "tile does not fit its designated memory: " + rep.Invalid.Error()
 	}
 	return res

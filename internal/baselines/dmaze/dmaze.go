@@ -96,9 +96,13 @@ func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arc
 	orderings, _ := order.Enumerate(w)
 	best := baselines.Result{}
 	bestEDP := math.Inf(1)
+	var bestEnergyPJ, bestCycles float64
 	evaluated := 0
 	anyTileMetUtil := false
 	stopped := anytime.Complete
+	// Fast-path evaluator: the directed enumeration only needs the scalar
+	// objective; the full Report is materialized once for the winner.
+	ev := m.Model.NewSession(w, a).NewEvaluator()
 
 	// Directed enumeration: unconstrained tiling trees per level filtered
 	// by the utilization thresholds, spatial unrolling over dimensions that
@@ -155,12 +159,12 @@ search:
 						break search
 					}
 					cand := mapsearch.CompleteWith(m2, &orderings[oi])
-					rep := m.Model.Evaluate(cand)
+					edp, energyPJ, cycles, valid := ev.EvaluateEDP(cand)
 					evaluated++
-					if rep.Valid && rep.EDP < bestEDP {
-						bestEDP = rep.EDP
+					if valid && edp < bestEDP {
+						bestEDP = edp
+						bestEnergyPJ, bestCycles = energyPJ, cycles
 						best.Mapping = cand
-						best.Report = rep
 					}
 				}
 			}
@@ -180,6 +184,7 @@ search:
 		}
 		return best
 	}
+	best.Report = baselines.FinalReport(m.Model, best.Mapping, bestEDP, bestEnergyPJ, bestCycles, true)
 	best.Valid = true
 	return best
 }

@@ -109,8 +109,11 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 
 	orderings, _ := order.Enumerate(w)
 	bestEDP := math.Inf(1)
+	var bestEnergyPJ, bestCycles float64
 	evaluated := 0
 	base := mapping.New(w, a)
+	// Fast-path evaluator: candidates only need the scalar objective.
+	ev := m.Model.NewSession(w, a).NewEvaluator()
 	for _, u := range unrolls {
 		mu := base.Clone()
 		for d, f := range u {
@@ -128,12 +131,12 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 				m2 := mapsearch.ApplyTile(m1, 1, t2)
 				for oi := range orderings {
 					cand := mapsearch.CompleteWith(m2, &orderings[oi])
-					rep := m.Model.Evaluate(cand)
+					edp, energyPJ, cycles, valid := ev.EvaluateEDP(cand)
 					evaluated++
-					if rep.Valid && rep.EDP < bestEDP {
-						bestEDP = rep.EDP
+					if valid && edp < bestEDP {
+						bestEDP = edp
+						bestEnergyPJ, bestCycles = energyPJ, cycles
 						res.Mapping = cand
-						res.Report = rep
 					}
 				}
 			}
@@ -145,6 +148,7 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 		res.InvalidReason = "no valid mapping under the preset unrolling"
 		return res
 	}
+	res.Report = baselines.FinalReport(m.Model, res.Mapping, bestEDP, bestEnergyPJ, bestCycles, true)
 	res.Valid = true
 	return res
 }

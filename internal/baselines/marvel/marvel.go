@@ -134,6 +134,10 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 	orderings, _ := order.Enumerate(w)
 	spatialLvl := mapsearch.FirstFanoutLevel(a)
 	bestEDP := math.Inf(1)
+	var bestEnergyPJ, bestCycles float64
+	// Fast-path evaluator: the on-chip enumeration only needs the scalar
+	// objective; the winner's full Report is materialized at the end.
+	ev := m.Model.NewSession(w, a).NewEvaluator()
 	for _, oc := range cands {
 		base := mapping.New(w, a)
 		for d, f := range oc.factors {
@@ -175,12 +179,12 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 				}
 				for oi := range orderings {
 					cand := mapsearch.CompleteWith(m1, &orderings[oi])
-					rep := m.Model.Evaluate(cand)
+					edp, energyPJ, cycles, valid := ev.EvaluateEDP(cand)
 					evaluated++
-					if rep.Valid && rep.EDP < bestEDP {
-						bestEDP = rep.EDP
+					if valid && edp < bestEDP {
+						bestEDP = edp
+						bestEnergyPJ, bestCycles = energyPJ, cycles
 						res.Mapping = cand
-						res.Report = rep
 					}
 				}
 			}
@@ -192,6 +196,7 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 		res.InvalidReason = "no on-chip mapping meets the utilization threshold"
 		return res
 	}
+	res.Report = baselines.FinalReport(m.Model, res.Mapping, bestEDP, bestEnergyPJ, bestCycles, true)
 	res.Valid = true
 	return res
 }

@@ -93,22 +93,30 @@ func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arc
 	deadline := start.Add(cfg.MaxTime)
 	budgetHit := false
 
+	// One fast-path session for the whole search; each thread owns a scratch
+	// evaluator, so the sampling loop allocates only the candidates.
+	sess := m.Model.NewSession(w, a)
+
 	type threadBest struct {
 		m         *mapping.Mapping
-		rep       cost.Report
+		edp       float64
+		energyPJ  float64
+		cycles    float64
 		evaluated int
 		budgetHit bool
 		panics    []error
 	}
 	// evalSample contains a poisoned evaluation: the panic becomes a
 	// per-candidate error and the sample reads as invalid.
-	evalSample := func(cand *mapping.Mapping) (rep cost.Report, perr error) {
+	evalSample := func(ev *cost.Evaluator, cand *mapping.Mapping) (edp, energyPJ, cycles float64, valid bool, perr error) {
 		defer func() {
 			if e := anytime.PanicErrorFrom(recover(), "Timeloop sample evaluation", cand.String); e != nil {
+				valid = false
 				perr = e
 			}
 		}()
-		return m.Model.Evaluate(cand), nil
+		edp, energyPJ, cycles, valid = ev.EvaluateEDP(cand)
+		return edp, energyPJ, cycles, valid, nil
 	}
 	results := make([]threadBest, cfg.Threads)
 	var wg sync.WaitGroup
@@ -116,10 +124,11 @@ func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arc
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
+			ev := sess.NewEvaluator()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(t)*7919))
 			bestEDP := math.Inf(1)
 			var best *mapping.Mapping
-			var bestRep cost.Report
+			var bestEnergyPJ, bestCycles float64
 			invalidStreak, noImproveStreak, evaluated := 0, 0, 0
 			for invalidStreak < cfg.TO && noImproveStreak < cfg.VC {
 				if evaluated%256 == 0 {
@@ -132,7 +141,7 @@ func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arc
 					}
 				}
 				cand := randomMapping(w, a, rng)
-				rep, perr := evalSample(cand)
+				edp, energyPJ, cycles, valid, perr := evalSample(ev, cand)
 				evaluated++
 				if perr != nil {
 					if len(results[t].panics) < 8 {
@@ -141,22 +150,24 @@ func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arc
 					invalidStreak++
 					continue
 				}
-				if !rep.Valid {
+				if !valid {
 					invalidStreak++
 					continue
 				}
 				invalidStreak = 0
-				if rep.EDP < bestEDP {
-					bestEDP = rep.EDP
+				if edp < bestEDP {
+					bestEDP = edp
 					best = cand
-					bestRep = rep
+					bestEnergyPJ, bestCycles = energyPJ, cycles
 					noImproveStreak = 0
 				} else {
 					noImproveStreak++
 				}
 			}
 			results[t].m = best
-			results[t].rep = bestRep
+			results[t].edp = bestEDP
+			results[t].energyPJ = bestEnergyPJ
+			results[t].cycles = bestCycles
 			results[t].evaluated = evaluated
 		}(t)
 	}
@@ -164,6 +175,7 @@ func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arc
 
 	out := baselines.Result{Elapsed: time.Since(start)}
 	bestEDP := math.Inf(1)
+	var bestEnergyPJ, bestCycles float64
 	for _, r := range results {
 		out.Evaluated += r.evaluated
 		budgetHit = budgetHit || r.budgetHit
@@ -172,11 +184,14 @@ func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arc
 				out.Errors = append(out.Errors, e)
 			}
 		}
-		if r.m != nil && r.rep.EDP < bestEDP {
-			bestEDP = r.rep.EDP
+		if r.m != nil && r.edp < bestEDP {
+			bestEDP = r.edp
+			bestEnergyPJ, bestCycles = r.energyPJ, r.cycles
 			out.Mapping = r.m
-			out.Report = r.rep
 		}
+	}
+	if out.Mapping != nil {
+		out.Report = baselines.FinalReport(m.Model, out.Mapping, bestEDP, bestEnergyPJ, bestCycles, true)
 	}
 	switch {
 	case anytime.FromContext(ctx) != anytime.Complete:

@@ -7,7 +7,6 @@ import (
 
 	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
-	"sunstone/internal/cost"
 	"sunstone/internal/factor"
 	"sunstone/internal/mapping"
 	"sunstone/internal/order"
@@ -18,31 +17,54 @@ import (
 
 // incumbent is the anytime best-so-far: the best *completed* (evaluable)
 // mapping observed at any point of the search, maintained so an early stop
-// can return real work instead of nothing.
+// can return real work instead of nothing. Only the fast path's scalars are
+// tracked; the full Report is materialized once, at finish.
 type incumbent struct {
-	m     *mapping.Mapping
-	rep   cost.Report
-	score float64
+	m        *mapping.Mapping
+	score    float64
+	energyPJ float64
+	cycles   float64
 }
 
 // observe folds a scored, completed state into the incumbent.
 func (inc *incumbent) observe(s state) {
-	if s.completed != nil && s.rep.Valid && (inc.m == nil || s.score < inc.score) {
-		inc.m, inc.rep, inc.score = s.completed, s.rep, s.score
+	if s.completed != nil && s.valid && (inc.m == nil || s.score < inc.score) {
+		inc.m, inc.score, inc.energyPJ, inc.cycles = s.completed, s.score, s.energyPJ, s.cycles
 	}
 }
 
 // finish stamps res with the incumbent and the stop reason. When the search
 // was stopped before any valid mapping completed, it reports an error — the
 // only case where an anytime return has nothing to give.
-func (inc *incumbent) finish(res Result, reason StopReason) (Result, error) {
+func (inc *incumbent) finish(sc *search, res Result, reason StopReason) (Result, error) {
 	res.Stopped = reason
 	if inc.m == nil {
 		return res, fmt.Errorf("search stopped (%s) before any valid mapping was completed", reason)
 	}
 	res.Mapping = inc.m
-	res.Report = inc.rep
+	res.Report = sc.finalReport(inc.m, inc.energyPJ, inc.cycles)
 	return res, nil
+}
+
+// seedIncumbent scores the trivial completion (everything at the top level)
+// so even an immediate cancel returns a valid mapping.
+func seedIncumbent(sc *search, inc *incumbent, res *Result, seed *mapping.Mapping) {
+	trivial := complete(seed)
+	if trivial == nil {
+		return
+	}
+	edp, energyPJ, cycles, valid, err := sc.safeEvalFast(sc.evs[0], trivial)
+	if err != nil {
+		res.CandidateErrors = appendCapped(res.CandidateErrors, err)
+		return
+	}
+	inc.observe(state{
+		completed: trivial,
+		score:     sc.opt.Objective.scoreScalars(edp, energyPJ, cycles, valid),
+		energyPJ:  energyPJ,
+		cycles:    cycles,
+		valid:     valid,
+	})
 }
 
 // bottomUp optimizes level by level starting at the memory closest to the
@@ -51,27 +73,20 @@ func (inc *incumbent) finish(res Result, reason StopReason) (Result, error) {
 // are tight when the low levels — where most accesses happen — are fixed
 // first). It polls ctx between orderings, candidates and levels; on
 // cancellation it returns the incumbent best completed mapping.
-func bottomUp(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
+func bottomUp(ctx context.Context, w *tensor.Workload, a *arch.Arch, sc *search) (Result, error) {
+	opt := sc.opt
 	orderings, ostats := order.Enumerate(w)
 	res := Result{OrderingsConsidered: ostats.Survivors}
 
 	states := []state{{m: mapping.New(w, a)}}
 	top := len(a.Levels) - 1
 
-	// Seed the incumbent with the trivial completion (everything at the top
-	// level) so even an immediate cancel returns a valid mapping.
 	var inc incumbent
-	if trivial := complete(states[0].m); trivial != nil {
-		if rep, err := safeEval(opt.Model, trivial); err == nil {
-			inc.observe(state{completed: trivial, rep: rep, score: opt.Objective.Score(rep)})
-		} else {
-			res.CandidateErrors = appendCapped(res.CandidateErrors, err)
-		}
-	}
+	seedIncumbent(sc, &inc, &res, states[0].m)
 
 	for l := 0; l < top; l++ {
 		if r := anytime.FromContext(ctx); r != StopComplete {
-			return inc.finish(res, r)
+			return inc.finish(sc, res, r)
 		}
 		var produced []*mapping.Mapping
 		for _, st := range states {
@@ -84,44 +99,51 @@ func bottomUp(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt Options
 		}
 		if len(produced) == 0 {
 			if r := anytime.FromContext(ctx); r != StopComplete {
-				return inc.finish(res, r)
+				return inc.finish(sc, res, r)
 			}
 			return res, fmt.Errorf("no feasible candidates at level %d (%s): tiles cannot fit", l, a.Levels[l].Name)
 		}
-		scored, panics := evalAll(ctx, produced, opt)
+		// Space size counts candidates the enumeration examined, so it is
+		// charged before deduplication; the duplicates just don't pay for a
+		// second completion + evaluation.
+		res.SpaceSize += len(produced)
+		var dd int
+		produced, dd = sc.dedupe(produced)
+		res.Deduped += dd
+		scored, panics := sc.evalAll(ctx, produced)
 		for _, e := range panics {
 			res.CandidateErrors = appendCapped(res.CandidateErrors, e)
 		}
-		res.SpaceSize += len(produced)
 		states = prune(scored, opt)
 		if len(states) == 0 {
 			if r := anytime.FromContext(ctx); r != StopComplete {
-				return inc.finish(res, r)
+				return inc.finish(sc, res, r)
 			}
 			return res, errors.Join(append([]error{fmt.Errorf("all candidates at level %d are invalid", l)}, res.CandidateErrors...)...)
 		}
 		inc.observe(states[0])
 		if r := anytime.FromContext(ctx); r != StopComplete {
-			return inc.finish(res, r)
+			return inc.finish(sc, res, r)
 		}
 	}
 
 	best := states[0]
-	final, rep := best.completed, best.rep
+	final := best.completed
 	if final == nil {
 		// Evaluation of the winner was skipped or poisoned; fall back to
 		// the incumbent.
-		return inc.finish(res, anytime.FromContext(ctx))
+		return inc.finish(sc, res, anytime.FromContext(ctx))
 	}
+	energyPJ, cycles := best.energyPJ, best.cycles
 	if !opt.NoPolish {
 		var evals int
 		var reason StopReason
-		final, rep, evals, reason = polish(ctx, final, rep, orderings, opt)
+		final, energyPJ, cycles, evals, reason = polish(ctx, sc, final, best.score, energyPJ, cycles, orderings)
 		res.SpaceSize += evals
 		res.Stopped = reason
 	}
 	res.Mapping = final
-	res.Report = rep
+	res.Report = sc.finalReport(final, energyPJ, cycles)
 	return res, nil
 }
 
@@ -206,27 +228,23 @@ func expandLevel(ctx context.Context, base *mapping.Mapping, l int, orderings []
 
 // enumerateTiles runs the tiling tree for level l of partial mapping m with
 // the given grow dimensions, checking capacity feasibility from level l up.
-// A canceled context makes the fits predicate reject everything, which
-// collapses the remaining tree growth within a few dozen probes.
+// Capacity probes go through a fitChecker — precomputed integer tables that
+// answer exactly what writing the factors into the mapping and calling
+// feasible would, without per-probe maps or allocation. A canceled context
+// makes the predicate reject everything, which collapses the remaining tree
+// growth within a few dozen probes.
 func enumerateTiles(ctx context.Context, m *mapping.Mapping, l int, grow []tensor.Dim, opt Options) ([]tile.Candidate, tile.Stats) {
-	scratch := m.Clone()
+	fc := newFitChecker(m, l)
 	poll := &anytime.Poller{Ctx: ctx, Every: 64}
-	fits := func(c tile.Candidate) bool {
-		if poll.Stop() != StopComplete {
-			return false
-		}
-		for d := range m.Workload.Dims {
-			delete(scratch.Levels[l].Temporal, d)
-		}
-		for d, f := range c {
-			scratch.Levels[l].Temporal[d] = f
-		}
-		return feasible(scratch, l)
-	}
 	return tile.Enumerate(tile.Space{
-		GrowDims:      grow,
-		Quota:         remainingQuota(m),
-		Fits:          fits,
+		GrowDims: grow,
+		Quota:    remainingQuota(m),
+		FitsVec: func(ds []tensor.Dim, fs []int) bool {
+			if poll.Stop() != StopComplete {
+				return false
+			}
+			return fc.fits(ds, fs)
+		},
 		MaxCandidates: opt.TilesPerStep,
 	})
 }

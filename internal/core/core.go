@@ -31,6 +31,7 @@ import (
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sunstone/internal/anytime"
@@ -133,18 +134,25 @@ func (o Objective) String() string {
 // Score extracts the objective value from a report (lower is better;
 // invalid reports score +Inf).
 func (o Objective) Score(rep cost.Report) float64 {
-	if !rep.Valid {
+	return o.scoreScalars(rep.EDP, rep.EnergyPJ, rep.Cycles, rep.Valid)
+}
+
+// scoreScalars is Score on the fast path's scalar tuple. The arithmetic is
+// kept expression-identical to the Report-based form so scores are
+// bit-for-bit the same whichever path produced the numbers.
+func (o Objective) scoreScalars(edp, energyPJ, cycles float64, valid bool) float64 {
+	if !valid {
 		return math.Inf(1)
 	}
 	switch o {
 	case MinEnergy:
-		return rep.EnergyPJ
+		return energyPJ
 	case MinDelay:
-		return rep.Cycles
+		return cycles
 	case MinED2P:
-		return rep.EnergyPJ * rep.Cycles * rep.Cycles
+		return energyPJ * cycles * cycles
 	default:
-		return rep.EDP
+		return edp
 	}
 }
 
@@ -295,7 +303,17 @@ type Result struct {
 	// capped at maxCandidateErrors. The search survives them: a poisoned
 	// candidate simply scores invalid.
 	CandidateErrors []error
-	Elapsed         time.Duration
+	// EvalCacheHits/EvalCacheMisses count lookups in the search-wide
+	// memoization cache of the fast-path cost evaluator: a hit means a
+	// candidate (typically a polish neighbor or a re-derived completion)
+	// was scored without recomputing the model.
+	EvalCacheHits   uint64
+	EvalCacheMisses uint64
+	// Deduped counts identical partial mappings removed from the bottom-up
+	// beam before the evaluation fan-out (distinct enumeration paths can
+	// produce the same (ordering, tile, unroll) state).
+	Deduped int
+	Elapsed time.Duration
 }
 
 // maxCandidateErrors caps Result.CandidateErrors so a systematically
@@ -335,24 +353,59 @@ func OptimizeContext(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt 
 		defer cancel()
 	}
 	start := time.Now()
+	sc := newSearch(w, a, opt)
 	var res Result
 	var err error
 	if opt.Direction == TopDown {
-		res, err = topDown(ctx, w, a, opt)
+		res, err = topDown(ctx, w, a, sc)
 	} else {
-		res, err = bottomUp(ctx, w, a, opt)
+		res, err = bottomUp(ctx, w, a, sc)
 	}
+	res.EvalCacheHits, res.EvalCacheMisses = sc.sess.CacheStats()
 	res.Elapsed = time.Since(start)
 	return res, err
 }
 
-// state is one partial mapping plus its completed-cost estimate.
+// search is the per-run evaluation context: the fast-path cost session
+// (per-(workload, arch) tables plus the search-wide memoization cache) and
+// one scratch evaluator per worker thread, so the steady-state scoring path
+// allocates nothing and never contends on scratch space.
+type search struct {
+	opt  Options
+	sess *cost.Session
+	evs  []*cost.Evaluator
+}
+
+func newSearch(w *tensor.Workload, a *arch.Arch, opt Options) *search {
+	sc := &search{opt: opt, sess: opt.Model.NewSession(w, a)}
+	sc.evs = make([]*cost.Evaluator, opt.Threads)
+	for i := range sc.evs {
+		sc.evs[i] = sc.sess.NewEvaluator()
+	}
+	return sc
+}
+
+// state is one partial mapping plus its completed-cost estimate. Only the
+// fast path's scalars are carried — a full cost.Report is materialized once,
+// for the search's final mapping.
 type state struct {
 	m         *mapping.Mapping
 	completed *mapping.Mapping // the evaluated completion of m (anytime incumbent)
 	score     float64          // objective value of the completed form
-	rep       cost.Report
-	key       string // deterministic tie-break
+	energyPJ  float64
+	cycles    float64
+	valid     bool
+	key       string // deterministic tie-break, rendered lazily on first use
+}
+
+// tieKey renders (and memoizes) the deterministic tie-break key. Rendering
+// is deferred to the sort so the evaluation fan-out never pays for the
+// string; only score ties — rare — force it.
+func (s *state) tieKey() string {
+	if s.key == "" {
+		s.key = s.m.String()
+	}
+	return s.key
 }
 
 // complete clones m into a full (evaluable) mapping: every intermediate
@@ -444,50 +497,103 @@ func feasible(m *mapping.Mapping, from int) bool {
 }
 
 // evalAll scores the completed forms of the given mappings in parallel and
-// returns them as states sorted by (EDP, render) for determinism, plus any
-// panics recovered from poisoned evaluations (capped at
-// maxCandidateErrors). Once ctx is done the remaining unevaluated mappings
-// are skipped — they surface as +Inf states the caller's prune discards —
-// so a cancel drains the worker pool within one evaluation per thread.
-func evalAll(ctx context.Context, ms []*mapping.Mapping, opt Options) ([]state, []error) {
+// returns them as states sorted by (score, render) for determinism, plus
+// any panics recovered from poisoned evaluations (capped at
+// maxCandidateErrors). Scoring runs on the fast path: a fixed pool of
+// workers — one preallocated scratch Evaluator each — pulls indices off an
+// atomic counter, so the fan-out allocates nothing per candidate beyond the
+// completion clone. Once ctx is done the remaining unevaluated mappings are
+// skipped — they surface as +Inf states the caller's prune discards — so a
+// cancel drains the worker pool within one evaluation per thread.
+func (sc *search) evalAll(ctx context.Context, ms []*mapping.Mapping) ([]state, []error) {
 	states := make([]state, len(ms))
-	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var panics []error
-	sem := make(chan struct{}, opt.Threads)
-	for i := range ms {
+	workers := len(sc.evs)
+	if workers > len(ms) {
+		workers = len(ms)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for wk := 0; wk < workers; wk++ {
 		wg.Add(1)
-		sem <- struct{}{}
-		go func(i int) {
+		go func(ev *cost.Evaluator) {
 			defer wg.Done()
-			defer func() { <-sem }()
-			defer func() {
-				if e := anytime.PanicErrorFrom(recover(), "evaluate candidate mapping", func() string { return reproMapping(ms[i]) }); e != nil {
-					states[i] = state{m: ms[i], score: math.Inf(1), key: ms[i].String()}
-					mu.Lock()
-					if len(panics) < maxCandidateErrors {
-						panics = append(panics, e)
-					}
-					mu.Unlock()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(ms) {
+					return
 				}
-			}()
-			if ctx.Err() != nil {
-				states[i] = state{m: ms[i], score: math.Inf(1), key: ms[i].String()}
-				return
+				sc.evalOne(ctx, ev, ms, states, i, &mu, &panics)
 			}
-			c := complete(ms[i])
-			rep := opt.Model.Evaluate(c)
-			states[i] = state{m: ms[i], completed: c, score: opt.Objective.Score(rep), rep: rep, key: ms[i].String()}
-		}(i)
+		}(sc.evs[wk])
 	}
 	wg.Wait()
+	sortStates(states)
+	return states, panics
+}
+
+// evalOne scores ms[i] into states[i], containing a cost-model panic to
+// this one candidate (the worker loop survives and keeps draining).
+func (sc *search) evalOne(ctx context.Context, ev *cost.Evaluator, ms []*mapping.Mapping, states []state, i int, mu *sync.Mutex, panics *[]error) {
+	defer func() {
+		if e := anytime.PanicErrorFrom(recover(), "evaluate candidate mapping", func() string { return reproMapping(ms[i]) }); e != nil {
+			states[i] = state{m: ms[i], score: math.Inf(1)}
+			mu.Lock()
+			if len(*panics) < maxCandidateErrors {
+				*panics = append(*panics, e)
+			}
+			mu.Unlock()
+		}
+	}()
+	if ctx.Err() != nil {
+		states[i] = state{m: ms[i], score: math.Inf(1)}
+		return
+	}
+	c := complete(ms[i])
+	edp, energyPJ, cycles, valid := ev.EvaluateEDP(c)
+	states[i] = state{
+		m:         ms[i],
+		completed: c,
+		score:     sc.opt.Objective.scoreScalars(edp, energyPJ, cycles, valid),
+		energyPJ:  energyPJ,
+		cycles:    cycles,
+		valid:     valid,
+	}
+}
+
+// sortStates orders states by (score, render): identical to the historical
+// ordering, but the render tie-break is computed lazily.
+func sortStates(states []state) {
 	sort.Slice(states, func(i, j int) bool {
 		if states[i].score != states[j].score {
 			return states[i].score < states[j].score
 		}
-		return states[i].key < states[j].key
+		return states[i].tieKey() < states[j].tieKey()
 	})
-	return states, panics
+}
+
+// dedupe removes duplicate partial mappings (same canonical fast-path key),
+// keeping the first occurrence; mappings outside the key's domain are kept
+// unconditionally. Distinct enumeration paths routinely reproduce the same
+// (ordering, tile, unroll) state, and every duplicate would cost a full
+// completion + evaluation in the fan-out.
+func (sc *search) dedupe(ms []*mapping.Mapping) ([]*mapping.Mapping, int) {
+	if len(ms) < 2 {
+		return ms, 0
+	}
+	seen := make(map[cost.Key]struct{}, len(ms))
+	out := ms[:0]
+	for _, m := range ms {
+		if k, ok := sc.evs[0].Key(m); ok {
+			if _, dup := seen[k]; dup {
+				continue
+			}
+			seen[k] = struct{}{}
+		}
+		out = append(out, m)
+	}
+	return out, len(ms) - len(out)
 }
 
 // safeEval evaluates m with the given model, converting a panic in the cost
@@ -501,6 +607,32 @@ func safeEval(model cost.Model, m *mapping.Mapping) (rep cost.Report, err error)
 		}
 	}()
 	return model.Evaluate(m), nil
+}
+
+// safeEvalFast is safeEval on the fast path: one scalar evaluation with the
+// given scratch evaluator, panics contained.
+func (sc *search) safeEvalFast(ev *cost.Evaluator, m *mapping.Mapping) (edp, energyPJ, cycles float64, valid bool, err error) {
+	defer func() {
+		if e := anytime.PanicErrorFrom(recover(), "evaluate mapping", func() string { return reproMapping(m) }); e != nil {
+			edp, energyPJ, cycles, valid = math.Inf(1), math.Inf(1), math.Inf(1), false
+			err = e
+		}
+	}()
+	edp, energyPJ, cycles, valid = ev.EvaluateEDP(m)
+	return edp, energyPJ, cycles, valid, nil
+}
+
+// finalReport materializes the full cost.Report — breakdowns, per-buffer
+// accesses — for the mapping a search is about to return. The fast path
+// proved the mapping valid with the given scalars; if the full model
+// panics here (an injected probe fault, say), fall back to a Report
+// synthesized from those scalars rather than losing the result.
+func (sc *search) finalReport(m *mapping.Mapping, energyPJ, cycles float64) cost.Report {
+	rep, err := safeEval(sc.opt.Model, m)
+	if err == nil {
+		return rep
+	}
+	return cost.Report{Valid: true, EDP: energyPJ * cycles, EnergyPJ: energyPJ, Cycles: cycles}
 }
 
 // reproMapping serializes m for panic-repro messages: JSON (reloadable via

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
+)
+
+// fitChecker answers the tiling tree's capacity probes — "does a tile with
+// these level-l temporal factors still fit every bounded buffer at levels
+// [l, top)?" — without touching the mapping. It precomputes, once per
+// enumeration, the extent contribution of everything already fixed (all
+// temporal and spatial factors except level l's temporal, which the probe
+// supplies), flattened into integer tables indexed by probe position. Each
+// probe is then pure integer arithmetic: no maps, no allocation. The answers
+// are identical to writing the factors into the mapping and calling feasible.
+type fitChecker struct {
+	m    *mapping.Mapping
+	l    int
+	init bool       // tables built (lazily, on the first probe)
+	lvls []fitLevel // one per checked level l..top-1
+}
+
+type fitLevel struct {
+	bufs []fitBuffer
+}
+
+type fitBuffer struct {
+	capBits int64
+	tens    []fitTensor
+}
+
+type fitTensor struct {
+	bits int64
+	axes []fitAxis
+}
+
+// fitAxis is one tensor axis: extent = 1 + Σ stride·(base·f − 1), where f is
+// the probe factor for the term's dimension (1 when the dimension is not a
+// grow dimension).
+type fitAxis struct {
+	terms []fitTerm
+}
+
+type fitTerm struct {
+	stride int
+	base   int // extent of everything fixed: Π T·S over levels ≤ L, minus level l's T
+	probe  int // index into the probe factor vector, or -1
+}
+
+func newFitChecker(m *mapping.Mapping, l int) *fitChecker {
+	return &fitChecker{m: m, l: l}
+}
+
+// build flattens the capacity constraints for probes over the grow
+// dimensions ds. ds is stable for the whole enumeration, so this runs once.
+func (fc *fitChecker) build(ds []tensor.Dim) {
+	fc.init = true
+	m, w, a := fc.m, fc.m.Workload, fc.m.Arch
+	probeOf := func(d tensor.Dim) int {
+		for i, gd := range ds {
+			if gd == d {
+				return i
+			}
+		}
+		return -1
+	}
+	// base extent per dimension, accumulated level by level
+	base := make(map[tensor.Dim]int, len(w.Dims))
+	for _, d := range w.Order {
+		base[d] = 1
+	}
+	top := len(m.Levels) - 1
+	for L := 0; L < top; L++ {
+		lm := &m.Levels[L]
+		for _, d := range w.Order {
+			f := lm.S(d)
+			if L != fc.l {
+				f *= lm.T(d)
+			}
+			base[d] *= f
+		}
+		if L < fc.l {
+			continue
+		}
+		var fl fitLevel
+		al := &a.Levels[L]
+		for bi := range al.Buffers {
+			buf := &al.Buffers[bi]
+			if buf.Bytes == 0 {
+				continue
+			}
+			fb := fitBuffer{capBits: buf.Bytes * 8}
+			for _, t := range w.Tensors {
+				if !buf.Holds(t.Name) {
+					continue
+				}
+				ft := fitTensor{bits: int64(a.Bits(t.Name))}
+				for _, ax := range t.Axes {
+					var fa fitAxis
+					for _, term := range ax {
+						fa.terms = append(fa.terms, fitTerm{
+							stride: term.Stride,
+							base:   base[term.D],
+							probe:  probeOf(term.D),
+						})
+					}
+					ft.axes = append(ft.axes, fa)
+				}
+				fb.tens = append(fb.tens, ft)
+			}
+			fl.bufs = append(fl.bufs, fb)
+		}
+		fc.lvls = append(fc.lvls, fl)
+	}
+}
+
+// fits is the FitsVec predicate: fs holds the probe's temporal factors,
+// parallel to the ds slice passed to build.
+func (fc *fitChecker) fits(ds []tensor.Dim, fs []int) bool {
+	if !fc.init {
+		fc.build(ds)
+	}
+	for li := range fc.lvls {
+		fl := &fc.lvls[li]
+		for bi := range fl.bufs {
+			fb := &fl.bufs[bi]
+			var usedBits int64
+			for ti := range fb.tens {
+				ft := &fb.tens[ti]
+				fp := 1
+				for ai := range ft.axes {
+					e := 1
+					for _, term := range ft.axes[ai].terms {
+						n := term.base
+						if term.probe >= 0 {
+							n *= fs[term.probe]
+						}
+						if n <= 0 {
+							n = 1
+						}
+						e += term.stride * (n - 1)
+					}
+					fp *= e
+				}
+				usedBits += int64(fp) * ft.bits
+			}
+			if usedBits > fb.capBits {
+				return false
+			}
+		}
+	}
+	return true
+}

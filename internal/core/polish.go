@@ -4,7 +4,6 @@ import (
 	"context"
 
 	"sunstone/internal/anytime"
-	"sunstone/internal/cost"
 	"sunstone/internal/factor"
 	"sunstone/internal/mapping"
 	"sunstone/internal/order"
@@ -22,9 +21,11 @@ import (
 // every accepted move only improves it — so cancellation simply stops the
 // climb wherever it is and reports the reason; a panicking evaluation
 // rejects that one move.
-func polish(ctx context.Context, best *mapping.Mapping, rep cost.Report, orderings []order.Ordering, opt Options) (*mapping.Mapping, cost.Report, int, StopReason) {
+func polish(ctx context.Context, sc *search, best *mapping.Mapping, bestScore, bestEnergyPJ, bestCycles float64, orderings []order.Ordering) (*mapping.Mapping, float64, float64, int, StopReason) {
+	opt := sc.opt
+	ev := sc.evs[0] // polish is sequential; one scratch evaluator suffices
 	cur := best
-	curRep := rep
+	curScore, curEnergyPJ, curCycles := bestScore, bestEnergyPJ, bestCycles
 	evals := 0
 	const maxRounds = 8
 	poll := &anytime.Poller{Ctx: ctx}
@@ -36,13 +37,17 @@ func polish(ctx context.Context, best *mapping.Mapping, rep cost.Report, orderin
 			if poll.Stop() != StopComplete {
 				return false
 			}
-			r, err := safeEval(opt.Model, cand)
+			// The memo cache absorbs most of these: hill climbing
+			// re-proposes the same neighbors round after round.
+			edp, energyPJ, cycles, valid, err := sc.safeEvalFast(ev, cand)
 			evals++
 			if err != nil {
 				return false // poisoned move: skip it, keep climbing
 			}
-			if r.Valid && opt.Objective.Score(r) < opt.Objective.Score(curRep)*(1-1e-12) {
-				cur, curRep = cand, r
+			if valid && opt.Objective.scoreScalars(edp, energyPJ, cycles, valid) < curScore*(1-1e-12) {
+				cur = cand
+				curScore = opt.Objective.scoreScalars(edp, energyPJ, cycles, valid)
+				curEnergyPJ, curCycles = energyPJ, cycles
 				return true
 			}
 			return false
@@ -139,7 +144,7 @@ func polish(ctx context.Context, best *mapping.Mapping, rep cost.Report, orderin
 			break
 		}
 	}
-	return cur, curRep, evals, poll.Stop()
+	return cur, curEnergyPJ, curCycles, evals, poll.Stop()
 }
 
 // uniquePrimes returns the distinct prime factors of n.

@@ -23,7 +23,8 @@ import (
 // for why this direction examines an order of magnitude more candidates —
 // and the alpha-beta estimates are looser because low-level access counts
 // are unknown until the very end.
-func topDown(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
+func topDown(ctx context.Context, w *tensor.Workload, a *arch.Arch, sc *search) (Result, error) {
+	opt := sc.opt
 	orderings, ostats := order.Enumerate(w)
 	res := Result{OrderingsConsidered: ostats.Survivors}
 
@@ -37,20 +38,12 @@ func topDown(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt Options)
 	}
 	budgetHit := false
 
-	// Anytime incumbent, seeded with the trivial completion so even an
-	// immediate cancel has a valid mapping to return.
 	var inc incumbent
-	if trivial := complete(states[0].m); trivial != nil {
-		if rep, err := safeEval(opt.Model, trivial); err == nil {
-			inc.observe(state{completed: trivial, rep: rep, score: opt.Objective.Score(rep)})
-		} else {
-			res.CandidateErrors = appendCapped(res.CandidateErrors, err)
-		}
-	}
+	seedIncumbent(sc, &inc, &res, states[0].m)
 
 	for m := top; m >= 1; m-- {
 		if r := anytime.FromContext(ctx); r != StopComplete {
-			return inc.finish(res, r)
+			return inc.finish(sc, res, r)
 		}
 		var produced []*mapping.Mapping
 		remaining := stepBudget
@@ -69,21 +62,21 @@ func topDown(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt Options)
 		}
 		if len(produced) == 0 {
 			if r := anytime.FromContext(ctx); r != StopComplete {
-				return inc.finish(res, r)
+				return inc.finish(sc, res, r)
 			}
 			return res, fmt.Errorf("top-down: no feasible candidates at level %d (%s)", m, a.Levels[m].Name)
 		}
 		// Score by completing downward: remaining factors land in the
 		// level-(m-1) tile, lower levels at 1. (The final step's states are
 		// already complete mappings.)
-		scored, panics := scoreTopDown(ctx, produced, m-1, opt)
+		scored, panics := scoreTopDown(ctx, sc, produced, m-1)
 		for _, e := range panics {
 			res.CandidateErrors = appendCapped(res.CandidateErrors, e)
 		}
 		states = prune(scored, opt)
 		if len(states) == 0 {
 			if r := anytime.FromContext(ctx); r != StopComplete {
-				return inc.finish(res, r)
+				return inc.finish(sc, res, r)
 			}
 			return res, errors.Join(append([]error{fmt.Errorf("top-down: all candidates invalid at level %d", m)}, res.CandidateErrors...)...)
 		}
@@ -91,11 +84,11 @@ func topDown(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt Options)
 	}
 
 	best := states[0]
-	if best.completed == nil || !best.rep.Valid {
-		return inc.finish(res, anytime.FromContext(ctx))
+	if best.completed == nil || !best.valid {
+		return inc.finish(sc, res, anytime.FromContext(ctx))
 	}
 	res.Mapping = best.completed
-	res.Report = best.rep
+	res.Report = sc.finalReport(best.completed, best.energyPJ, best.cycles)
 	if budgetHit {
 		res.Stopped = StopBudget
 	}
@@ -271,7 +264,7 @@ func partialRemainderCanFit(m2 *mapping.Mapping, m int, cur map[tensor.Dim]int, 
 // scoreTopDown scores top-down partial mappings by completing them downward:
 // the remaining extents are placed as the level-lvl tile (lower levels stay
 // 1), then the full model runs. For lvl == 0 the mapping is complete as-is.
-func scoreTopDown(ctx context.Context, ms []*mapping.Mapping, lvl int, opt Options) ([]state, []error) {
+func scoreTopDown(ctx context.Context, sc *search, ms []*mapping.Mapping, lvl int) ([]state, []error) {
 	completed := make([]*mapping.Mapping, len(ms))
 	for i, m := range ms {
 		c := m.Clone()
@@ -285,7 +278,7 @@ func scoreTopDown(ctx context.Context, ms []*mapping.Mapping, lvl int, opt Optio
 		}
 		completed[i] = c
 	}
-	states, panics := evalAll(ctx, completed, opt)
+	states, panics := sc.evalAll(ctx, completed)
 	// Re-point the states at the *partial* mappings so the next step
 	// extends them (evalAll sorted by the completed cost; map back). The
 	// completed form stays in state.completed for incumbent tracking.

@@ -1,0 +1,923 @@
+// Fast-path cost evaluation. A Session precomputes everything about a
+// (workload, arch) pair that Evaluate re-derives per call — tensor axis
+// structure, keeper chains, per-flow buffer energy coefficients, the
+// component and access-slot tables behind the Breakdown/Accesses maps — and
+// an Evaluator owns reusable scratch so scoring a mapping allocates nothing
+// in steady state. EvaluateEDP returns exactly the numbers Evaluate would
+// (bit-for-bit: the same arithmetic in the same order), minus the Report
+// maps the search never reads; the full Evaluate remains for final mappings
+// and the CLI.
+//
+// On top of the scalar path sits a search-wide memoization cache keyed by a
+// canonical 128-bit fingerprint of the mapping (per level: the effective
+// order of bound>1 temporal loops, every temporal bound, every spatial
+// factor). Hill-climb polish and the beam revisit the same completed
+// mappings heavily; a cache hit returns the memoized scalars without
+// touching the model.
+package cost
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
+)
+
+// Key is the canonical 128-bit fingerprint of a mapping's (ordering, tile,
+// unroll) content for a fixed (workload, arch) Session. Two mappings with
+// equal Keys are scored identically by the cost model (the fingerprint
+// canonicalizes away differences the model cannot observe, such as the
+// relative order of bound-1 loops), so Keys double as dedup handles for the
+// search's candidate sets.
+type Key struct{ Hi, Lo uint64 }
+
+// cacheEntry memoizes one evaluation's scalar results.
+type cacheEntry struct {
+	edp, energy, cycles float64
+	valid               bool
+}
+
+const cacheShards = 64
+
+type cacheShard struct {
+	mu sync.RWMutex
+	m  map[Key]cacheEntry
+}
+
+// termPlan is one summand of an axis index expression, with the dimension
+// resolved to its Session index.
+type termPlan struct {
+	dim    int
+	stride int
+}
+
+type axisPlan struct {
+	terms []termPlan
+}
+
+// flowPlan is one tensor's traffic between adjacent keeper levels (or the
+// MAC datapath, child == -1), with component/slot indices and buffer energy
+// coefficients resolved at build time.
+type flowPlan struct {
+	child, parent int
+	pReadPJ       float64
+	pWritePJ      float64
+	cReadPJ       float64
+	cWritePJ      float64
+	pComp, cComp  int
+	pSlot, cSlot  int
+}
+
+// tensorPlan is the per-tensor precomputation: axis structure, indexing and
+// window-only dimension sets, and the keeper-pair flows.
+type tensorPlan struct {
+	output   bool
+	axes     []axisPlan
+	indexing []bool // by dim index: does the dim appear in any axis?
+	winOnly  []bool // by dim index: windowOnly(t, d)
+	flows    []flowPlan
+}
+
+// slotPlan resolves one "level/buffer/tensor" access key the way the legacy
+// cycles() does — by re-splitting the rendered string — so bandwidth
+// attribution is identical even for degenerate names.
+type slotPlan struct {
+	lvl             int // -1: unresolvable key, skipped by cycles
+	readBW, writeBW float64
+	resolved        bool
+}
+
+// capPlan is one bounded buffer's capacity check at one level.
+type capPlan struct {
+	lvl     int
+	capBits int64
+	tensors []int // tensor indices held by this buffer
+}
+
+// Session holds the per-(workload, arch) precomputation shared by all
+// Evaluators of one search, plus the search-wide memoization cache. A
+// Session is immutable after NewSession and safe for concurrent use.
+type Session struct {
+	model Model
+	w     *tensor.Workload
+	a     *arch.Arch
+
+	dims    []tensor.Dim // w.Order (canonical)
+	dimIdx  map[tensor.Dim]int
+	bounds  []int // problem bound per dim
+	nLevels int
+
+	tensors []tensorPlan
+	caps    []capPlan
+	redDims []int  // reduction dimension indices
+	noSR    []bool // per level: !AllowSpatialReduction
+	fanout  []int
+
+	macPJ    float64
+	levels   []levelCoef
+	compMAC  int
+	compNoC  int
+	compSR   int
+	nComps   int
+	sumOrder []int // component indices in sorted-name order (EnergyPJ sum)
+	slots    []slotPlan
+
+	shards       [cacheShards]cacheShard
+	hits, misses atomic.Uint64
+}
+
+// levelCoef caches the per-level NoC coefficients.
+type levelCoef struct {
+	noCPerWordPJ    float64
+	noCTagCheckPJ   float64
+	spatialReducePJ float64
+}
+
+// NewSession precomputes the fast-path tables for mapping w onto a. The
+// workload and arch must be structurally valid (every tensor kept at the
+// top level — what arch.Validate guarantees); they are treated as immutable
+// for the Session's lifetime.
+func (mo Model) NewSession(w *tensor.Workload, a *arch.Arch) *Session {
+	s := &Session{
+		model:   mo,
+		w:       w,
+		a:       a,
+		dims:    w.Order,
+		dimIdx:  make(map[tensor.Dim]int, len(w.Order)),
+		bounds:  make([]int, len(w.Order)),
+		nLevels: len(a.Levels),
+		macPJ:   a.MACPJ,
+	}
+	for i, d := range s.dims {
+		s.dimIdx[d] = i
+		s.bounds[i] = w.Dims[d]
+	}
+	for _, d := range w.ReductionDims() {
+		s.redDims = append(s.redDims, s.dimIdx[d])
+	}
+	s.noSR = make([]bool, s.nLevels)
+	s.fanout = make([]int, s.nLevels)
+	s.levels = make([]levelCoef, s.nLevels)
+	for l := 0; l < s.nLevels; l++ {
+		al := &a.Levels[l]
+		s.noSR[l] = !al.AllowSpatialReduction
+		s.fanout[l] = al.Fanout
+		s.levels[l] = levelCoef{
+			noCPerWordPJ:    al.NoCPerWordPJ,
+			noCTagCheckPJ:   al.NoCTagCheckPJ,
+			spatialReducePJ: al.SpatialReducePJ,
+		}
+	}
+
+	compIdx := map[string]int{}
+	var compNames []string
+	comp := func(name string) int {
+		if i, ok := compIdx[name]; ok {
+			return i
+		}
+		i := len(compNames)
+		compIdx[name] = i
+		compNames = append(compNames, name)
+		return i
+	}
+	s.compMAC = comp("MAC")
+	s.compNoC = comp("NoC")
+	s.compSR = comp("SpatialReduce")
+
+	slotIdx := map[string]int{}
+	slot := func(lvl int, bufName, tName string) int {
+		key := fmt.Sprintf("%s/%s/%s", a.Levels[lvl].Name, bufName, tName)
+		if i, ok := slotIdx[key]; ok {
+			return i
+		}
+		// Resolve exactly like the legacy cycles(): split the rendered key
+		// and look the pieces back up; an ambiguous or unresolvable key
+		// (names containing '/', duplicate level names) degrades the same
+		// way it always did.
+		parts := strings.SplitN(key, "/", 3)
+		p := slotPlan{lvl: -1}
+		if li := levelIndexByName(a, parts[0]); li >= 0 {
+			if buf := a.Levels[li].BufferFor(parts[2]); buf != nil {
+				p = slotPlan{lvl: li, readBW: buf.ReadBW, writeBW: buf.WriteBW, resolved: true}
+			}
+		}
+		i := len(s.slots)
+		slotIdx[key] = i
+		s.slots = append(s.slots, p)
+		return i
+	}
+
+	// Capacity checks: every bounded buffer below the top level, with the
+	// tensors it holds (Holds implies Keeps at that level, so the legacy
+	// heldHere conjunction reduces to Holds).
+	for lvl := 0; lvl < s.nLevels-1; lvl++ {
+		al := &a.Levels[lvl]
+		for bi := range al.Buffers {
+			buf := &al.Buffers[bi]
+			if buf.Bytes == 0 {
+				continue
+			}
+			cp := capPlan{lvl: lvl, capBits: buf.Bytes * 8}
+			for ti, t := range w.Tensors {
+				if buf.Holds(t.Name) {
+					cp.tensors = append(cp.tensors, ti)
+				}
+			}
+			s.caps = append(s.caps, cp)
+		}
+	}
+
+	// Per-tensor plans, in w.Tensors order (the Breakdown accumulation
+	// order Evaluate uses).
+	nd := len(s.dims)
+	for _, t := range w.Tensors {
+		tp := tensorPlan{
+			output:   t.Output,
+			indexing: make([]bool, nd),
+			winOnly:  make([]bool, nd),
+		}
+		for i, d := range s.dims {
+			tp.indexing[i] = t.Indexing(d)
+			tp.winOnly[i] = windowOnly(t, d)
+		}
+		for _, ax := range t.Axes {
+			ap := axisPlan{terms: make([]termPlan, len(ax))}
+			for i, term := range ax {
+				ap.terms[i] = termPlan{dim: s.dimIdx[term.D], stride: term.Stride}
+			}
+			tp.axes = append(tp.axes, ap)
+		}
+		var keepers []int
+		for l := 0; l < s.nLevels; l++ {
+			if a.Levels[l].Keeps(t.Name) {
+				keepers = append(keepers, l)
+			}
+		}
+		mkFlow := func(child, parent int) flowPlan {
+			pbuf := a.Levels[parent].BufferFor(t.Name)
+			fl := flowPlan{
+				child: child, parent: parent,
+				pReadPJ: pbuf.ReadPJ, pWritePJ: pbuf.WritePJ,
+				pComp: comp(pbuf.Name),
+				pSlot: slot(parent, pbuf.Name, t.Name),
+				cComp: -1, cSlot: -1,
+			}
+			if child >= 0 {
+				cbuf := a.Levels[child].BufferFor(t.Name)
+				fl.cReadPJ, fl.cWritePJ = cbuf.ReadPJ, cbuf.WritePJ
+				fl.cComp = comp(cbuf.Name)
+				fl.cSlot = slot(child, cbuf.Name, t.Name)
+			}
+			return fl
+		}
+		tp.flows = append(tp.flows, mkFlow(-1, keepers[0]))
+		for i := 0; i+1 < len(keepers); i++ {
+			tp.flows = append(tp.flows, mkFlow(keepers[i], keepers[i+1]))
+		}
+		s.tensors = append(s.tensors, tp)
+	}
+
+	// EnergyPJ sums Breakdown entries in sorted component-name order; adding
+	// a component that Evaluate would have left absent contributes +0.0,
+	// which cannot change the bits of a sum of non-negative terms.
+	s.nComps = len(compNames)
+	s.sumOrder = make([]int, s.nComps)
+	order := append([]string(nil), compNames...)
+	insertionSortStrings(order)
+	for i, name := range order {
+		s.sumOrder[i] = compIdx[name]
+	}
+
+	for i := range s.shards {
+		s.shards[i].m = make(map[Key]cacheEntry)
+	}
+	return s
+}
+
+// insertionSortStrings avoids importing sort for one tiny build-time sort.
+func insertionSortStrings(a []string) {
+	for i := 1; i < len(a); i++ {
+		for j := i; j > 0 && a[j] < a[j-1]; j-- {
+			a[j], a[j-1] = a[j-1], a[j]
+		}
+	}
+}
+
+// CacheStats returns the memoization cache's hit and miss counts so far.
+func (s *Session) CacheStats() (hits, misses uint64) {
+	return s.hits.Load(), s.misses.Load()
+}
+
+func (s *Session) lookup(k Key) (cacheEntry, bool) {
+	sh := &s.shards[k.Hi%cacheShards]
+	sh.mu.RLock()
+	e, ok := sh.m[k]
+	sh.mu.RUnlock()
+	if ok {
+		s.hits.Add(1)
+	} else {
+		s.misses.Add(1)
+	}
+	return e, ok
+}
+
+func (s *Session) store(k Key, e cacheEntry) {
+	sh := &s.shards[k.Hi%cacheShards]
+	sh.mu.Lock()
+	sh.m[k] = e
+	sh.mu.Unlock()
+}
+
+// EvaluateEDP is a convenience that builds a throwaway Session; hot callers
+// (searches) should hold one Session per (workload, arch) and one Evaluator
+// per worker instead.
+func (mo Model) EvaluateEDP(m *mapping.Mapping) (edp, energyPJ, cycles float64, valid bool) {
+	return mo.NewSession(m.Workload, m.Arch).NewEvaluator().EvaluateEDP(m)
+}
+
+// snapshot outcome classification.
+type snapResult int
+
+const (
+	snapOK    snapResult = iota
+	snapBad              // a raw factor < 1: Validate fails, but the T/S view cannot see it — uncacheable
+	snapStray            // a spatial factor > 1 on a non-workload dimension: fall back to Evaluate
+)
+
+// Evaluator owns the mutable scratch for scoring mappings against one
+// Session. It is NOT safe for concurrent use; create one per worker
+// goroutine (Session.NewEvaluator is cheap and the Session itself is
+// shared).
+type Evaluator struct {
+	s *Session
+
+	// Snapshot of the mapping under evaluation (filled by snapshot()).
+	tb    []int   // nLevels x nDims temporal bounds (the T() view)
+	sf    []int   // nLevels x nDims spatial factors (the S() view)
+	eo    []int32 // nLevels x nDims effective order of bound>1 temporal loops
+	eoLen []int
+	spIdx []int32 // per-level spatial entries with s>1: dim indices...
+	spS   []int64 // ...and factors
+	spOff []int   // level l's entries are spIdx/spS[spOff[l]:spOff[l+1]]
+	seen  []bool
+
+	// Evaluation scratch.
+	cum   []int // nLevels x nDims cumulative extents (Extents at each level)
+	ext   []int // per-flow working extents
+	loopD []int32
+	loopB []int
+	bd    []float64
+	acc   []Access
+	inst  []float64
+}
+
+// NewEvaluator returns a fresh Evaluator with all scratch preallocated.
+func (s *Session) NewEvaluator() *Evaluator {
+	nd, nl := len(s.dims), s.nLevels
+	return &Evaluator{
+		s:     s,
+		tb:    make([]int, nl*nd),
+		sf:    make([]int, nl*nd),
+		eo:    make([]int32, nl*nd),
+		eoLen: make([]int, nl),
+		spIdx: make([]int32, nl*nd),
+		spS:   make([]int64, nl*nd),
+		spOff: make([]int, nl+1),
+		seen:  make([]bool, nd),
+		cum:   make([]int, nl*nd),
+		ext:   make([]int, nd),
+		loopD: make([]int32, nl*nd),
+		loopB: make([]int, nl*nd),
+		bd:    make([]float64, s.nComps),
+		acc:   make([]Access, len(s.slots)),
+		inst:  make([]float64, nl),
+	}
+}
+
+// EvaluateEDP scores m on the zero-allocation fast path, returning exactly
+// the EDP/EnergyPJ/Cycles/Valid that Model.Evaluate would report. Results
+// are memoized in the Session's search-wide cache under the mapping's
+// canonical Key; the Probe (fault injection) still fires on every call,
+// before the cache is consulted.
+func (e *Evaluator) EvaluateEDP(m *mapping.Mapping) (edp, energyPJ, cycles float64, valid bool) {
+	s := e.s
+	if s.model.Probe != nil {
+		s.model.Probe.BeforeEvaluate(m)
+	}
+	switch e.snapshot(m) {
+	case snapBad:
+		return inf, inf, inf, false
+	case snapStray:
+		return e.fallback(m)
+	}
+	k := e.key()
+	if v, ok := s.lookup(k); ok {
+		return v.edp, v.energy, v.cycles, v.valid
+	}
+	edp, energyPJ, cycles, valid = e.compute()
+	s.store(k, cacheEntry{edp: edp, energy: energyPJ, cycles: cycles, valid: valid})
+	return edp, energyPJ, cycles, valid
+}
+
+// EvaluateEDPUncached is EvaluateEDP without the memoization layer — the
+// raw compute path. Useful for one-shot scoring and for benchmarking the
+// model itself.
+func (e *Evaluator) EvaluateEDPUncached(m *mapping.Mapping) (edp, energyPJ, cycles float64, valid bool) {
+	s := e.s
+	if s.model.Probe != nil {
+		s.model.Probe.BeforeEvaluate(m)
+	}
+	switch e.snapshot(m) {
+	case snapBad:
+		return inf, inf, inf, false
+	case snapStray:
+		return e.fallback(m)
+	}
+	return e.compute()
+}
+
+// Key returns the mapping's canonical fingerprint, or ok=false when the
+// mapping is outside the fast path's domain (raw factors < 1, which the
+// T/S view cannot represent, or stray spatial dimensions). No Probe fires:
+// computing a key is not an evaluation.
+func (e *Evaluator) Key(m *mapping.Mapping) (k Key, ok bool) {
+	if e.snapshot(m) != snapOK {
+		return Key{}, false
+	}
+	return e.key(), true
+}
+
+// fallback scores a mapping the snapshot cannot represent (spatial factors
+// on dimensions outside the workload — legal in the map representation and
+// visible to the model) on the full Evaluate path. The Probe already fired.
+func (e *Evaluator) fallback(m *mapping.Mapping) (edp, energyPJ, cycles float64, valid bool) {
+	mo := e.s.model
+	mo.Probe = nil
+	rep := mo.Evaluate(m)
+	return rep.EDP, rep.EnergyPJ, rep.Cycles, rep.Valid
+}
+
+// snapshot captures m's T/S bounds, per-level spatial entries, and the
+// effective order of its bound>1 temporal loops into the evaluator scratch.
+func (e *Evaluator) snapshot(m *mapping.Mapping) snapResult {
+	s := e.s
+	nd := len(s.dims)
+	sp := 0
+	for l := 0; l < s.nLevels; l++ {
+		lm := &m.Levels[l]
+		// Raw-map scan: Validate rejects any factor < 1 even on dimensions
+		// the accessors normalize away, and spatial factors > 1 on stray
+		// dimensions do reach the model (SpatialProduct, multicast widths).
+		for _, n := range lm.Temporal {
+			if n < 1 {
+				return snapBad
+			}
+		}
+		for d, n := range lm.Spatial {
+			if n < 1 {
+				return snapBad
+			}
+			if n > 1 {
+				if _, known := s.dimIdx[d]; !known {
+					return snapStray
+				}
+			}
+		}
+		base := l * nd
+		for i, d := range s.dims {
+			e.tb[base+i] = lm.T(d)
+			e.sf[base+i] = lm.S(d)
+		}
+		e.spOff[l] = sp
+		for i := 0; i < nd; i++ {
+			if f := e.sf[base+i]; f > 1 {
+				e.spIdx[sp] = int32(i)
+				e.spS[sp] = int64(f)
+				sp++
+			}
+		}
+		// Effective order restricted to bound>1 loops: declared order first
+		// (deduped, declared dims only), then the canonical remainder —
+		// bound-1 loops are invisible to passCount, so dropping them here
+		// canonicalizes equal-cost orderings onto one Key.
+		cnt := 0
+		for _, d := range lm.Order {
+			i, known := s.dimIdx[d]
+			if !known || e.seen[i] {
+				continue
+			}
+			e.seen[i] = true
+			if e.tb[base+i] > 1 {
+				e.eo[base+cnt] = int32(i)
+				cnt++
+			}
+		}
+		for i := 0; i < nd; i++ {
+			if !e.seen[i] && e.tb[base+i] > 1 {
+				e.eo[base+cnt] = int32(i)
+				cnt++
+			}
+		}
+		e.eoLen[l] = cnt
+		for i := 0; i < nd; i++ {
+			e.seen[i] = false
+		}
+	}
+	e.spOff[s.nLevels] = sp
+	return snapOK
+}
+
+// mix64 is the splitmix64 finalizer — a full-avalanche 64-bit mixer.
+func mix64(z uint64) uint64 {
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// key folds the snapshot into a 128-bit fingerprint: two independently
+// seeded/mixed 64-bit accumulators over the same value stream.
+func (e *Evaluator) key() Key {
+	s := e.s
+	nd := len(s.dims)
+	h1 := uint64(0x9e3779b97f4a7c15)
+	h2 := uint64(0xc2b2ae3d27d4eb4f)
+	fold := func(v uint64) {
+		h1 = mix64(h1 ^ v)
+		h2 = mix64(h2 + v*0xff51afd7ed558ccd)
+	}
+	for l := 0; l < s.nLevels; l++ {
+		base := l * nd
+		fold(0xf00d + uint64(l))
+		for k := 0; k < e.eoLen[l]; k++ {
+			fold(uint64(e.eo[base+k]) | 1<<32)
+		}
+		for i := 0; i < nd; i++ {
+			fold(uint64(e.tb[base+i]))
+			fold(uint64(e.sf[base+i]) | 1<<40)
+		}
+	}
+	return Key{Hi: h1, Lo: h2}
+}
+
+// compute runs the cost model over the snapshot — the same arithmetic as
+// Evaluate, in the same order, against precomputed tables. It allocates
+// nothing.
+func (e *Evaluator) compute() (edp, energyPJ, cycles float64, valid bool) {
+	s := e.s
+	nd := len(s.dims)
+	top := s.nLevels - 1
+
+	// Cumulative extents per level (the Extents view): cum[l][i] is the tile
+	// extent of dim i at level l. Same int-multiply sequence as Extent.
+	for i := 0; i < nd; i++ {
+		e.cum[i] = e.tb[i] * e.sf[i]
+	}
+	for l := 1; l < s.nLevels; l++ {
+		base, prev := l*nd, (l-1)*nd
+		for i := 0; i < nd; i++ {
+			e.cum[base+i] = e.cum[prev+i] * (e.tb[base+i] * e.sf[base+i])
+		}
+	}
+
+	// Validity, in Validate's order of checks (the boolean outcome is all
+	// that matters; Evaluate maps invalid to +Inf scalars).
+	topBase := top * nd
+	for i := 0; i < nd; i++ {
+		if e.cum[topBase+i] < s.bounds[i] {
+			return inf, inf, inf, false
+		}
+	}
+	for ci := range s.caps {
+		cp := &s.caps[ci]
+		var usedBits int64
+		for _, ti := range cp.tensors {
+			usedBits += int64(e.footprint(&s.tensors[ti], cp.lvl*nd)) * int64(s.a.Bits(s.w.Tensors[ti].Name))
+		}
+		if usedBits > cp.capBits {
+			return inf, inf, inf, false
+		}
+	}
+	for l := 0; l < s.nLevels; l++ {
+		spp := 1
+		for k := e.spOff[l]; k < e.spOff[l+1]; k++ {
+			spp *= int(e.spS[k])
+		}
+		if spp > s.fanout[l] {
+			return inf, inf, inf, false
+		}
+		if s.noSR[l] {
+			base := l * nd
+			for _, ri := range s.redDims {
+				if e.sf[base+ri] > 1 {
+					return inf, inf, inf, false
+				}
+			}
+		}
+	}
+
+	// MACs (PaddedMACs): product of per-dim coverage.
+	macs := int64(1)
+	for i := 0; i < nd; i++ {
+		macs *= int64(e.cum[topBase+i])
+	}
+
+	for i := range e.bd {
+		e.bd[i] = 0
+	}
+	for i := range e.acc {
+		e.acc[i] = Access{}
+	}
+	e.bd[s.compMAC] += float64(macs) * s.macPJ
+
+	for ti := range s.tensors {
+		tp := &s.tensors[ti]
+		for fi := range tp.flows {
+			fl := &tp.flows[fi]
+			if fl.child < 0 {
+				e.computeFlow(tp, fl, macs)
+			} else {
+				e.pairFlow(tp, fl)
+			}
+		}
+	}
+
+	energyPJ = 0.0
+	for _, ci := range s.sumOrder {
+		energyPJ += e.bd[ci]
+	}
+	cycles = e.cycles(macs)
+	edp = energyPJ * cycles
+	return edp, energyPJ, cycles, true
+}
+
+// footprint mirrors Tensor.Footprint over the extents stored at e.cum[base:].
+func (e *Evaluator) footprint(tp *tensorPlan, base int) int {
+	fp := 1
+	for ai := range tp.axes {
+		ex := 1
+		for _, t := range tp.axes[ai].terms {
+			n := e.cum[base+t.dim]
+			if n <= 0 {
+				n = 1
+			}
+			ex += t.stride * (n - 1)
+		}
+		fp *= ex
+	}
+	return fp
+}
+
+// extFootprint is footprint over the per-flow working extents e.ext.
+func (e *Evaluator) extFootprint(tp *tensorPlan) int {
+	fp := 1
+	for ai := range tp.axes {
+		ex := 1
+		for _, t := range tp.axes[ai].terms {
+			n := e.ext[t.dim]
+			if n <= 0 {
+				n = 1
+			}
+			ex += t.stride * (n - 1)
+		}
+		fp *= ex
+	}
+	return fp
+}
+
+// mergeWidth is the product of spatial factors at levels [lo, hi] on
+// dimensions not indexing tp — multicast (inputs) or spatial-reduce
+// (outputs) width, and the merge divisor of the compute flow.
+func (e *Evaluator) mergeWidth(tp *tensorPlan, lo, hi int) int64 {
+	w := int64(1)
+	for k := e.spOff[lo]; k < e.spOff[hi+1]; k++ {
+		if !tp.indexing[e.spIdx[k]] {
+			w *= e.spS[k]
+		}
+	}
+	return w
+}
+
+// computeFlow mirrors Model.computeFlow: the MAC datapath consuming tp from
+// its innermost keeper.
+func (e *Evaluator) computeFlow(tp *tensorPlan, fl *flowPlan, macs int64) {
+	merge := e.mergeWidth(tp, 0, fl.parent)
+	var pr, pw, psum int64
+	if tp.output {
+		pw = macs / merge
+		psum = pw
+	} else {
+		pr = macs / merge
+	}
+	e.account(tp, fl, pr, pw, psum, 0, 0)
+}
+
+// pairFlow mirrors Model.pairFlow for keeper pair (child, parent): tile
+// refill passes over the loops above the child, sliding-window overlap for
+// inputs, partial-sum writeback for outputs.
+func (e *Evaluator) pairFlow(tp *tensorPlan, fl *flowPlan) {
+	s := e.s
+	nd := len(s.dims)
+	top := s.nLevels - 1
+	c, p := fl.child, fl.parent
+
+	// Working extents: the child tile enlarged by every spatial unroll above
+	// it (replication by non-indexing unrolls above the parent is folded
+	// into fp, not the extents — exactly as in pairFlow).
+	copy(e.ext, e.cum[c*nd:c*nd+nd])
+	for k := e.spOff[c+1]; k < e.spOff[top+1]; k++ {
+		e.ext[e.spIdx[k]] *= int(e.spS[k])
+	}
+	fp := int64(e.extFootprint(tp))
+	fp *= e.mergeWidth(tp, p+1, top)
+
+	// Temporal loops at levels (c, top], innermost first; bound-1 loops are
+	// already absent from the snapshot's effective orders.
+	nLoops := 0
+	for l := c + 1; l <= top; l++ {
+		base := l * nd
+		for k := 0; k < e.eoLen[l]; k++ {
+			i := e.eo[base+k]
+			e.loopD[nLoops] = i
+			e.loopB[nLoops] = e.tb[base+int(i)]
+			nLoops++
+		}
+	}
+	passes := int64(1)
+	inPrefix := true
+	breakIdx := -1
+	for li := 0; li < nLoops; li++ {
+		if inPrefix && !tp.indexing[e.loopD[li]] {
+			continue
+		}
+		if inPrefix {
+			inPrefix = false
+			breakIdx = li
+		}
+		passes *= int64(e.loopB[li])
+	}
+
+	if tp.output {
+		outIters := int64(1)
+		for li := 0; li < nLoops; li++ {
+			if tp.indexing[e.loopD[li]] {
+				outIters *= int64(e.loopB[li])
+			}
+		}
+		pw := passes * fp
+		psum := (passes - outIters) * fp
+		drains := pw * e.mergeWidth(tp, c+1, p)
+		e.account(tp, fl, 0, pw, psum, 0, drains)
+		return
+	}
+
+	reads := passes * fp
+	if s.model.SlidingReuse && breakIdx >= 0 && tp.winOnly[e.loopD[breakIdx]] {
+		inc := e.incFootprint(tp, int(e.loopD[breakIdx]))
+		outer := passes / int64(e.loopB[breakIdx])
+		reads = outer * (fp + int64(e.loopB[breakIdx]-1)*inc)
+	}
+	fills := reads * e.mergeWidth(tp, c+1, p)
+	e.account(tp, fl, reads, 0, 0, fills, 0)
+}
+
+// incFootprint mirrors incrementalFootprint over the working extents: the
+// new data fetched when the tile advances one step along window dim d.
+func (e *Evaluator) incFootprint(tp *tensorPlan, d int) int64 {
+	fp := int64(1)
+	for ai := range tp.axes {
+		terms := tp.axes[ai].terms
+		full := 1
+		hasD := false
+		strideD := 0
+		for _, t := range terms {
+			n := e.ext[t.dim]
+			if n <= 0 {
+				n = 1
+			}
+			full += t.stride * (n - 1)
+			if t.dim == d {
+				hasD = true
+				strideD = t.stride
+			}
+		}
+		if hasD && len(terms) > 1 {
+			step := strideD * e.ext[d]
+			if step > full {
+				step = full
+			}
+			fp *= int64(step)
+		} else {
+			fp *= int64(full)
+		}
+	}
+	return fp
+}
+
+// account mirrors Model.account: buffer energy, access-slot counts, and NoC
+// distribution/collection energy for one flow.
+func (e *Evaluator) account(tp *tensorPlan, fl *flowPlan, pr, pw, psum, fills, drains int64) {
+	s := e.s
+	e.acc[fl.pSlot].Reads += pr + psum
+	e.acc[fl.pSlot].Writes += pw
+	e.bd[fl.pComp] += float64(pr+psum)*fl.pReadPJ + float64(pw)*fl.pWritePJ
+
+	if fl.child >= 0 {
+		if tp.output {
+			e.acc[fl.cSlot].Reads += drains
+			e.acc[fl.cSlot].Writes += psum
+			e.bd[fl.cComp] += float64(drains)*fl.cReadPJ + float64(psum)*fl.cWritePJ
+		} else {
+			e.acc[fl.cSlot].Writes += fills
+			e.bd[fl.cComp] += float64(fills) * fl.cWritePJ
+		}
+	}
+
+	lo := fl.child
+	if lo < 0 {
+		lo = -1
+	}
+	if tp.output {
+		vol := float64(pw)
+		volBelow := vol * float64(e.mergeWidth(tp, lo+1, fl.parent))
+		for l := lo + 1; l <= fl.parent; l++ {
+			if s.fanout[l] <= 1 {
+				continue
+			}
+			rho := e.levelWidth(tp, l)
+			if rho > 1 {
+				e.bd[s.compSR] += volBelow * s.levels[l].spatialReducePJ
+				volBelow /= float64(rho)
+			}
+			e.bd[s.compNoC] += volBelow * s.levels[l].noCPerWordPJ
+		}
+	} else {
+		vol := float64(pr)
+		for l := fl.parent; l > lo; l-- {
+			if s.fanout[l] <= 1 {
+				continue
+			}
+			e.bd[s.compNoC] += vol * s.levels[l].noCPerWordPJ
+			vol *= float64(e.levelWidth(tp, l))
+			e.bd[s.compNoC] += vol * s.levels[l].noCTagCheckPJ
+		}
+	}
+}
+
+// levelWidth mirrors the legacy levelWidth: level l's non-indexing spatial
+// product for tp.
+func (e *Evaluator) levelWidth(tp *tensorPlan, l int) int64 {
+	w := int64(1)
+	for k := e.spOff[l]; k < e.spOff[l+1]; k++ {
+		if !tp.indexing[e.spIdx[k]] {
+			w *= e.spS[k]
+		}
+	}
+	return w
+}
+
+// cycles mirrors Model.cycles over the accumulated access slots.
+func (e *Evaluator) cycles(macs int64) float64 {
+	s := e.s
+	spatialUsed := 1
+	for l := 0; l < s.nLevels; l++ {
+		spp := 1
+		for k := e.spOff[l]; k < e.spOff[l+1]; k++ {
+			spp *= int(e.spS[k])
+		}
+		spatialUsed *= spp
+	}
+	compute := float64(macs) / float64(spatialUsed)
+	worst := compute
+
+	acc := 1.0
+	for l := s.nLevels - 1; l >= 0; l-- {
+		e.inst[l] = acc
+		spp := 1
+		for k := e.spOff[l]; k < e.spOff[l+1]; k++ {
+			spp *= int(e.spS[k])
+		}
+		acc *= float64(spp)
+	}
+
+	for si := range s.slots {
+		sp := &s.slots[si]
+		if !sp.resolved {
+			continue
+		}
+		var t float64
+		if sp.readBW > 0 {
+			t += float64(e.acc[si].Reads) / (sp.readBW * e.inst[sp.lvl])
+		}
+		if sp.writeBW > 0 {
+			t += float64(e.acc[si].Writes) / (sp.writeBW * e.inst[sp.lvl])
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+	return worst
+}

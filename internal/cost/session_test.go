@@ -1,0 +1,313 @@
+package cost
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/factor"
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
+	"sunstone/internal/workloads"
+)
+
+// randomMappingOn samples one unconstrained mapping of w onto a: prime
+// factors scattered uniformly over every temporal and spatial slot, random
+// (sometimes partial) loop orders, and an occasional dropped factor. The
+// samples deliberately include invalid mappings — capacity and fanout
+// overflows, uncovered dimensions, reduction dims unrolled across
+// non-reducing levels — because the fast path must agree with Evaluate on
+// those too.
+func randomMappingOn(w *tensor.Workload, a *arch.Arch, rng *rand.Rand) *mapping.Mapping {
+	m := mapping.New(w, a)
+	type slot struct {
+		level   int
+		spatial bool
+	}
+	var slots []slot
+	for l := range a.Levels {
+		slots = append(slots, slot{l, false})
+		if a.Levels[l].Fanout > 1 {
+			slots = append(slots, slot{l, true})
+		}
+	}
+	for _, d := range w.Order {
+		for _, p := range factor.Primes(w.Dims[d]) {
+			if rng.Intn(20) == 0 {
+				continue // dropped factor: coverage-invalid sample
+			}
+			s := slots[rng.Intn(len(slots))]
+			if s.spatial {
+				m.Levels[s.level].Spatial[d] = m.Levels[s.level].S(d) * p
+			} else {
+				m.Levels[s.level].Temporal[d] = m.Levels[s.level].T(d) * p
+			}
+		}
+	}
+	for l := range m.Levels {
+		order := append([]tensor.Dim(nil), w.Order...)
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		if rng.Intn(3) == 0 {
+			order = order[:rng.Intn(len(order)+1)] // partial declared order
+		}
+		m.Levels[l].Order = order
+	}
+	return m
+}
+
+// requireSameScalars asserts bit-for-bit agreement between a full Evaluate
+// report and one fast-path result.
+func requireSameScalars(t *testing.T, label string, rep Report, edp, en, cy float64, valid bool) {
+	t.Helper()
+	if valid != rep.Valid ||
+		math.Float64bits(edp) != math.Float64bits(rep.EDP) ||
+		math.Float64bits(en) != math.Float64bits(rep.EnergyPJ) ||
+		math.Float64bits(cy) != math.Float64bits(rep.Cycles) {
+		t.Fatalf("%s: fast path (edp=%v en=%v cy=%v valid=%v) != Evaluate (edp=%v en=%v cy=%v valid=%v)",
+			label, edp, en, cy, valid, rep.EDP, rep.EnergyPJ, rep.Cycles, rep.Valid)
+	}
+}
+
+// checkEquivalence runs one mapping through Evaluate, the memoized fast path
+// (twice: miss then hit), and the uncached fast path, requiring identical
+// scalars from all of them.
+func checkEquivalence(t *testing.T, model Model, ev *Evaluator, m *mapping.Mapping) {
+	t.Helper()
+	rep := model.Evaluate(m)
+	for pass := 0; pass < 2; pass++ {
+		edp, en, cy, valid := ev.EvaluateEDP(m)
+		requireSameScalars(t, "EvaluateEDP", rep, edp, en, cy, valid)
+	}
+	edp, en, cy, valid := ev.EvaluateEDPUncached(m)
+	requireSameScalars(t, "EvaluateEDPUncached", rep, edp, en, cy, valid)
+}
+
+// equivalenceCase is one (workload, arch) pair of the property test.
+func equivalenceCases() []struct {
+	name string
+	w    *tensor.Workload
+	a    *arch.Arch
+} {
+	conv1d := tensor.MustNew("conv1d",
+		map[tensor.Dim]int{"K": 16, "C": 8, "P": 24, "R": 3},
+		&tensor.Tensor{Name: arch.Ifmap, Axes: []tensor.Axis{tensor.Win("P", 1, "R", 1), tensor.A("C")}},
+		&tensor.Tensor{Name: arch.Weight, Axes: []tensor.Axis{tensor.A("K"), tensor.A("C"), tensor.A("R")}},
+		&tensor.Tensor{Name: arch.Ofmap, Axes: []tensor.Axis{tensor.A("K"), tensor.A("P")}, Output: true},
+	)
+	conv2d := workloads.ResNet18[1].Inference(4)
+	return []struct {
+		name string
+		w    *tensor.Workload
+		a    *arch.Arch
+	}{
+		{"conv1d/tinyspatial", conv1d, arch.TinySpatial(4096, 1<<18, 8)},
+		{"conv2d/conventional", conv2d, arch.Conventional()},
+		{"conv2d/simba", conv2d, arch.Simba()},
+		{"conv2d/diannao", conv2d, arch.DianNao()},
+		{"mttkrp/conventional", workloads.MTTKRPOn(workloads.Nell2), arch.Conventional()},
+	}
+}
+
+// TestEvaluateEDPEquivalenceProperty: the fast path reproduces Evaluate
+// bit-for-bit — EDP, EnergyPJ, Cycles, and validity — on randomized valid
+// AND invalid mappings across the Conventional, Simba, and DianNao presets
+// (plus the tiny fixture the other property tests use).
+func TestEvaluateEDPEquivalenceProperty(t *testing.T) {
+	const samples = 120
+	for _, tc := range equivalenceCases() {
+		t.Run(tc.name, func(t *testing.T) {
+			rng := rand.New(rand.NewSource(7))
+			ev := Default.NewSession(tc.w, tc.a).NewEvaluator()
+			valid, invalid := 0, 0
+			for i := 0; i < samples; i++ {
+				m := randomMappingOn(tc.w, tc.a, rng)
+				if m.Validate() == nil {
+					valid++
+				} else {
+					invalid++
+				}
+				checkEquivalence(t, Default, ev, m)
+			}
+			if invalid == 0 {
+				t.Error("sampler produced no invalid mappings; the invalid branch went untested")
+			}
+			t.Logf("%d valid, %d invalid samples", valid, invalid)
+		})
+	}
+}
+
+// TestEvaluateEDPSlidingReuseOff: equivalence holds for non-default model
+// configurations too.
+func TestEvaluateEDPSlidingReuseOff(t *testing.T) {
+	model := Model{SlidingReuse: false}
+	tc := equivalenceCases()[0]
+	ev := model.NewSession(tc.w, tc.a).NewEvaluator()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 60; i++ {
+		checkEquivalence(t, model, ev, randomMappingOn(tc.w, tc.a, rng))
+	}
+}
+
+// TestEvaluateEDPEdgeCases pins the fast path's off-domain handling: raw
+// factors < 1 (invalid but invisible to the T/S accessors, so uncacheable),
+// stray-dimension spatial factors (fall back to the full model), stray
+// temporal factors and explicit 1-entries (cost-invisible).
+func TestEvaluateEDPEdgeCases(t *testing.T) {
+	tc := equivalenceCases()[0]
+	ev := Default.NewSession(tc.w, tc.a).NewEvaluator()
+	rng := rand.New(rand.NewSource(3))
+	base := func() *mapping.Mapping {
+		for {
+			m := randomMappingOn(tc.w, tc.a, rng)
+			if m.Validate() == nil {
+				return m
+			}
+		}
+	}
+
+	zero := base()
+	zero.Levels[0].Temporal["K"] = 0
+	checkEquivalence(t, Default, ev, zero)
+	if _, ok := ev.Key(zero); ok {
+		t.Error("Key accepted a mapping with a raw zero factor")
+	}
+
+	neg := base()
+	neg.Levels[1].Spatial["C"] = -2
+	checkEquivalence(t, Default, ev, neg)
+
+	stray := base()
+	stray.Levels[1].Spatial["Z"] = 2 // undeclared dim: reaches SpatialProduct and multicast widths
+	checkEquivalence(t, Default, ev, stray)
+	if _, ok := ev.Key(stray); ok {
+		t.Error("Key accepted a mapping with a stray spatial factor")
+	}
+
+	strayT := base()
+	strayT.Levels[2].Temporal["Z"] = 5 // undeclared temporal dim: cost-invisible
+	checkEquivalence(t, Default, ev, strayT)
+
+	ones := base()
+	ones.Levels[0].Temporal["R"] = 1
+	ones.Levels[1].Spatial["K"] = 1
+	checkEquivalence(t, Default, ev, ones)
+}
+
+// TestMappingKeyCanonicalization: equal-content mappings share a Key, the
+// Key ignores differences the model cannot observe (bound-1 loop positions,
+// explicit 1-factors), and real tiling changes alter it.
+func TestMappingKeyCanonicalization(t *testing.T) {
+	tc := equivalenceCases()[0]
+	ev := Default.NewSession(tc.w, tc.a).NewEvaluator()
+	rng := rand.New(rand.NewSource(5))
+	var m *mapping.Mapping
+	for {
+		m = randomMappingOn(tc.w, tc.a, rng)
+		if m.Validate() == nil {
+			break
+		}
+	}
+	k1, ok := ev.Key(m)
+	if !ok {
+		t.Fatal("Key rejected a valid mapping")
+	}
+	if k2, _ := ev.Key(m.Clone()); k2 != k1 {
+		t.Error("clone changed the Key")
+	}
+
+	ones := m.Clone()
+	for _, lm := range ones.Levels { // explicit 1-entries in empty slots: T()/S() view unchanged
+		for _, d := range tc.w.Order {
+			if lm.T(d) == 1 {
+				lm.Temporal[d] = 1
+			}
+		}
+	}
+	if k2, _ := ev.Key(ones); k2 != k1 {
+		t.Error("explicit 1-factor changed the Key")
+	}
+
+	tiled := m.Clone()
+	tiled.Levels[len(tiled.Levels)-1].Temporal["K"] = tiled.Levels[len(tiled.Levels)-1].T("K") * 2
+	if k2, _ := ev.Key(tiled); k2 == k1 {
+		t.Error("tiling change did not change the Key")
+	}
+}
+
+// TestEvaluateEDPZeroAlloc guards the tentpole's core claim: the fast path
+// allocates nothing in steady state, on both the cache-hit path and the raw
+// compute path.
+func TestEvaluateEDPZeroAlloc(t *testing.T) {
+	tc := equivalenceCases()[1] // conv2d on Conventional: a realistic size
+	ev := Default.NewSession(tc.w, tc.a).NewEvaluator()
+	rng := rand.New(rand.NewSource(9))
+	var m *mapping.Mapping
+	for {
+		m = randomMappingOn(tc.w, tc.a, rng)
+		if m.Validate() == nil {
+			break
+		}
+	}
+	ev.EvaluateEDP(m) // warm: the first call pays the cache insert
+	if allocs := testing.AllocsPerRun(200, func() { ev.EvaluateEDP(m) }); allocs != 0 {
+		t.Errorf("cache-hit path allocates %v objects/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { ev.EvaluateEDPUncached(m) }); allocs != 0 {
+		t.Errorf("compute path allocates %v objects/op, want 0", allocs)
+	}
+}
+
+// TestEvaluatorConcurrentScratchReuse exercises per-worker scratch reuse and
+// the shared memoization cache under concurrency (run with -race): workers
+// with private Evaluators score an overlapping candidate stream against a
+// single Session, and every result must match the serial full model.
+func TestEvaluatorConcurrentScratchReuse(t *testing.T) {
+	tc := equivalenceCases()[2] // conv2d on Simba: multi-spatial-level
+	sess := Default.NewSession(tc.w, tc.a)
+	rng := rand.New(rand.NewSource(17))
+	const n = 200
+	ms := make([]*mapping.Mapping, n)
+	want := make([]Report, n)
+	for i := range ms {
+		ms[i] = randomMappingOn(tc.w, tc.a, rng)
+		want[i] = Default.Evaluate(ms[i])
+	}
+	const workers = 8
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for wk := 0; wk < workers; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			ev := sess.NewEvaluator()
+			// Offset start: workers overlap on the same mappings, hitting
+			// the cache from different goroutines.
+			for j := 0; j < n; j++ {
+				i := (j + wk*n/workers) % n
+				edp, en, cy, valid := ev.EvaluateEDP(ms[i])
+				rep := want[i]
+				if valid != rep.Valid ||
+					math.Float64bits(edp) != math.Float64bits(rep.EDP) ||
+					math.Float64bits(en) != math.Float64bits(rep.EnergyPJ) ||
+					math.Float64bits(cy) != math.Float64bits(rep.Cycles) {
+					select {
+					case errs <- "concurrent fast-path result diverged from Evaluate":
+					default:
+					}
+					return
+				}
+			}
+		}(wk)
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Error(e)
+	}
+	hits, misses := sess.CacheStats()
+	if hits == 0 || misses == 0 {
+		t.Errorf("cache stats hits=%d misses=%d: expected both non-zero under overlapping workers", hits, misses)
+	}
+}

@@ -17,8 +17,8 @@
 package tile
 
 import (
-	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 
 	"sunstone/internal/factor"
@@ -34,7 +34,7 @@ func (c Candidate) Key() string {
 	ds := make([]string, 0, len(c))
 	for d, f := range c {
 		if f > 1 {
-			ds = append(ds, fmt.Sprintf("%s=%d", d, f))
+			ds = append(ds, string(d)+"="+strconv.Itoa(f))
 		}
 	}
 	sort.Strings(ds)
@@ -57,6 +57,12 @@ type Space struct {
 	// top of the already-fixed lower-level extents) fits the level's
 	// buffers.
 	Fits func(Candidate) bool
+	// FitsVec, when non-nil, is used instead of Fits: ds is the sorted
+	// grow-dimension slice (the same backing array every call) and fs the
+	// parallel factor vector (1 = not grown). It exists so a caller can
+	// probe capacity without the per-node map the Candidate form costs;
+	// the walk itself then allocates nothing per node.
+	FitsVec func(ds []tensor.Dim, fs []int) bool
 	// MinLadderDivisors pads sparse dimensions so the ladder has choices;
 	// 0 means the default (6).
 	MinLadderDivisors int
@@ -76,6 +82,12 @@ type Stats struct {
 
 // Enumerate walks the tiling tree and returns the maximal fitting tiles.
 // If even the unit tile does not fit, it returns nil.
+//
+// The walk itself is allocation-light: nodes are factor vectors over the
+// grow dimensions (mutated in place down the DFS and restored on the way
+// up), deduplicated by a compact ladder-index byte key; Candidate maps are
+// materialized only for the surviving maximal tiles (and, when the caller
+// supplies the map-based Fits rather than FitsVec, per capacity probe).
 func Enumerate(s Space) ([]Candidate, Stats) {
 	var stats Stats
 	minDiv := s.MinLadderDivisors
@@ -90,17 +102,34 @@ func Enumerate(s Space) ([]Candidate, Stats) {
 	}
 	sort.Slice(grow, func(i, j int) bool { return grow[i] < grow[j] })
 
-	ladders := make(map[tensor.Dim][]int, len(grow))
-	for _, d := range grow {
+	ladders := make([][]int, len(grow))
+	for i, d := range grow {
 		q := s.Quota[d]
 		if q < 1 {
 			q = 1
 		}
-		ladders[d] = factor.Ladder(q, minDiv)
+		ladders[i] = factor.Ladder(q, minDiv)
 	}
 
-	root := Candidate{}
-	if !s.Fits(root) {
+	fs := make([]int, len(grow))    // current factor per grow dim
+	rung := make([]byte, len(grow)) // 1-based ladder position (0 = factor 1)
+	for i := range fs {
+		fs[i] = 1
+	}
+	fits := func() bool {
+		if s.FitsVec != nil {
+			return s.FitsVec(grow, fs)
+		}
+		c := make(Candidate, len(grow))
+		for i, d := range grow {
+			if fs[i] > 1 {
+				c[d] = fs[i]
+			}
+		}
+		return s.Fits(c)
+	}
+
+	if !fits() {
 		stats.NodesVisited = 1
 		return nil, stats
 	}
@@ -110,54 +139,78 @@ func Enumerate(s Space) ([]Candidate, Stats) {
 		maxNodes = 100_000
 	}
 	visited := map[string]bool{}
-	var maximal []Candidate
-	var walk func(c Candidate)
-	walk = func(c Candidate) {
-		key := c.Key()
+	var maximal [][]int
+	keep := func() { maximal = append(maximal, append([]int(nil), fs...)) }
+	var walk func()
+	walk = func() {
+		key := string(rung)
 		if visited[key] {
 			return
 		}
 		visited[key] = true
 		stats.NodesVisited++
 		if stats.NodesVisited > maxNodes {
-			maximal = append(maximal, c) // budget exhausted: keep frontier
+			keep() // budget exhausted: keep frontier
 			return
 		}
 		anyChildFits := false
-		for _, d := range grow {
+		for i := range grow {
 			if stats.NodesVisited > maxNodes {
 				break
 			}
-			next := nextRung(ladders[d], cGet(c, d))
+			ni, next := nextRung(ladders[i], fs[i])
 			if next < 0 {
 				continue
 			}
-			child := clone(c)
-			child[d] = next
-			if s.Fits(child) {
+			prevF, prevR := fs[i], rung[i]
+			fs[i], rung[i] = next, byte(ni+1)
+			if fits() {
 				anyChildFits = true
-				walk(child)
+				walk()
 			}
+			fs[i], rung[i] = prevF, prevR
 		}
 		if !anyChildFits {
-			maximal = append(maximal, c)
+			keep()
 		}
 	}
-	walk(root)
+	walk()
 
-	if s.MaxCandidates > 0 && len(maximal) > s.MaxCandidates {
-		sort.Slice(maximal, func(i, j int) bool {
-			pi, pj := product(maximal[i]), product(maximal[j])
+	cands := make([]Candidate, len(maximal))
+	for i, v := range maximal {
+		c := make(Candidate, len(grow))
+		for j, d := range grow {
+			if v[j] > 1 {
+				c[d] = v[j]
+			}
+		}
+		cands[i] = c
+	}
+	keys := make([]string, len(cands))
+	for i, c := range cands {
+		keys[i] = c.Key()
+	}
+	order := make([]int, len(cands))
+	for i := range order {
+		order[i] = i
+	}
+	if s.MaxCandidates > 0 && len(cands) > s.MaxCandidates {
+		sort.Slice(order, func(i, j int) bool {
+			pi, pj := product(cands[order[i]]), product(cands[order[j]])
 			if pi != pj {
 				return pi > pj
 			}
-			return maximal[i].Key() < maximal[j].Key()
+			return keys[order[i]] < keys[order[j]]
 		})
-		maximal = maximal[:s.MaxCandidates]
+		order = order[:s.MaxCandidates]
 	}
-	sort.Slice(maximal, func(i, j int) bool { return maximal[i].Key() < maximal[j].Key() })
-	stats.Survivors = len(maximal)
-	return maximal, stats
+	sort.Slice(order, func(i, j int) bool { return keys[order[i]] < keys[order[j]] })
+	out := make([]Candidate, len(order))
+	for i, oi := range order {
+		out[i] = cands[oi]
+	}
+	stats.Survivors = len(out)
+	return out, stats
 }
 
 // product is the total factor product of a candidate (a proxy for the
@@ -170,27 +223,13 @@ func product(c Candidate) int64 {
 	return p
 }
 
-func cGet(c Candidate, d tensor.Dim) int {
-	if f, ok := c[d]; ok {
-		return f
-	}
-	return 1
-}
-
-func clone(c Candidate) Candidate {
-	out := make(Candidate, len(c)+1)
-	for d, f := range c {
-		out[d] = f
-	}
-	return out
-}
-
-// nextRung returns the smallest ladder value above cur, or -1.
-func nextRung(ladder []int, cur int) int {
-	for _, v := range ladder {
+// nextRung returns the index and value of the smallest ladder entry above
+// cur, or (-1, -1).
+func nextRung(ladder []int, cur int) (int, int) {
+	for i, v := range ladder {
 		if v > cur {
-			return v
+			return i, v
 		}
 	}
-	return -1
+	return -1, -1
 }

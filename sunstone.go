@@ -219,6 +219,30 @@ func OptimizeContext(ctx context.Context, w *Workload, a *Arch, opt Options) (Re
 // Evaluate scores an arbitrary mapping with the default cost model.
 func Evaluate(m *Mapping) Report { return cost.Evaluate(m) }
 
+// CostSession holds the precomputed per-(workload, arch) tables and the
+// search-wide memoization cache of the scalar fast-path cost evaluator.
+// Optimize builds one internally per run; build one yourself (NewCostSession)
+// to score many mappings of the same workload on the same architecture
+// without Report allocation overhead.
+type CostSession = cost.Session
+
+// CostEvaluator is a single goroutine's scratch-carrying handle onto a
+// CostSession. Evaluators are cheap; create one per worker.
+type CostEvaluator = cost.Evaluator
+
+// NewCostSession builds a fast-path evaluation session for w on a using the
+// default cost model.
+func NewCostSession(w *Workload, a *Arch) *CostSession {
+	return cost.Default.NewSession(w, a)
+}
+
+// EvaluateEDP scores m on the scalar fast path: bit-identical EDP, energy
+// (pJ), cycles and validity to Evaluate, without building a Report. For
+// repeated scoring, hold a CostSession and reuse its evaluators instead.
+func EvaluateEDP(m *Mapping) (edp, energyPJ, cycles float64, valid bool) {
+	return cost.Default.EvaluateEDP(m)
+}
+
 // NewMapping returns an empty mapping of w onto a, for hand construction.
 func NewMapping(w *Workload, a *Arch) *Mapping { return mapping.New(w, a) }
 
