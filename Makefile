@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench bench-smoke
+.PHONY: check vet build test race fuzz bench bench-smoke trace-smoke
 
 # check is the full pre-commit gate: static analysis, build, the whole test
-# suite, and the race detector over the concurrent search paths.
-check: vet build test race
+# suite, the race detector over the concurrent search paths, and a telemetry
+# smoke test of the trace exporter.
+check: vet build test race trace-smoke
 
 vet:
 	$(GO) vet ./...
@@ -34,6 +35,16 @@ bench:
 # fast regression guard that the harness itself still works.
 bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x .
+
+# trace-smoke runs a small conv search with -trace and checks the exported
+# file is well-formed Chrome trace-event JSON (loadable in chrome://tracing /
+# Perfetto): a traceEvents array with at least the optimize, per-level,
+# evaluate and polish spans.
+trace-smoke:
+	$(GO) run ./cmd/sunstone -workload conv -dims N=1,K=16,C=16,P=14,Q=14,R=3,S=3 \
+		-arch conventional -trace /tmp/sunstone-trace-smoke.json > /dev/null
+	$(GO) run ./cmd/tracecheck /tmp/sunstone-trace-smoke.json \
+		optimize level orderings enumerate evaluate polish
 
 # fuzz runs each fuzz target briefly (parser and JSON decoders).
 fuzz:

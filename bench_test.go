@@ -12,6 +12,7 @@
 package sunstone_test
 
 import (
+	"context"
 	"testing"
 
 	"sunstone"
@@ -134,6 +135,27 @@ func BenchmarkOptimizeConvConventional(b *testing.B) {
 	}
 }
 
+// BenchmarkOptimizeConvConventionalTelemetry is the same search with the
+// full telemetry surface on — a trace in the context and a progress sink —
+// so the ns/op delta against BenchmarkOptimizeConvConventional is the
+// observability overhead (budget: < 10%, see DESIGN.md).
+func BenchmarkOptimizeConvConventionalTelemetry(b *testing.B) {
+	w := sunstone.ResNet18Layers[1].Inference(16)
+	a := sunstone.Conventional()
+	var events int
+	opt := sunstone.Options{Progress: func(sunstone.ProgressEvent) { events++ }}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		ctx := sunstone.WithTrace(context.Background(), sunstone.NewTrace())
+		if _, err := sunstone.OptimizeContext(ctx, w, a, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if events == 0 {
+		b.Fatal("progress sink never fired")
+	}
+}
+
 // BenchmarkOptimizeConvSimba measures a search on the deeper Simba
 // hierarchy (two spatial levels, bypass) — the scalability case. The
 // cache-hit-rate metric tracks how much of the search's evaluation load the
@@ -148,8 +170,8 @@ func BenchmarkOptimizeConvSimba(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		hits += res.EvalCacheHits
-		misses += res.EvalCacheMisses
+		hits += res.Stats.EvalCacheHits
+		misses += res.Stats.EvalCacheMisses
 	}
 	if total := hits + misses; total > 0 {
 		b.ReportMetric(100*float64(hits)/float64(total), "cache-hit-%")

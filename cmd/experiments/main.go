@@ -10,22 +10,25 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"sunstone/internal/experiments"
+	"sunstone/internal/obs"
 	"sunstone/internal/profiling"
 )
 
 var (
-	exp     = flag.String("exp", "all", "experiment: table1 | table3 | fig6 | fig7 | fig8 | table6 | fig9 | spread | all")
-	quick   = flag.Bool("quick", false, "shrink layer sets and search budgets")
-	seed    = flag.Int64("seed", 1, "seed for randomized baselines")
-	csv     = flag.Bool("csv", false, "emit fig6/fig7/fig8 rows as CSV instead of text")
-	layerTO = flag.Duration("layer-timeout", 0, "per-workload wall-clock budget for every tool (0 = each tool's natural budget); early-stopped runs report best-so-far with a stopped annotation")
-	cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
-	memProf = flag.String("memprofile", "", "write a heap profile at exit to this file")
+	exp      = flag.String("exp", "all", "experiment: table1 | table3 | fig6 | fig7 | fig8 | table6 | fig9 | spread | all")
+	quick    = flag.Bool("quick", false, "shrink layer sets and search budgets")
+	seed     = flag.Int64("seed", 1, "seed for randomized baselines")
+	csv      = flag.Bool("csv", false, "emit fig6/fig7/fig8 rows as CSV instead of text")
+	layerTO  = flag.Duration("layer-timeout", 0, "per-workload wall-clock budget for every tool (0 = each tool's natural budget); early-stopped runs report best-so-far with a stopped annotation")
+	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+	memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
+	traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of every search's phases to this file")
 )
 
 func main() {
@@ -41,6 +44,24 @@ func main() {
 	}
 	defer stopProf()
 	cfg := experiments.Config{Quick: *quick, Seed: *seed, LayerTimeout: *layerTO}
+	var tr *obs.Trace
+	if *traceOut != "" {
+		tr = obs.NewTrace()
+		cfg.Ctx = obs.WithTrace(context.Background(), tr)
+		defer func() {
+			f, err := os.Create(*traceOut)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			defer f.Close()
+			if err := tr.WriteJSON(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				os.Exit(2)
+			}
+			fmt.Fprintf(os.Stderr, "experiments: trace written to %s (%d events)\n", *traceOut, tr.Events())
+		}()
+	}
 
 	run := func(name string, f func()) {
 		if *exp == name || *exp == "all" {

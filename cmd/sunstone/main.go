@@ -48,7 +48,79 @@ var (
 	contErr   = flag.Bool("continue-on-error", false, "with -all-layers: keep scheduling the remaining layers after one fails instead of failing fast")
 	cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProf   = flag.String("memprofile", "", "write a heap profile at exit to this file")
+	traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev) of the search's phases to this file")
+	progress  = flag.Bool("progress", false, "stream live search progress (phases, incumbent improvements) to stderr")
+	baseList  = flag.String("baselines", "timeloop-fast,dmaze-fast,interstellar,cosa", "with -compare: comma-separated baseline registry names, or 'all'")
 )
+
+// searchContext returns the context every search in this invocation runs
+// under: the -trace collector installed when requested, plus a flush function
+// to write the collected spans at exit.
+func searchContext() (context.Context, func()) {
+	ctx := context.Background()
+	if *traceOut == "" {
+		return ctx, func() {}
+	}
+	tr := sunstone.NewTrace()
+	return sunstone.WithTrace(ctx, tr), func() {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := tr.WriteJSON(f); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "sunstone: trace written to %s (%d events)\n", *traceOut, tr.Events())
+	}
+}
+
+// progressTicker returns the Options.Progress callback for -progress: a live
+// stderr ticker of phase boundaries and incumbent improvements.
+func progressTicker() sunstone.ProgressFunc {
+	if !*progress {
+		return nil
+	}
+	return func(ev sunstone.ProgressEvent) {
+		switch ev.Kind {
+		case sunstone.IncumbentImproved:
+			fmt.Fprintf(os.Stderr, "[%7.3fs] %-20s best %-12.4e %d generated, %d evaluated\n",
+				ev.Elapsed.Seconds(), ev.Phase, ev.Score, ev.Generated, ev.Evaluated)
+		case sunstone.PhaseStarted:
+			fmt.Fprintf(os.Stderr, "[%7.3fs] > %s\n", ev.Elapsed.Seconds(), ev.Phase)
+		case sunstone.PhaseFinished:
+			fmt.Fprintf(os.Stderr, "[%7.3fs] < %s  (%d generated, %d evaluated)\n",
+				ev.Elapsed.Seconds(), ev.Phase, ev.Generated, ev.Evaluated)
+		}
+	}
+}
+
+// pickBaselines resolves the -baselines list against the registry.
+func pickBaselines() ([]sunstone.NamedBaseline, error) {
+	all := sunstone.Baselines()
+	if *baseList == "all" {
+		return all, nil
+	}
+	byName := map[string]sunstone.NamedBaseline{}
+	var known []string
+	for _, nb := range all {
+		byName[nb.Name] = nb
+		known = append(known, nb.Name)
+	}
+	var out []sunstone.NamedBaseline
+	for _, name := range strings.Split(*baseList, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
+			continue
+		}
+		nb, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("unknown baseline %q (have: %s, or 'all')", name, strings.Join(known, ", "))
+		}
+		out = append(out, nb)
+	}
+	return out, nil
+}
 
 func main() {
 	flag.Parse()
@@ -96,7 +168,7 @@ func main() {
 		fatal(err)
 	}
 
-	opt := sunstone.Options{BeamWidth: *beam, Timeout: *timeout}
+	opt := sunstone.Options{BeamWidth: *beam, Timeout: *timeout, Progress: progressTicker()}
 	if *topDown {
 		opt.Direction = sunstone.TopDown
 	}
@@ -112,7 +184,8 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown objective %q", *objective))
 	}
-	res, err := sunstone.Optimize(w, a, opt)
+	ctx, flushTrace := searchContext()
+	res, err := sunstone.OptimizeContext(ctx, w, a, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -121,6 +194,14 @@ func main() {
 	fmt.Printf("EDP      %.4e pJ*cycle\nenergy   %.4e pJ\ncycles   %.0f\nsearch   %v, %d candidates, %d orderings\n",
 		res.Report.EDP, res.Report.EnergyPJ, res.Report.Cycles,
 		res.Elapsed, res.SpaceSize, res.OrderingsConsidered)
+	st := res.Stats
+	fmt.Printf("flow     %d generated = %d pruned (%d order, %d tile, %d unroll) + %d deduped + %d evaluated + %d skipped\n",
+		st.Generated, st.Pruned(), st.PrunedOrdering, st.PrunedTiling, st.PrunedUnrolling,
+		st.Deduped, st.Evaluated, st.Skipped)
+	if total := st.EvalCacheHits + st.EvalCacheMisses; total > 0 {
+		fmt.Printf("cache    %.1f%% hit rate (%d/%d); beam cut %d, bound cut %d\n",
+			100*float64(st.EvalCacheHits)/float64(total), st.EvalCacheHits, total, st.PrunedBeam, st.PrunedBound)
+	}
 	if res.Stopped != sunstone.StopComplete {
 		fmt.Printf("stopped  %s — reporting the best mapping found before the signal\n", res.Stopped)
 	}
@@ -161,31 +242,35 @@ func main() {
 		fmt.Printf("\naccess counts:\n%s", indent(res.Report.AccessTable()))
 	}
 	if *compare {
+		bls, berr := pickBaselines()
+		if berr != nil {
+			fatal(berr)
+		}
 		fmt.Println("\nbaselines:")
-		for _, bl := range []sunstone.BaselineMapper{
-			sunstone.TimeloopFast(), sunstone.DMazeFast(), sunstone.Interstellar(), sunstone.CoSA(),
-		} {
+		for _, nb := range bls {
 			// Baselines honor the same -timeout budget via MapContext, so
-			// the comparison is wall-clock fair.
-			ctx := context.Background()
+			// the comparison is wall-clock fair; they also inherit the
+			// -trace collector, so each tool's run is one trace region.
+			bctx := ctx
 			if *timeout > 0 {
 				var cancel context.CancelFunc
-				ctx, cancel = context.WithTimeout(ctx, *timeout)
+				bctx, cancel = context.WithTimeout(bctx, *timeout)
 				defer cancel()
 			}
-			r := bl.MapContext(ctx, w, a)
+			r := nb.Mapper.MapContext(bctx, w, a)
 			note := ""
 			if r.Stopped != sunstone.StopComplete {
 				note = " [stopped: " + r.Stopped.String() + "]"
 			}
 			if !r.Valid {
-				fmt.Printf("  %-10s INVALID (%s) in %v%s\n", bl.Name(), r.InvalidReason, r.Elapsed.Round(1e6), note)
+				fmt.Printf("  %-10s INVALID (%s) in %v%s\n", nb.Mapper.Name(), r.InvalidReason, r.Elapsed.Round(1e6), note)
 				continue
 			}
 			fmt.Printf("  %-10s EDP %.4e (%.2fx Sunstone) in %v%s\n",
-				bl.Name(), r.Report.EDP, r.Report.EDP/res.Report.EDP, r.Elapsed.Round(1e6), note)
+				nb.Mapper.Name(), r.Report.EDP, r.Report.EDP/res.Report.EDP, r.Elapsed.Round(1e6), note)
 		}
 	}
+	flushTrace()
 }
 
 // runAllLayers schedules the whole -net table and prints network totals.
@@ -209,10 +294,11 @@ func runAllLayers() {
 		fatal(fmt.Errorf("-all-layers needs -net resnet18|inception|alexnet|vgg16"))
 	}
 	nopt := sunstone.NetworkOptions{
-		Options:         sunstone.Options{Timeout: *timeout},
+		Options:         sunstone.Options{Timeout: *timeout, Progress: progressTicker()},
 		ContinueOnError: *contErr,
 	}
-	sched, err := sunstone.ScheduleNetworkContext(context.Background(), *net, table, *batch, repeats, a, nopt)
+	ctx, flushTrace := searchContext()
+	sched, err := sunstone.ScheduleNetworkContext(ctx, *net, table, *batch, repeats, a, nopt)
 	fmt.Printf("%-12s %-3s %-12s %-12s %s\n", "layer", "x", "EDP", "energy pJ", "cycles")
 	for _, l := range sched.Layers {
 		if l.Err != nil {
@@ -232,6 +318,7 @@ func runAllLayers() {
 		fmt.Printf("; %d layer(s) failed, totals cover the rest", sched.Failed)
 	}
 	fmt.Println(")")
+	flushTrace()
 	if err != nil {
 		fatal(err)
 	}

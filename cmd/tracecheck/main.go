@@ -1,0 +1,81 @@
+// Command tracecheck validates a Chrome trace-event JSON file as written by
+// the -trace flag of cmd/sunstone and cmd/experiments: the document must
+// parse, hold a non-empty traceEvents array of complete ("X") and metadata
+// ("M") events with sane timestamps, and every name passed as an argument
+// must match at least one span (prefix match, so `tracecheck f.json optimize
+// level` checks the root span and the per-level passes exist). `make
+// trace-smoke` runs it as the telemetry gate in `make check`.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+type event struct {
+	Name string  `json:"name"`
+	Ph   string  `json:"ph"`
+	Ts   float64 `json:"ts"`
+	Dur  float64 `json:"dur"`
+	Pid  int     `json:"pid"`
+	Tid  int     `json:"tid"`
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck <trace.json> [required-span-prefix ...]")
+		os.Exit(2)
+	}
+	data, err := os.ReadFile(os.Args[1])
+	if err != nil {
+		fail("%v", err)
+	}
+	var doc struct {
+		TraceEvents []event `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		fail("not valid trace JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		fail("traceEvents is empty")
+	}
+	spans := 0
+	for i, ev := range doc.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			spans++
+			if ev.Ts < 0 || ev.Dur < 0 {
+				fail("event %d (%q): negative timing ts=%v dur=%v", i, ev.Name, ev.Ts, ev.Dur)
+			}
+		case "M":
+		default:
+			fail("event %d (%q): unexpected phase %q", i, ev.Name, ev.Ph)
+		}
+		if ev.Name == "" {
+			fail("event %d has no name", i)
+		}
+	}
+	if spans == 0 {
+		fail("no complete (ph=X) spans")
+	}
+	for _, want := range os.Args[2:] {
+		found := false
+		for _, ev := range doc.TraceEvents {
+			if ev.Ph == "X" && strings.HasPrefix(ev.Name, want) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fail("no span named %q*", want)
+		}
+	}
+	fmt.Printf("tracecheck: %s ok (%d events, %d spans)\n", os.Args[1], len(doc.TraceEvents), spans)
+}
+
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "tracecheck: "+format+"\n", args...)
+	os.Exit(1)
+}

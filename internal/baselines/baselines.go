@@ -21,6 +21,7 @@ import (
 	"sunstone/internal/arch"
 	"sunstone/internal/cost"
 	"sunstone/internal/mapping"
+	"sunstone/internal/obs"
 	"sunstone/internal/tensor"
 )
 
@@ -74,6 +75,22 @@ func FinalReport(model cost.Model, m *mapping.Mapping, edp, energyPJ, cycles flo
 		}
 	}()
 	return model.Evaluate(m)
+}
+
+// Instrument runs one tool's search under a telemetry span named after the
+// tool (a child of the context's span, or a root on its trace), stamping the
+// run's outcome — candidates evaluated, validity, stop reason — as span
+// arguments. With no trace on the context it is two context lookups and a
+// direct call. Every Mapper implementation routes MapContext through this,
+// so head-to-head experiment traces show each tool's search as one region.
+func Instrument(ctx context.Context, name string, fn func(context.Context) Result) Result {
+	ctx, sp := obs.StartSpan(ctx, name)
+	res := fn(ctx)
+	if sp != nil {
+		sp.Arg("evaluated", res.Evaluated).Arg("valid", res.Valid).
+			Arg("stopped", res.Stopped.String()).End()
+	}
+	return res
 }
 
 // RunContext adapts a fast, effectively non-interruptible search to the

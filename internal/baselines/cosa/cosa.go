@@ -46,9 +46,12 @@ func (m *Mapper) Name() string { return "CoSA" }
 // MapContext implements baselines.Mapper: this search is one-shot and
 // sub-second, so it only short-circuits an already-done context and
 // otherwise runs to completion with panic containment (see
-// baselines.RunContext).
+// baselines.RunContext). The run is recorded as a telemetry span when the
+// context carries a trace (see baselines.Instrument).
 func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) baselines.Result {
-	return baselines.RunContext(ctx, m.Name(), func() baselines.Result { return m.Map(w, a) })
+	return baselines.Instrument(ctx, m.Name(), func(ctx context.Context) baselines.Result {
+		return baselines.RunContext(ctx, m.Name(), func() baselines.Result { return m.Map(w, a) })
+	})
 }
 
 // Map implements baselines.Mapper.

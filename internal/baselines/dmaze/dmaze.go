@@ -74,8 +74,15 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 // MapContext implements baselines.Mapper with the anytime contract: the
 // directed enumeration polls ctx between tiling candidates and, on a
 // deadline or cancel, returns the best thresholded mapping found so far
-// with Result.Stopped set.
+// with Result.Stopped set. The run is recorded as a telemetry span when the
+// context carries a trace (see baselines.Instrument).
 func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) baselines.Result {
+	return baselines.Instrument(ctx, m.Name(), func(ctx context.Context) baselines.Result {
+		return m.mapContext(ctx, w, a)
+	})
+}
+
+func (m *Mapper) mapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) baselines.Result {
 	start := time.Now()
 	res := baselines.Result{}
 	poll := &anytime.Poller{Ctx: ctx, Every: 16}

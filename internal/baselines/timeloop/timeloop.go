@@ -81,7 +81,15 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 // cost-model evaluation is contained per sample: the poisoned candidate
 // counts as an invalid sample (feeding the TO termination condition, exactly
 // like Timeloop's own rejection path) and is reported in Result.Errors.
+// The run is recorded as a telemetry span when the context carries a trace
+// (see baselines.Instrument).
 func (m *Mapper) MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) baselines.Result {
+	return baselines.Instrument(ctx, m.Name(), func(ctx context.Context) baselines.Result {
+		return m.mapContext(ctx, w, a)
+	})
+}
+
+func (m *Mapper) mapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) baselines.Result {
 	start := time.Now()
 	cfg := m.Cfg
 	if cfg.Threads <= 0 {

@@ -9,6 +9,7 @@ import (
 	"sunstone/internal/arch"
 	"sunstone/internal/factor"
 	"sunstone/internal/mapping"
+	"sunstone/internal/obs"
 	"sunstone/internal/order"
 	"sunstone/internal/tensor"
 	"sunstone/internal/tile"
@@ -26,11 +27,14 @@ type incumbent struct {
 	cycles   float64
 }
 
-// observe folds a scored, completed state into the incumbent.
-func (inc *incumbent) observe(s state) {
+// observe folds a scored, completed state into the incumbent, reporting
+// whether it improved the best-so-far.
+func (inc *incumbent) observe(s state) bool {
 	if s.completed != nil && s.valid && (inc.m == nil || s.score < inc.score) {
 		inc.m, inc.score, inc.energyPJ, inc.cycles = s.completed, s.score, s.energyPJ, s.cycles
+		return true
 	}
+	return false
 }
 
 // finish stamps res with the incumbent and the stop reason. When the search
@@ -53,18 +57,22 @@ func seedIncumbent(sc *search, inc *incumbent, res *Result, seed *mapping.Mappin
 	if trivial == nil {
 		return
 	}
+	sc.ctr.Generated.Inc()
+	sc.ctr.Evaluated.Inc()
 	edp, energyPJ, cycles, valid, err := sc.safeEvalFast(sc.evs[0], trivial)
 	if err != nil {
 		res.CandidateErrors = appendCapped(res.CandidateErrors, err)
 		return
 	}
-	inc.observe(state{
+	if inc.observe(state{
 		completed: trivial,
 		score:     sc.opt.Objective.scoreScalars(edp, energyPJ, cycles, valid),
 		energyPJ:  energyPJ,
 		cycles:    cycles,
 		valid:     valid,
-	})
+	}) {
+		sc.prog.incumbent("seed", -1, inc.score, inc.energyPJ, inc.cycles)
+	}
 }
 
 // bottomUp optimizes level by level starting at the memory closest to the
@@ -75,7 +83,7 @@ func seedIncumbent(sc *search, inc *incumbent, res *Result, seed *mapping.Mappin
 // cancellation it returns the incumbent best completed mapping.
 func bottomUp(ctx context.Context, w *tensor.Workload, a *arch.Arch, sc *search) (Result, error) {
 	opt := sc.opt
-	orderings, ostats := order.Enumerate(w)
+	orderings, ostats := sc.enumerateOrderings(ctx, w)
 	res := Result{OrderingsConsidered: ostats.Survivors}
 
 	states := []state{{m: mapping.New(w, a)}}
@@ -85,46 +93,11 @@ func bottomUp(ctx context.Context, w *tensor.Workload, a *arch.Arch, sc *search)
 	seedIncumbent(sc, &inc, &res, states[0].m)
 
 	for l := 0; l < top; l++ {
-		if r := anytime.FromContext(ctx); r != StopComplete {
-			return inc.finish(sc, res, r)
+		next, done, out, err := sc.bottomUpLevel(ctx, l, states, orderings, &res, &inc)
+		if done {
+			return out, err
 		}
-		var produced []*mapping.Mapping
-		for _, st := range states {
-			cands, effort := expandLevel(ctx, st.m, l, orderings, opt)
-			produced = append(produced, cands...)
-			res.SpaceSize += effort
-			if anytime.FromContext(ctx) != StopComplete {
-				break // partial batch: score what we have, then stop above
-			}
-		}
-		if len(produced) == 0 {
-			if r := anytime.FromContext(ctx); r != StopComplete {
-				return inc.finish(sc, res, r)
-			}
-			return res, fmt.Errorf("no feasible candidates at level %d (%s): tiles cannot fit", l, a.Levels[l].Name)
-		}
-		// Space size counts candidates the enumeration examined, so it is
-		// charged before deduplication; the duplicates just don't pay for a
-		// second completion + evaluation.
-		res.SpaceSize += len(produced)
-		var dd int
-		produced, dd = sc.dedupe(produced)
-		res.Deduped += dd
-		scored, panics := sc.evalAll(ctx, produced)
-		for _, e := range panics {
-			res.CandidateErrors = appendCapped(res.CandidateErrors, e)
-		}
-		states = prune(scored, opt)
-		if len(states) == 0 {
-			if r := anytime.FromContext(ctx); r != StopComplete {
-				return inc.finish(sc, res, r)
-			}
-			return res, errors.Join(append([]error{fmt.Errorf("all candidates at level %d are invalid", l)}, res.CandidateErrors...)...)
-		}
-		inc.observe(states[0])
-		if r := anytime.FromContext(ctx); r != StopComplete {
-			return inc.finish(sc, res, r)
-		}
+		states = next
 	}
 
 	best := states[0]
@@ -136,15 +109,99 @@ func bottomUp(ctx context.Context, w *tensor.Workload, a *arch.Arch, sc *search)
 	}
 	energyPJ, cycles := best.energyPJ, best.cycles
 	if !opt.NoPolish {
+		_, psp := obs.StartSpan(ctx, "polish")
+		sc.prog.phase(obs.PhaseStarted, "polish", -1)
 		var evals int
 		var reason StopReason
 		final, energyPJ, cycles, evals, reason = polish(ctx, sc, final, best.score, energyPJ, cycles, orderings)
 		res.SpaceSize += evals
 		res.Stopped = reason
+		sc.prog.phase(obs.PhaseFinished, "polish", -1)
+		psp.Arg("evals", evals).End()
 	}
 	res.Mapping = final
 	res.Report = sc.finalReport(final, energyPJ, cycles)
 	return res, nil
+}
+
+// enumerateOrderings runs the ordering trie under a span and charges its
+// rejects to the candidate flow: every trie node examined but not surviving
+// counts as generated + pruned-by-the-ordering-principle.
+func (sc *search) enumerateOrderings(ctx context.Context, w *tensor.Workload) ([]order.Ordering, order.Stats) {
+	_, osp := obs.StartSpan(ctx, "orderings")
+	orderings, ostats := order.Enumerate(w)
+	rejects := ostats.NodesVisited - ostats.Survivors
+	if rejects > 0 {
+		sc.ctr.Generated.Add(uint64(rejects))
+		sc.ctr.PrunedOrdering.Add(uint64(rejects))
+	}
+	osp.Arg("survivors", ostats.Survivors).Arg("visited", ostats.NodesVisited).End()
+	return orderings, ostats
+}
+
+// bottomUpLevel runs one level of the bottom-up pass: expand every beam
+// state, dedupe, evaluate the fan-out, prune to the next beam. When the
+// search must return at this level — cancellation, no feasible candidates —
+// it reports done=true with the final (Result, error); otherwise it hands
+// back the next beam. Extracted so the level's span and progress phase close
+// on every early return.
+func (sc *search) bottomUpLevel(ctx context.Context, l int, states []state, orderings []order.Ordering, res *Result, inc *incumbent) (next []state, done bool, out Result, err error) {
+	a := states[0].m.Arch
+	lctx, lsp := obs.StartSpanf(ctx, "level %d (%s)", l, a.Levels[l].Name)
+	defer lsp.End()
+	sc.prog.phasef(obs.PhaseStarted, l, "level %d (%s)", l, a.Levels[l].Name)
+	defer sc.prog.phasef(obs.PhaseFinished, l, "level %d (%s)", l, a.Levels[l].Name)
+
+	if r := anytime.FromContext(ctx); r != StopComplete {
+		out, err = inc.finish(sc, *res, r)
+		return nil, true, out, err
+	}
+	_, esp := obs.StartSpan(lctx, "enumerate")
+	var produced []*mapping.Mapping
+	for _, st := range states {
+		cands, effort := sc.expandLevel(ctx, st.m, l, orderings)
+		produced = append(produced, cands...)
+		res.SpaceSize += effort
+		if anytime.FromContext(ctx) != StopComplete {
+			break // partial batch: score what we have, then stop above
+		}
+	}
+	esp.Arg("produced", len(produced)).End()
+	if len(produced) == 0 {
+		if r := anytime.FromContext(ctx); r != StopComplete {
+			out, err = inc.finish(sc, *res, r)
+			return nil, true, out, err
+		}
+		return nil, true, *res, fmt.Errorf("no feasible candidates at level %d (%s): tiles cannot fit", l, a.Levels[l].Name)
+	}
+	// Space size counts candidates the enumeration examined, so it is
+	// charged before deduplication; the duplicates just don't pay for a
+	// second completion + evaluation.
+	res.SpaceSize += len(produced)
+	sc.ctr.Generated.Add(uint64(len(produced)))
+	produced = sc.dedupe(produced)
+	vctx, vsp := obs.StartSpan(lctx, "evaluate")
+	scored, panics := sc.evalAll(vctx, produced)
+	vsp.Arg("candidates", len(produced)).End()
+	for _, e := range panics {
+		res.CandidateErrors = appendCapped(res.CandidateErrors, e)
+	}
+	next = sc.prunedAndCount(scored)
+	if len(next) == 0 {
+		if r := anytime.FromContext(ctx); r != StopComplete {
+			out, err = inc.finish(sc, *res, r)
+			return nil, true, out, err
+		}
+		return nil, true, *res, errors.Join(append([]error{fmt.Errorf("all candidates at level %d are invalid", l)}, res.CandidateErrors...)...)
+	}
+	if inc.observe(next[0]) {
+		sc.prog.incumbent(fmt.Sprintf("level %d (%s)", l, a.Levels[l].Name), l, inc.score, inc.energyPJ, inc.cycles)
+	}
+	if r := anytime.FromContext(ctx); r != StopComplete {
+		out, err = inc.finish(sc, *res, r)
+		return nil, true, out, err
+	}
+	return next, false, Result{}, nil
 }
 
 // appendCapped appends err to errs unless the cap is reached.
@@ -162,10 +219,17 @@ func appendCapped(errs []error, err error) []error {
 // Strategy. Cancellation is polled between orderings — the bounded unit of
 // work here — so a stop truncates the candidate set rather than discarding
 // it.
-func expandLevel(ctx context.Context, base *mapping.Mapping, l int, orderings []order.Ordering, opt Options) ([]*mapping.Mapping, int) {
+//
+// Enumeration rejects — tiling-tree nodes that never became a candidate,
+// unrolling choices cut by the utilization filter or capacity — are charged
+// to the candidate flow here, accumulated locally and flushed once per call
+// so the hot enumeration loops never touch an atomic.
+func (sc *search) expandLevel(ctx context.Context, base *mapping.Mapping, l int, orderings []order.Ordering) ([]*mapping.Mapping, int) {
+	opt := sc.opt
 	w := base.Workload
 	a := base.Arch
 	effort := 0
+	prunedTiling, prunedUnrolling := 0, 0
 	poll := &anytime.Poller{Ctx: ctx}
 
 	// Strategy accounting: the non-default intra-level orders enumerate
@@ -193,7 +257,7 @@ func expandLevel(ctx context.Context, base *mapping.Mapping, l int, orderings []
 		// (e.g. the DianNao NFU between the on-chip buffers and the MACs).
 		bases := []*mapping.Mapping{m1}
 		if l == 0 && a.Levels[0].Fanout > 1 {
-			bases = unrollAt(m1, 0, nil, opt)
+			bases = unrollAt(m1, 0, nil, opt, &prunedUnrolling)
 			effort += len(bases)
 		}
 
@@ -204,12 +268,13 @@ func expandLevel(ctx context.Context, base *mapping.Mapping, l int, orderings []
 		for _, m2 := range bases {
 			withSpatial := []*mapping.Mapping{m2}
 			if a.Levels[l+1].Fanout > 1 {
-				withSpatial = unrollAt(m2, l+1, grow, opt)
+				withSpatial = unrollAt(m2, l+1, grow, opt, &prunedUnrolling)
 				effort += len(withSpatial)
 			}
 			for _, m3 := range withSpatial {
 				tiles, tstats := enumerateTiles(ctx, m3, l, grow, opt)
 				effort += tstats.NodesVisited
+				prunedTiling += tstats.NodesVisited - tstats.Survivors
 				for _, tc := range tiles {
 					m4 := m3.Clone()
 					for d, f := range tc {
@@ -222,6 +287,14 @@ func expandLevel(ctx context.Context, base *mapping.Mapping, l int, orderings []
 				}
 			}
 		}
+	}
+	if prunedTiling > 0 {
+		sc.ctr.Generated.Add(uint64(prunedTiling))
+		sc.ctr.PrunedTiling.Add(uint64(prunedTiling))
+	}
+	if prunedUnrolling > 0 {
+		sc.ctr.Generated.Add(uint64(prunedUnrolling))
+		sc.ctr.PrunedUnrolling.Add(uint64(prunedUnrolling))
 	}
 	return out, effort
 }
@@ -306,10 +379,11 @@ func isReduction(m *mapping.Mapping, d tensor.Dim) bool {
 
 // unrollAt returns m extended with each candidate spatial unrolling at level
 // lvl (allowed dims nil = no principle restriction), keeping only
-// capacity-feasible extensions.
-func unrollAt(m *mapping.Mapping, lvl int, allowed []tensor.Dim, opt Options) []*mapping.Mapping {
+// capacity-feasible extensions. Enumeration-tree rejects and
+// capacity-infeasible unrollings are added to *pruned.
+func unrollAt(m *mapping.Mapping, lvl int, allowed []tensor.Dim, opt Options, pruned *int) []*mapping.Mapping {
 	a := m.Arch
-	cands, _ := unroll.Enumerate(unroll.Space{
+	cands, ustats := unroll.Enumerate(unroll.Space{
 		Allowed:               allowed,
 		ReductionDims:         m.Workload.ReductionDims(),
 		Quota:                 quotas(m, lvl),
@@ -318,6 +392,7 @@ func unrollAt(m *mapping.Mapping, lvl int, allowed []tensor.Dim, opt Options) []
 		AllowSpatialReduction: a.Levels[lvl].AllowSpatialReduction,
 		MaxCandidates:         opt.UnrollsPerStep,
 	})
+	*pruned += ustats.NodesVisited - ustats.Survivors
 	var out []*mapping.Mapping
 	for _, u := range cands {
 		mu := m.Clone()
@@ -328,6 +403,8 @@ func unrollAt(m *mapping.Mapping, lvl int, allowed []tensor.Dim, opt Options) []
 		}
 		if feasible(mu, lvl) {
 			out = append(out, mu)
+		} else {
+			*pruned++
 		}
 	}
 	if len(out) == 0 {

@@ -38,6 +38,7 @@ import (
 	"sunstone/internal/arch"
 	"sunstone/internal/cost"
 	"sunstone/internal/mapping"
+	"sunstone/internal/obs"
 	"sunstone/internal/order"
 	"sunstone/internal/serde"
 	"sunstone/internal/tensor"
@@ -195,6 +196,16 @@ type Options struct {
 	// the best mapping completed so far with Result.Stopped = StopDeadline.
 	// Equivalent to passing OptimizeContext a context with that deadline.
 	Timeout time.Duration
+	// Progress, when non-nil, receives live search events: phase-started /
+	// phase-finished for every per-level pass (and polish), and
+	// incumbent-improved whenever the best-so-far completed mapping gets
+	// better. Events are emitted synchronously from the goroutine driving
+	// the search, incumbent improvements at a bounded rate; no event is
+	// delivered after OptimizeContext returns. A panicking callback is
+	// isolated like a poisoned candidate: progress reporting stops, the
+	// panic is recorded in Result.CandidateErrors, and the search itself
+	// continues unharmed.
+	Progress obs.ProgressFunc
 }
 
 // Maximum sane values for Options.Validate: beyond these the caller almost
@@ -256,33 +267,63 @@ func (o Options) Validate() error {
 	return errors.Join(errs...)
 }
 
+// DefaultOptions returns the optimizer's default configuration, spelled out.
+// The zero Options value is exactly equivalent: every zero field is filled
+// from this set before a search runs, so Optimize(w, a, Options{}) and
+// Optimize(w, a, DefaultOptions()) perform the identical search. Use this
+// when you want to start from the defaults and tweak one knob explicitly.
+func DefaultOptions() Options {
+	return Options{
+		Direction:          BottomUp,
+		Strategy:           OrderTileUnroll,
+		Objective:          MinEDP,
+		BeamWidth:          24,
+		AlphaSlack:         16,
+		MinUtilization:     0.5,
+		TilesPerStep:       8,
+		UnrollsPerStep:     6,
+		Threads:            runtime.GOMAXPROCS(0),
+		Model:              cost.Default,
+		TopDownVisitBudget: 4_000_000,
+	}
+}
+
+// withDefaults fills every zero field from DefaultOptions. This is the single
+// place defaults are applied; DefaultOptions is the single place they are
+// defined.
 func (o Options) withDefaults() Options {
+	def := DefaultOptions()
 	if o.BeamWidth <= 0 {
-		o.BeamWidth = 24
+		o.BeamWidth = def.BeamWidth
 	}
 	if o.TilesPerStep <= 0 {
-		o.TilesPerStep = 8
+		o.TilesPerStep = def.TilesPerStep
 	}
 	if o.UnrollsPerStep <= 0 {
-		o.UnrollsPerStep = 6
+		o.UnrollsPerStep = def.UnrollsPerStep
 	}
 	if o.AlphaSlack <= 0 {
-		o.AlphaSlack = 16
+		o.AlphaSlack = def.AlphaSlack
 	}
 	if o.MinUtilization <= 0 {
-		o.MinUtilization = 0.5
+		o.MinUtilization = def.MinUtilization
 	}
 	if o.Threads <= 0 {
-		o.Threads = runtime.GOMAXPROCS(0)
+		o.Threads = def.Threads
 	}
 	if o.Model == (cost.Model{}) {
-		o.Model = cost.Default
+		o.Model = def.Model
 	}
 	if o.TopDownVisitBudget <= 0 {
-		o.TopDownVisitBudget = 4_000_000
+		o.TopDownVisitBudget = def.TopDownVisitBudget
 	}
 	return o
 }
+
+// SearchStats is the counter snapshot published in Result.Stats (see
+// internal/obs). For an uncancelled run the candidate flow satisfies
+// Generated == Pruned() + Deduped + Evaluated.
+type SearchStats = obs.SearchStats
 
 // Result is the outcome of one optimization run.
 type Result struct {
@@ -303,16 +344,11 @@ type Result struct {
 	// capped at maxCandidateErrors. The search survives them: a poisoned
 	// candidate simply scores invalid.
 	CandidateErrors []error
-	// EvalCacheHits/EvalCacheMisses count lookups in the search-wide
-	// memoization cache of the fast-path cost evaluator: a hit means a
-	// candidate (typically a polish neighbor or a re-derived completion)
-	// was scored without recomputing the model.
-	EvalCacheHits   uint64
-	EvalCacheMisses uint64
-	// Deduped counts identical partial mappings removed from the bottom-up
-	// beam before the evaluation fan-out (distinct enumeration paths can
-	// produce the same (ordering, tile, unroll) state).
-	Deduped int
+	// Stats snapshots the search's telemetry counters at return: candidate
+	// flow (generated / pruned by principle / deduped / evaluated /
+	// skipped), post-evaluation beam cuts, and the fast-path evaluator's
+	// memo-cache hits and misses.
+	Stats   SearchStats
 	Elapsed time.Duration
 }
 
@@ -354,6 +390,8 @@ func OptimizeContext(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt 
 	}
 	start := time.Now()
 	sc := newSearch(w, a, opt)
+	ctx, root := obs.StartSpanf(ctx, "optimize %s (%s)", w.Name, opt.Direction)
+	sc.prog.phase(obs.PhaseStarted, "optimize", -1)
 	var res Result
 	var err error
 	if opt.Direction == TopDown {
@@ -361,19 +399,35 @@ func OptimizeContext(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt 
 	} else {
 		res, err = bottomUp(ctx, w, a, sc)
 	}
-	res.EvalCacheHits, res.EvalCacheMisses = sc.sess.CacheStats()
+	res.Stats = obs.SnapshotSearch(sc.reg)
+	sc.prog.phase(obs.PhaseFinished, "optimize", -1)
+	if perr := sc.prog.takeErr(); perr != nil {
+		res.CandidateErrors = appendCapped(res.CandidateErrors, perr)
+	}
+	if root != nil {
+		root.Arg("stopped", res.Stopped.String())
+		for _, cv := range sc.reg.Snapshot() {
+			root.Arg(cv.Name, cv.Value)
+		}
+		root.End()
+	}
 	res.Elapsed = time.Since(start)
 	return res, err
 }
 
 // search is the per-run evaluation context: the fast-path cost session
-// (per-(workload, arch) tables plus the search-wide memoization cache) and
-// one scratch evaluator per worker thread, so the steady-state scoring path
-// allocates nothing and never contends on scratch space.
+// (per-(workload, arch) tables plus the search-wide memoization cache), one
+// scratch evaluator per worker thread — so the steady-state scoring path
+// allocates nothing and never contends on scratch space — and the run's
+// telemetry: a counter registry (candidate flow plus the session's adopted
+// cache counters) and the progress emitter.
 type search struct {
 	opt  Options
 	sess *cost.Session
 	evs  []*cost.Evaluator
+	reg  *obs.Registry
+	ctr  *obs.SearchCounters
+	prog *progressEmitter
 }
 
 func newSearch(w *tensor.Workload, a *arch.Arch, opt Options) *search {
@@ -382,6 +436,12 @@ func newSearch(w *tensor.Workload, a *arch.Arch, opt Options) *search {
 	for i := range sc.evs {
 		sc.evs[i] = sc.sess.NewEvaluator()
 	}
+	sc.reg = obs.NewRegistry()
+	sc.ctr = obs.NewSearchCounters(sc.reg)
+	hits, misses := sc.sess.CacheCounters()
+	sc.reg.Register(obs.CtrCacheHits, hits)
+	sc.reg.Register(obs.CtrCacheMisses, misses)
+	sc.prog = newProgressEmitter(opt.Progress, sc.ctr)
 	return sc
 }
 
@@ -547,9 +607,13 @@ func (sc *search) evalOne(ctx context.Context, ev *cost.Evaluator, ms []*mapping
 		}
 	}()
 	if ctx.Err() != nil {
+		sc.ctr.Skipped.Inc()
 		states[i] = state{m: ms[i], score: math.Inf(1)}
 		return
 	}
+	// Counted before the attempt so a poisoned candidate still counts as
+	// evaluated (its fate is "attempted", not "skipped").
+	sc.ctr.Evaluated.Inc()
 	c := complete(ms[i])
 	edp, energyPJ, cycles, valid := ev.EvaluateEDP(c)
 	states[i] = state{
@@ -578,9 +642,9 @@ func sortStates(states []state) {
 // unconditionally. Distinct enumeration paths routinely reproduce the same
 // (ordering, tile, unroll) state, and every duplicate would cost a full
 // completion + evaluation in the fan-out.
-func (sc *search) dedupe(ms []*mapping.Mapping) ([]*mapping.Mapping, int) {
+func (sc *search) dedupe(ms []*mapping.Mapping) []*mapping.Mapping {
 	if len(ms) < 2 {
-		return ms, 0
+		return ms
 	}
 	seen := make(map[cost.Key]struct{}, len(ms))
 	out := ms[:0]
@@ -593,7 +657,8 @@ func (sc *search) dedupe(ms []*mapping.Mapping) ([]*mapping.Mapping, int) {
 		}
 		out = append(out, m)
 	}
-	return out, len(ms) - len(out)
+	sc.ctr.Deduped.Add(uint64(len(ms) - len(out)))
+	return out
 }
 
 // safeEval evaluates m with the given model, converting a panic in the cost
@@ -647,9 +712,12 @@ func reproMapping(m *mapping.Mapping) string {
 	return m.String()
 }
 
-// prune applies beam and alpha-beta selection to sorted states.
-func prune(states []state, opt Options) []state {
-	var out []state
+// prune applies beam and alpha-beta selection to sorted states, reporting
+// how many already-evaluated candidates the alpha-beta bound and the beam
+// width discarded (these are post-evaluation cuts — subsets of the
+// evaluated count, not part of the generated = pruned + deduped + evaluated
+// flow identity).
+func prune(states []state, opt Options) (out []state, boundCut, beamCut int) {
 	alpha := math.Inf(1)
 	for _, s := range states {
 		if math.IsInf(s.score, 1) {
@@ -665,13 +733,24 @@ func prune(states []state, opt Options) []state {
 			continue
 		}
 		if s.score > alpha*opt.AlphaSlack {
-			continue // alpha-beta: provably far from the incumbent
+			boundCut++ // alpha-beta: provably far from the incumbent
+			continue
+		}
+		if len(out) >= opt.BeamWidth {
+			beamCut++
+			continue
 		}
 		out = append(out, s)
-		if len(out) >= opt.BeamWidth {
-			break
-		}
 	}
+	return out, boundCut, beamCut
+}
+
+// prunedAndCount is prune plus counter accounting, the form every search
+// loop uses.
+func (sc *search) prunedAndCount(states []state) []state {
+	out, boundCut, beamCut := prune(states, sc.opt)
+	sc.ctr.PrunedBound.Add(uint64(boundCut))
+	sc.ctr.PrunedBeam.Add(uint64(beamCut))
 	return out
 }
 

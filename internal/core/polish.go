@@ -34,9 +34,12 @@ func polish(ctx context.Context, sc *search, best *mapping.Mapping, bestScore, b
 		improved := false
 
 		try := func(cand *mapping.Mapping) bool {
+			sc.ctr.Generated.Inc()
 			if poll.Stop() != StopComplete {
+				sc.ctr.Skipped.Inc()
 				return false
 			}
+			sc.ctr.Evaluated.Inc()
 			// The memo cache absorbs most of these: hill climbing
 			// re-proposes the same neighbors round after round.
 			edp, energyPJ, cycles, valid, err := sc.safeEvalFast(ev, cand)
@@ -48,6 +51,7 @@ func polish(ctx context.Context, sc *search, best *mapping.Mapping, bestScore, b
 				cur = cand
 				curScore = opt.Objective.scoreScalars(edp, energyPJ, cycles, valid)
 				curEnergyPJ, curCycles = energyPJ, cycles
+				sc.prog.incumbent("polish", -1, curScore, curEnergyPJ, curCycles)
 				return true
 			}
 			return false

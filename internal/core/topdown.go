@@ -9,6 +9,7 @@ import (
 	"sunstone/internal/arch"
 	"sunstone/internal/factor"
 	"sunstone/internal/mapping"
+	"sunstone/internal/obs"
 	"sunstone/internal/order"
 	"sunstone/internal/tensor"
 	"sunstone/internal/unroll"
@@ -25,7 +26,7 @@ import (
 // are unknown until the very end.
 func topDown(ctx context.Context, w *tensor.Workload, a *arch.Arch, sc *search) (Result, error) {
 	opt := sc.opt
-	orderings, ostats := order.Enumerate(w)
+	orderings, ostats := sc.enumerateOrderings(ctx, w)
 	res := Result{OrderingsConsidered: ostats.Survivors}
 
 	top := len(a.Levels) - 1
@@ -42,45 +43,12 @@ func topDown(ctx context.Context, w *tensor.Workload, a *arch.Arch, sc *search) 
 	seedIncumbent(sc, &inc, &res, states[0].m)
 
 	for m := top; m >= 1; m-- {
-		if r := anytime.FromContext(ctx); r != StopComplete {
-			return inc.finish(sc, res, r)
+		next, hit, done, out, err := sc.topDownStep(ctx, m, states, orderings, stepBudget, &res, &inc)
+		if done {
+			return out, err
 		}
-		var produced []*mapping.Mapping
-		remaining := stepBudget
-		for _, st := range states {
-			cands, visited := expandTopLevel(ctx, st.m, m, orderings, opt, remaining)
-			res.SpaceSize += visited
-			remaining -= visited
-			produced = append(produced, cands...)
-			if remaining <= 0 {
-				budgetHit = true
-				break
-			}
-			if anytime.FromContext(ctx) != StopComplete {
-				break
-			}
-		}
-		if len(produced) == 0 {
-			if r := anytime.FromContext(ctx); r != StopComplete {
-				return inc.finish(sc, res, r)
-			}
-			return res, fmt.Errorf("top-down: no feasible candidates at level %d (%s)", m, a.Levels[m].Name)
-		}
-		// Score by completing downward: remaining factors land in the
-		// level-(m-1) tile, lower levels at 1. (The final step's states are
-		// already complete mappings.)
-		scored, panics := scoreTopDown(ctx, sc, produced, m-1)
-		for _, e := range panics {
-			res.CandidateErrors = appendCapped(res.CandidateErrors, e)
-		}
-		states = prune(scored, opt)
-		if len(states) == 0 {
-			if r := anytime.FromContext(ctx); r != StopComplete {
-				return inc.finish(sc, res, r)
-			}
-			return res, errors.Join(append([]error{fmt.Errorf("top-down: all candidates invalid at level %d", m)}, res.CandidateErrors...)...)
-		}
-		inc.observe(states[0])
+		budgetHit = budgetHit || hit
+		states = next
 	}
 
 	best := states[0]
@@ -95,15 +63,90 @@ func topDown(ctx context.Context, w *tensor.Workload, a *arch.Arch, sc *search) 
 	return res, nil
 }
 
+// topDownStep runs one level of the top-down pass: expand every beam state
+// under the step's visit budget, score by downward completion, prune to the
+// next beam. When the search must return at this level it reports done=true
+// with the final (Result, error). Extracted — like bottomUpLevel — so the
+// step's span and progress phase close on every early return.
+func (sc *search) topDownStep(ctx context.Context, m int, states []state, orderings []order.Ordering, stepBudget int, res *Result, inc *incumbent) (next []state, budgetHit, done bool, out Result, err error) {
+	a := states[0].m.Arch
+	lctx, lsp := obs.StartSpanf(ctx, "level %d (%s)", m, a.Levels[m].Name)
+	defer lsp.End()
+	sc.prog.phasef(obs.PhaseStarted, m, "level %d (%s)", m, a.Levels[m].Name)
+	defer sc.prog.phasef(obs.PhaseFinished, m, "level %d (%s)", m, a.Levels[m].Name)
+
+	if r := anytime.FromContext(ctx); r != StopComplete {
+		out, err = inc.finish(sc, *res, r)
+		return nil, false, true, out, err
+	}
+	_, esp := obs.StartSpan(lctx, "enumerate")
+	var produced []*mapping.Mapping
+	// Local tallies flushed once per step: the enumeration recursion can
+	// visit millions of nodes, so it must never touch an atomic per node.
+	visitedTotal, prunedUnrollTotal := 0, 0
+	remaining := stepBudget
+	for _, st := range states {
+		cands, visited, prunedUnroll := expandTopLevel(ctx, st.m, m, orderings, sc.opt, remaining)
+		res.SpaceSize += visited
+		remaining -= visited
+		visitedTotal += visited
+		prunedUnrollTotal += prunedUnroll
+		produced = append(produced, cands...)
+		if remaining <= 0 {
+			budgetHit = true
+			break
+		}
+		if anytime.FromContext(ctx) != StopComplete {
+			break
+		}
+	}
+	// Every visited node is either a materialized candidate (evaluated
+	// below) or a tiling reject; unrolling rejects are tallied separately.
+	sc.ctr.Generated.Add(uint64(visitedTotal + prunedUnrollTotal))
+	sc.ctr.PrunedTiling.Add(uint64(visitedTotal - len(produced)))
+	sc.ctr.PrunedUnrolling.Add(uint64(prunedUnrollTotal))
+	esp.Arg("produced", len(produced)).Arg("visited", visitedTotal).End()
+	if len(produced) == 0 {
+		if r := anytime.FromContext(ctx); r != StopComplete {
+			out, err = inc.finish(sc, *res, r)
+			return nil, budgetHit, true, out, err
+		}
+		return nil, budgetHit, true, *res, fmt.Errorf("top-down: no feasible candidates at level %d (%s)", m, a.Levels[m].Name)
+	}
+	// Score by completing downward: remaining factors land in the
+	// level-(m-1) tile, lower levels at 1. (The final step's states are
+	// already complete mappings.)
+	vctx, vsp := obs.StartSpan(lctx, "evaluate")
+	scored, panics := scoreTopDown(vctx, sc, produced, m-1)
+	vsp.Arg("candidates", len(produced)).End()
+	for _, e := range panics {
+		res.CandidateErrors = appendCapped(res.CandidateErrors, e)
+	}
+	next = sc.prunedAndCount(scored)
+	if len(next) == 0 {
+		if r := anytime.FromContext(ctx); r != StopComplete {
+			out, err = inc.finish(sc, *res, r)
+			return nil, budgetHit, true, out, err
+		}
+		return nil, budgetHit, true, *res, errors.Join(append([]error{fmt.Errorf("top-down: all candidates invalid at level %d", m)}, res.CandidateErrors...)...)
+	}
+	if inc.observe(next[0]) {
+		sc.prog.incumbent(fmt.Sprintf("level %d (%s)", m, a.Levels[m].Name), m, inc.score, inc.energyPJ, inc.cycles)
+	}
+	return next, budgetHit, false, Result{}, nil
+}
+
 // expandTopLevel enumerates (ordering, spatial, temporal-factor) choices for
 // level m of partial mapping base. The returned visit count includes
-// capacity-rejected combinations (they were examined). Enumeration stops
-// when the remaining visit budget is exhausted or the context is canceled
-// (polled every 1024 visits — the recursion itself is the hot loop here).
-func expandTopLevel(ctx context.Context, base *mapping.Mapping, m int, orderings []order.Ordering, opt Options, budget int) ([]*mapping.Mapping, int) {
+// capacity-rejected combinations (they were examined); prunedUnroll counts
+// the unrolling-enumeration rejects. Enumeration stops when the remaining
+// visit budget is exhausted or the context is canceled (polled every 1024
+// visits — the recursion itself is the hot loop here).
+func expandTopLevel(ctx context.Context, base *mapping.Mapping, m int, orderings []order.Ordering, opt Options, budget int) ([]*mapping.Mapping, int, int) {
 	w := base.Workload
 	a := base.Arch
 	visited := 0
+	prunedUnroll := 0
 	var out []*mapping.Mapping
 	poll := &anytime.Poller{Ctx: ctx, Every: 1024}
 
@@ -118,7 +161,7 @@ func expandTopLevel(ctx context.Context, base *mapping.Mapping, m int, orderings
 
 		spatials := []*mapping.Mapping{m1}
 		if a.Levels[m].Fanout > 1 {
-			spatials = topDownUnroll(m1, m, opt)
+			spatials = topDownUnroll(m1, m, opt, &prunedUnroll)
 		}
 		for _, m2 := range spatials {
 			// Budget for T(m): the remainder above level m, net of the
@@ -180,15 +223,16 @@ func expandTopLevel(ctx context.Context, base *mapping.Mapping, m int, orderings
 			rec(0)
 		}
 	}
-	return out, visited
+	return out, visited, prunedUnroll
 }
 
 // topDownUnroll enumerates spatial unrollings at level m without principle
 // restrictions (top-down has no lower-level ordering fixed yet to derive OP
 // from; this unguided enumeration is part of why its space is larger).
-func topDownUnroll(m1 *mapping.Mapping, m int, opt Options) []*mapping.Mapping {
+// Enumeration-tree rejects are added to *pruned.
+func topDownUnroll(m1 *mapping.Mapping, m int, opt Options, pruned *int) []*mapping.Mapping {
 	a := m1.Arch
-	cands, _ := unroll.Enumerate(unroll.Space{
+	cands, ustats := unroll.Enumerate(unroll.Space{
 		ReductionDims:         m1.Workload.ReductionDims(),
 		Quota:                 remainingExtents(m1, m),
 		Fanout:                a.Levels[m].Fanout,
@@ -196,6 +240,7 @@ func topDownUnroll(m1 *mapping.Mapping, m int, opt Options) []*mapping.Mapping {
 		AllowSpatialReduction: a.Levels[m].AllowSpatialReduction,
 		MaxCandidates:         opt.UnrollsPerStep * 2,
 	})
+	*pruned += ustats.NodesVisited - ustats.Survivors
 	var out []*mapping.Mapping
 	for _, u := range cands {
 		mu := m1.Clone()

@@ -20,10 +20,10 @@ import (
 	"fmt"
 	"strings"
 	"sync"
-	"sync/atomic"
 
 	"sunstone/internal/arch"
 	"sunstone/internal/mapping"
+	"sunstone/internal/obs"
 	"sunstone/internal/tensor"
 )
 
@@ -127,7 +127,7 @@ type Session struct {
 	slots    []slotPlan
 
 	shards       [cacheShards]cacheShard
-	hits, misses atomic.Uint64
+	hits, misses obs.Counter
 }
 
 // levelCoef caches the per-level NoC coefficients.
@@ -310,6 +310,13 @@ func insertionSortStrings(a []string) {
 // CacheStats returns the memoization cache's hit and miss counts so far.
 func (s *Session) CacheStats() (hits, misses uint64) {
 	return s.hits.Load(), s.misses.Load()
+}
+
+// CacheCounters exposes the live cache hit/miss counters so a search can
+// adopt them into its telemetry registry (obs.Registry.Register) and stream
+// the hit rate mid-run instead of waiting for a final CacheStats snapshot.
+func (s *Session) CacheCounters() (hits, misses *obs.Counter) {
+	return &s.hits, &s.misses
 }
 
 func (s *Session) lookup(k Key) (cacheEntry, bool) {

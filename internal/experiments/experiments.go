@@ -21,9 +21,7 @@ import (
 	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
 	"sunstone/internal/baselines"
-	"sunstone/internal/baselines/cosa"
-	"sunstone/internal/baselines/dmaze"
-	"sunstone/internal/baselines/interstellar"
+	"sunstone/internal/baselines/registry"
 	"sunstone/internal/baselines/timeloop"
 	"sunstone/internal/core"
 	"sunstone/internal/tensor"
@@ -41,6 +39,44 @@ type Config struct {
 	// still reports its best mapping so far, with ToolRun.Stopped noting
 	// the early stop. Zero means every tool runs its own natural budget.
 	LayerTimeout time.Duration
+	// Ctx, when non-nil, is the base context every search runs under —
+	// cmd/experiments installs its -trace collector here so a whole
+	// figure regeneration exports as one Chrome trace. Nil means
+	// context.Background().
+	Ctx context.Context
+}
+
+// ctx returns the configured base context.
+func (c Config) ctx() context.Context {
+	if c.Ctx != nil {
+		return c.Ctx
+	}
+	return context.Background()
+}
+
+// tools resolves baseline registry names (internal/baselines/registry) to
+// fresh mappers, overriding the Timeloop entries with this Config's
+// wall-clock-scaled budgets. Names are compile-time constants in the Fig
+// drivers below, so an unknown one is a programming error.
+func (c Config) tools(names ...string) []baselines.Mapper {
+	out := make([]baselines.Mapper, 0, len(names))
+	for _, name := range names {
+		e, ok := registry.Lookup(name)
+		if !ok {
+			panic("experiments: unknown baseline registry name " + name)
+		}
+		m := e.New()
+		if tl, isTL := m.(*timeloop.Mapper); isTL {
+			switch name {
+			case "timeloop-fast":
+				tl.Cfg = c.tlFast()
+			case "timeloop-slow":
+				tl.Cfg = c.tlSlow()
+			}
+		}
+		out = append(out, m)
+	}
+	return out
 }
 
 // DefaultConfig is the configuration the committed EXPERIMENTS.md numbers
@@ -100,7 +136,7 @@ func stoppedLabel(r anytime.StopReason) string {
 // runSunstone wraps the optimizer as a ToolRun producer; cfg.LayerTimeout
 // bounds the search via Options.Timeout.
 func runSunstone(cfg Config, w *tensor.Workload, a *arch.Arch) ToolRun {
-	res, err := core.Optimize(w, a, core.Options{Timeout: cfg.LayerTimeout})
+	res, err := core.OptimizeContext(cfg.ctx(), w, a, core.Options{Timeout: cfg.LayerTimeout})
 	tr := ToolRun{Tool: "Sunstone", Workload: w.Name}
 	if err != nil {
 		tr.Reason = err.Error()
@@ -118,7 +154,7 @@ func runSunstone(cfg Config, w *tensor.Workload, a *arch.Arch) ToolRun {
 // runBaseline runs one prior-art mapper under cfg.LayerTimeout (via the
 // MapContext anytime contract) so head-to-head wall-clock budgets are fair.
 func runBaseline(cfg Config, m baselines.Mapper, w *tensor.Workload, a *arch.Arch) ToolRun {
-	ctx := context.Background()
+	ctx := cfg.ctx()
 	if cfg.LayerTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, cfg.LayerTimeout)
@@ -303,8 +339,9 @@ func Fig6(cfg Config) []ToolRun {
 	var runs []ToolRun
 	for _, w := range ws {
 		runs = append(runs, runSunstone(cfg, w, a))
-		runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlFast()), w, a))
-		runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlSlow()), w, a))
+		for _, m := range cfg.tools("timeloop-fast", "timeloop-slow") {
+			runs = append(runs, runBaseline(cfg, m, w, a))
+		}
 	}
 	return runs
 }
@@ -317,11 +354,9 @@ func Fig7(cfg Config) []ToolRun {
 	var runs []ToolRun
 	for _, w := range inceptionWULayers(cfg.Quick) {
 		runs = append(runs, runSunstone(cfg, w, a))
-		runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlFast()), w, a))
-		runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlSlow()), w, a))
-		runs = append(runs, runBaseline(cfg, dmaze.New(dmaze.Fast()), w, a))
-		runs = append(runs, runBaseline(cfg, dmaze.New(dmaze.Slow()), w, a))
-		runs = append(runs, runBaseline(cfg, interstellar.New(), w, a))
+		for _, m := range cfg.tools("timeloop-fast", "timeloop-slow", "dmaze-fast", "dmaze-slow", "interstellar") {
+			runs = append(runs, runBaseline(cfg, m, w, a))
+		}
 	}
 	return runs
 }
@@ -334,11 +369,14 @@ func Fig8(cfg Config) []ToolRun {
 	var runs []ToolRun
 	for _, w := range resnetLayers(cfg.Quick, 16) {
 		runs = append(runs, runSunstone(cfg, w, a))
-		runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlFast()), w, a))
+		names := []string{"timeloop-fast"}
 		if !cfg.Quick {
-			runs = append(runs, runBaseline(cfg, timeloop.New(cfg.tlSlow()), w, a))
+			names = append(names, "timeloop-slow")
 		}
-		runs = append(runs, runBaseline(cfg, cosa.New(), w, a))
+		names = append(names, "cosa")
+		for _, m := range cfg.tools(names...) {
+			runs = append(runs, runBaseline(cfg, m, w, a))
+		}
 	}
 	return runs
 }

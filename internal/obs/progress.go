@@ -1,0 +1,78 @@
+package obs
+
+import "time"
+
+// ProgressKind classifies a ProgressEvent.
+type ProgressKind int
+
+const (
+	// PhaseStarted fires when a search phase (a per-level pass, polish,
+	// the whole optimization) begins.
+	PhaseStarted ProgressKind = iota
+	// PhaseFinished fires when that phase ends.
+	PhaseFinished
+	// IncumbentImproved fires when the best-so-far completed mapping
+	// improves; Score/EnergyPJ/Cycles carry the new incumbent's numbers.
+	IncumbentImproved
+)
+
+func (k ProgressKind) String() string {
+	switch k {
+	case PhaseFinished:
+		return "phase-finished"
+	case IncumbentImproved:
+		return "incumbent-improved"
+	default:
+		return "phase-started"
+	}
+}
+
+// ProgressEvent is one live-progress notification. Events are emitted
+// synchronously from the search goroutine that owns the phase, so a
+// callback never races with itself and no event can arrive after the
+// search entry point has returned.
+type ProgressEvent struct {
+	Kind ProgressKind
+	// Phase names the region ("optimize", "level 1 (GLB)", "polish", ...).
+	Phase string
+	// Level is the memory level of a per-level phase, -1 otherwise.
+	Level int
+	// Score is the incumbent objective value (the search's figure of
+	// merit; +Inf until the first valid completion). EnergyPJ and Cycles
+	// break it down for EDP-family objectives.
+	Score    float64
+	EnergyPJ float64
+	Cycles   float64
+	// Generated and Evaluated snapshot the candidate-flow counters at
+	// emission time.
+	Generated uint64
+	Evaluated uint64
+	// Elapsed is the wall-clock time since the search started.
+	Elapsed time.Duration
+}
+
+// ProgressFunc receives progress events. Callbacks run synchronously on the
+// search goroutine: keep them fast, and do not call back into the search.
+type ProgressFunc func(ProgressEvent)
+
+// Limiter bounds the rate of high-frequency events (incumbent
+// improvements). Phase boundaries are not limited — there are only a
+// handful per search. The zero value admits everything; set MinInterval to
+// throttle. Not safe for concurrent use; the emitting goroutine owns it.
+type Limiter struct {
+	MinInterval time.Duration
+	last        time.Time
+}
+
+// Allow reports whether an event at time now may fire, advancing the window
+// when it does. The first call always fires.
+func (l *Limiter) Allow(now time.Time) bool {
+	if l.MinInterval <= 0 {
+		return true
+	}
+	if l.last.IsZero() || now.Sub(l.last) >= l.MinInterval {
+		l.last = now
+		return true
+	}
+	return false
+}

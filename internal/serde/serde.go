@@ -178,8 +178,18 @@ func DecodeArch(data []byte) (*arch.Arch, error) {
 	return a, nil
 }
 
+// FormatV1 is the current mapping-file format identifier. Encoders always
+// stamp it; decoders accept it, or no stamp at all (pre-versioning files are
+// treated as v1 — deprecated, kept so existing files keep loading), and
+// reject anything else.
+const FormatV1 = "sunstone/v1"
+
 // MappingJSON is the serialized form of a mapping's level assignments.
 type MappingJSON struct {
+	// Format identifies the file-format revision ("sunstone/v1").
+	// Deprecated: omitting it is still accepted and read as v1, but new
+	// files should always carry the stamp.
+	Format   string             `json:"format,omitempty"`
 	Workload string             `json:"workload"`
 	Arch     string             `json:"arch"`
 	Levels   []MappingLevelJSON `json:"levels"` // innermost first
@@ -195,7 +205,7 @@ type MappingLevelJSON struct {
 
 // EncodeMapping renders m's assignments as indented JSON.
 func EncodeMapping(m *mapping.Mapping) ([]byte, error) {
-	out := MappingJSON{Workload: m.Workload.Name, Arch: m.Arch.Name}
+	out := MappingJSON{Format: FormatV1, Workload: m.Workload.Name, Arch: m.Arch.Name}
 	for lvl := range m.Levels {
 		lm := &m.Levels[lvl]
 		mlj := MappingLevelJSON{Level: m.Arch.Levels[lvl].Name}
@@ -230,6 +240,13 @@ func DecodeMapping(data []byte, w *tensor.Workload, a *arch.Arch) (*mapping.Mapp
 	var in MappingJSON
 	if err := json.Unmarshal(data, &in); err != nil {
 		return nil, fmt.Errorf("mapping JSON: %w", err)
+	}
+	switch in.Format {
+	case FormatV1:
+	case "": // pre-versioning file; read as v1 (deprecated)
+	default:
+		return nil, fmt.Errorf("mapping JSON: unknown format %q (this build reads %q)",
+			in.Format, FormatV1)
 	}
 	if len(in.Levels) != len(a.Levels) {
 		return nil, fmt.Errorf("mapping has %d levels, architecture %q has %d",

@@ -245,3 +245,40 @@ func TestDecodeMappingUnknownDim(t *testing.T) {
 		t.Error("DecodeMapping accepted a mapping with an unknown dimension")
 	}
 }
+
+// TestMappingFormatVersion pins the mapping-file versioning contract: encoded
+// files carry the sunstone/v1 stamp and round-trip, stampless (pre-versioning)
+// files still load as v1, and an unrecognized stamp is a loud error.
+func TestMappingFormatVersion(t *testing.T) {
+	w := workloads.Conv1D("c", 8, 8, 28, 3)
+	a := arch.Tiny(256)
+	m := trivialMapping(w, a)
+	data, err := EncodeMapping(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), `"format": "`+FormatV1+`"`) {
+		t.Fatalf("encoded mapping is missing the %s stamp:\n%s", FormatV1, data)
+	}
+	back, err := DecodeMapping(data, w, a)
+	if err != nil {
+		t.Fatalf("stamped file should round-trip: %v", err)
+	}
+	if back.Levels[len(back.Levels)-1].Temporal["W"] != w.Dims["W"] {
+		t.Error("round trip lost the top-level temporal loops")
+	}
+
+	headerless := strings.Replace(string(data), `"format": "`+FormatV1+`",`, "", 1)
+	if strings.Contains(headerless, "format") {
+		t.Fatalf("failed to strip the stamp for the headerless case:\n%s", headerless)
+	}
+	if _, err := DecodeMapping([]byte(headerless), w, a); err != nil {
+		t.Errorf("headerless file must still decode as v1: %v", err)
+	}
+
+	future := strings.Replace(string(data), FormatV1, "sunstone/v99", 1)
+	if _, err := DecodeMapping([]byte(future), w, a); err == nil ||
+		!strings.Contains(err.Error(), "sunstone/v99") {
+		t.Errorf("unknown format must be rejected with the offending stamp, got %v", err)
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"sunstone/internal/anytime"
+	"sunstone/internal/obs"
 )
 
 // LayerSchedule is one layer's outcome within a network schedule.
@@ -108,7 +109,16 @@ func ScheduleNetworkContext(ctx context.Context, network string, shapes []ConvSh
 				}
 			}()
 			w := shapes[i].Inference(batch)
-			res, err := OptimizeContext(ctx, w, a, opt.Options)
+			// Each layer's search gets its own root span — its own thread
+			// row in the exported trace — because layers run concurrently
+			// and would otherwise render as one overlapped track.
+			lctx := ctx
+			if tr := obs.TraceOf(ctx); tr != nil {
+				lsp := tr.StartRoot("layer " + shapes[i].Name)
+				defer lsp.End()
+				lctx = obs.WithSpan(ctx, lsp)
+			}
+			res, err := OptimizeContext(lctx, w, a, opt.Options)
 			if err != nil {
 				failLayer(i, fmt.Errorf("%s: %w", shapes[i].Name, err))
 				return

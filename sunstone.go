@@ -70,11 +70,13 @@ import (
 	"sunstone/internal/baselines/fixed"
 	"sunstone/internal/baselines/interstellar"
 	"sunstone/internal/baselines/marvel"
+	"sunstone/internal/baselines/registry"
 	"sunstone/internal/baselines/timeloop"
 	"sunstone/internal/core"
 	"sunstone/internal/cost"
 	"sunstone/internal/exec"
 	"sunstone/internal/mapping"
+	"sunstone/internal/obs"
 	"sunstone/internal/order"
 	"sunstone/internal/tensor"
 	"sunstone/internal/workloads"
@@ -203,6 +205,58 @@ var (
 	TinySpatial  = arch.TinySpatial
 )
 
+// DefaultOptions returns the optimizer's default configuration with every
+// field spelled out. The zero Options value is exactly equivalent — zero
+// fields are filled from this set before any search runs — so use whichever
+// reads better: Options{} for "just the defaults", DefaultOptions() to start
+// from the defaults and adjust one knob.
+func DefaultOptions() Options { return core.DefaultOptions() }
+
+// SearchStats is the telemetry-counter snapshot published in Result.Stats:
+// candidate flow (generated, pruned by each algebraic principle, deduped,
+// evaluated, skipped), post-evaluation alpha-beta/beam cuts, and the
+// fast-path evaluator's memo-cache hits and misses. For a run that was not
+// canceled, Generated == Pruned() + Deduped + Evaluated.
+type SearchStats = core.SearchStats
+
+// Progress streaming types for Options.Progress (see internal/obs).
+type (
+	// ProgressEvent is one live search notification: a phase boundary or an
+	// incumbent improvement, with the current best score and counter
+	// snapshot attached.
+	ProgressEvent = obs.ProgressEvent
+	// ProgressKind classifies a ProgressEvent.
+	ProgressKind = obs.ProgressKind
+	// ProgressFunc is the Options.Progress callback type. Callbacks run
+	// synchronously on the search goroutine: keep them fast, and do not
+	// call back into the search.
+	ProgressFunc = obs.ProgressFunc
+)
+
+// Progress event kinds.
+const (
+	PhaseStarted      = obs.PhaseStarted
+	PhaseFinished     = obs.PhaseFinished
+	IncumbentImproved = obs.IncumbentImproved
+)
+
+// Trace collects hierarchical timed spans of a search for export in the
+// Chrome trace-event JSON format (chrome://tracing, ui.perfetto.dev).
+// Install one on a context with WithTrace, run any context-taking entry
+// point (OptimizeContext, ScheduleNetworkContext, BaselineMapper.MapContext),
+// then render it with its WriteJSON method.
+type Trace = obs.Trace
+
+// NewTrace returns an empty trace whose clock starts now.
+func NewTrace() *Trace { return obs.NewTrace() }
+
+// WithTrace returns a context carrying t; every search phase run under that
+// context records a span into t. Without a trace on the context, the
+// telemetry instrumentation is inert (two context lookups per phase).
+func WithTrace(ctx context.Context, t *Trace) context.Context {
+	return obs.WithTrace(ctx, t)
+}
+
 // Optimize runs the Sunstone optimizer. It is OptimizeContext with a
 // background context; Options.Timeout still bounds the wall-clock.
 func Optimize(w *Workload, a *Arch, opt Options) (Result, error) {
@@ -245,6 +299,29 @@ func EvaluateEDP(m *Mapping) (edp, energyPJ, cycles float64, valid bool) {
 
 // NewMapping returns an empty mapping of w onto a, for hand construction.
 func NewMapping(w *Workload, a *Arch) *Mapping { return mapping.New(w, a) }
+
+// NamedBaseline pairs a baseline registry name (lowercase, flag-friendly —
+// what cmd/sunstone -baselines accepts) with a freshly constructed mapper.
+type NamedBaseline struct {
+	Name   string
+	Mapper BaselineMapper
+}
+
+// Baselines returns every prior-art mapper of the paper's comparison as an
+// ordered registry: the search-based tools first (Timeloop and dMazeRunner,
+// Table V fast/slow pairs), then the one-shot analytic tools (Interstellar,
+// CoSA, Marvel), then the fixed-dataflow reference points. Each call
+// constructs fresh mappers in their paper-default configurations; the
+// per-mapper constructors below remain as thin wrappers for callers that
+// want exactly one tool.
+func Baselines() []NamedBaseline {
+	all := registry.All()
+	out := make([]NamedBaseline, len(all))
+	for i, e := range all {
+		out[i] = NamedBaseline{Name: e.Name, Mapper: e.New()}
+	}
+	return out
+}
 
 // Baseline mappers from the paper's comparison (Section V).
 func TimeloopFast() BaselineMapper { return timeloop.New(timeloop.Fast()) }
