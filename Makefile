@@ -1,14 +1,33 @@
 GO ?= go
 
-.PHONY: check vet build test race fuzz bench bench-smoke trace-smoke
+# bench knobs: override to regenerate a different PR's trajectory, e.g.
+#   make bench BENCH_PATTERN='BenchmarkOptimize' BENCH_OUT=/tmp/b.json
+BENCH_PATTERN ?= BenchmarkOptimize|BenchmarkEvaluate|BenchmarkEngineReuse
+BENCH_BEFORE ?= benchdata/pr2_before.txt
+BENCH_AFTER ?= benchdata/pr4_after.txt
+BENCH_OUT ?= BENCH_PR4.json
 
-# check is the full pre-commit gate: static analysis, build, the whole test
-# suite, the race detector over the concurrent search paths, and a telemetry
-# smoke test of the trace exporter.
-check: vet build test race trace-smoke
+.PHONY: check vet fmt-check guard build test race fuzz bench bench-smoke trace-smoke
+
+# check is the full pre-commit gate: static analysis, formatting, the
+# unified-stepper guard, build, the whole test suite, the race detector over
+# the concurrent search paths, and a telemetry smoke test of the trace
+# exporter.
+check: vet fmt-check guard build test race trace-smoke
 
 vet:
 	$(GO) vet ./...
+
+# fmt-check fails (listing the offenders) if any tracked Go file is not
+# gofmt-clean.
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+# guard enforces that the direction-specific entry points stay merged: no
+# code outside the unified level sequencer may call bottomUp/topDown.
+guard:
+	./scripts/guard-stepper.sh
 
 build:
 	$(GO) build ./...
@@ -18,18 +37,20 @@ test:
 
 # race exercises the goroutine-heavy paths — the core evaluation fan-out and
 # its cancellation/panic-isolation tests, the soak corpus, Timeloop's search
-# threads, and network scheduling — under the race detector. Scoped to the
-# packages that spawn goroutines so the instrumented run stays fast.
+# threads, network scheduling, and the shared-Engine concurrency test in the
+# root package — under the race detector. Scoped to the packages that spawn
+# goroutines so the instrumented run stays fast.
 race:
 	$(GO) test -race ./internal/core/ ./internal/cost/ ./internal/baselines/timeloop/ .
 
-# bench reruns the search/evaluation benchmarks and refreshes BENCH_PR2.json,
-# the machine-readable before/after trajectory for the fast-path work: the
-# committed benchdata/pr2_before.txt baseline stays fixed, the after side is
-# regenerated on the current tree.
+# bench reruns the search/evaluation/Engine-reuse benchmarks and refreshes
+# $(BENCH_OUT), the machine-readable before/after trajectory: the committed
+# $(BENCH_BEFORE) baseline stays fixed, the after side is regenerated on the
+# current tree. Benchmarks absent from the before file (e.g. the Engine-reuse
+# pair, new in this PR) still appear in the after column.
 bench:
-	$(GO) test -run xxx -bench 'BenchmarkOptimize|BenchmarkEvaluate' -benchmem -count 3 . | tee benchdata/pr2_after.txt
-	$(GO) run ./cmd/benchjson -before benchdata/pr2_before.txt -after benchdata/pr2_after.txt -out BENCH_PR2.json
+	$(GO) test -run xxx -bench '$(BENCH_PATTERN)' -benchmem -count 3 . | tee $(BENCH_AFTER)
+	$(GO) run ./cmd/benchjson -before $(BENCH_BEFORE) -after $(BENCH_AFTER) -out $(BENCH_OUT)
 
 # bench-smoke compiles and runs every benchmark for a single iteration — a
 # fast regression guard that the harness itself still works.

@@ -252,6 +252,36 @@ func BenchmarkEvaluateEDPUncached(b *testing.B) {
 	}
 }
 
+// BenchmarkEngineReuse quantifies what a long-lived Engine buys: the cold
+// case pays the full per-problem compilation (ordering trie, ladder tables,
+// fit skeleton, cost-session tables) and searches with an empty evaluation
+// memo on every iteration; the warm case reuses one Engine's compiled
+// artifacts and warmed memo across iterations. The warm/cold ns/op ratio in
+// BENCH_PR4.json is the Engine-reuse speedup.
+func BenchmarkEngineReuse(b *testing.B) {
+	w := sunstone.ResNet18Layers[1].Inference(16)
+	a := sunstone.Conventional()
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := sunstone.NewEngine().Optimize(w, a, sunstone.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		eng := sunstone.NewEngine()
+		if _, err := eng.Optimize(w, a, sunstone.Options{}); err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := eng.Optimize(w, a, sunstone.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkDianNaoCompileSimulate measures the Section V-D pipeline on one
 // layer.
 func BenchmarkDianNaoCompileSimulate(b *testing.B) {

@@ -95,9 +95,11 @@ func progressTicker() sunstone.ProgressFunc {
 	}
 }
 
-// pickBaselines resolves the -baselines list against the registry.
-func pickBaselines() ([]sunstone.NamedBaseline, error) {
-	all := sunstone.Baselines()
+// pickBaselines resolves the -baselines list against the registry; the
+// mappers come from eng.Baselines, so tools that support session injection
+// share the cost sessions already compiled for the main search.
+func pickBaselines(eng *sunstone.Engine) ([]sunstone.NamedBaseline, error) {
+	all := eng.Baselines()
 	if *baseList == "all" {
 		return all, nil
 	}
@@ -129,6 +131,10 @@ func main() {
 		fatal(perr)
 	}
 	defer stopProf()
+	// One Engine per invocation: the main search, -all-layers network
+	// scheduling, and the -compare baselines all share its compiled
+	// per-problem artifacts.
+	eng := sunstone.NewEngine()
 	var a *sunstone.Arch
 	var err error
 	if *afile != "" {
@@ -144,7 +150,7 @@ func main() {
 		fatal(err)
 	}
 	if *allLayers {
-		runAllLayers()
+		runAllLayers(eng)
 		return
 	}
 	var w *sunstone.Workload
@@ -185,7 +191,7 @@ func main() {
 		fatal(fmt.Errorf("unknown objective %q", *objective))
 	}
 	ctx, flushTrace := searchContext()
-	res, err := sunstone.OptimizeContext(ctx, w, a, opt)
+	res, err := eng.OptimizeContext(ctx, w, a, opt)
 	if err != nil {
 		fatal(err)
 	}
@@ -242,7 +248,7 @@ func main() {
 		fmt.Printf("\naccess counts:\n%s", indent(res.Report.AccessTable()))
 	}
 	if *compare {
-		bls, berr := pickBaselines()
+		bls, berr := pickBaselines(eng)
 		if berr != nil {
 			fatal(berr)
 		}
@@ -273,8 +279,9 @@ func main() {
 	flushTrace()
 }
 
-// runAllLayers schedules the whole -net table and prints network totals.
-func runAllLayers() {
+// runAllLayers schedules the whole -net table through eng and prints network
+// totals; repeated shapes compile their problem artifacts once.
+func runAllLayers(eng *sunstone.Engine) {
 	a, err := pickArch(*archName)
 	if err != nil {
 		fatal(err)
@@ -298,7 +305,7 @@ func runAllLayers() {
 		ContinueOnError: *contErr,
 	}
 	ctx, flushTrace := searchContext()
-	sched, err := sunstone.ScheduleNetworkContext(ctx, *net, table, *batch, repeats, a, nopt)
+	sched, err := eng.ScheduleNetworkContext(ctx, *net, table, *batch, repeats, a, nopt)
 	fmt.Printf("%-12s %-3s %-12s %-12s %s\n", "layer", "x", "EDP", "energy pJ", "cycles")
 	for _, l := range sched.Layers {
 		if l.Err != nil {

@@ -1,0 +1,79 @@
+package sunstone
+
+import (
+	"context"
+
+	"sunstone/internal/baselines"
+	"sunstone/internal/baselines/registry"
+	"sunstone/internal/core"
+)
+
+// Engine is a long-lived, goroutine-safe optimizer front end that caches the
+// expensive per-(workload, architecture, cost model) compilation artifacts —
+// the pruned ordering trie, the factor/divisor ladder tables, the fit-check
+// capacity skeleton, and the fast-path cost session with its search-wide
+// evaluation memo — across calls. The first Optimize for a problem shape
+// compiles it; every later call on the same shape (same Engine) reuses the
+// compiled artifacts and the warmed evaluation cache, which is the common
+// case when scheduling a network whose layers repeat or when sweeping options
+// over one layer.
+//
+// The zero-cost alternative remains: the package-level Optimize builds the
+// same artifacts per call. An Engine never changes *what* is found — results
+// are identical to the per-call path, only faster when shapes repeat.
+//
+// Engines are safe for concurrent use; calls from many goroutines share one
+// bounded (LRU-evicted) compilation cache. Searches with Options.Model.Probe
+// set bypass the cache (a probe is per-call observation state).
+type Engine struct {
+	core *core.Engine
+}
+
+// NewEngine returns an Engine with the default compilation-cache bound
+// (256 problem shapes, evicted least-recently-used).
+func NewEngine() *Engine { return &Engine{core: core.NewEngine(0)} }
+
+// NewEngineSize returns an Engine whose compilation cache holds at most
+// maxEntries problem shapes; maxEntries <= 0 selects the default bound.
+func NewEngineSize(maxEntries int) *Engine { return &Engine{core: core.NewEngine(maxEntries)} }
+
+// EngineStats is a snapshot of an Engine's compilation-cache activity.
+type EngineStats = core.EngineStats
+
+// Stats returns a snapshot of the compilation cache: compiles (misses),
+// hits, LRU evictions, and the current entry count.
+func (e *Engine) Stats() EngineStats { return e.core.Stats() }
+
+// Optimize runs the Sunstone optimizer through the Engine's compilation
+// cache. It is OptimizeContext with a background context; Options.Timeout
+// still bounds the wall-clock.
+func (e *Engine) Optimize(w *Workload, a *Arch, opt Options) (Result, error) {
+	return e.core.Optimize(w, a, opt)
+}
+
+// OptimizeContext runs the Sunstone optimizer under ctx through the Engine's
+// compilation cache, with the same anytime contract as the package-level
+// OptimizeContext.
+func (e *Engine) OptimizeContext(ctx context.Context, w *Workload, a *Arch, opt Options) (Result, error) {
+	return e.core.OptimizeContext(ctx, w, a, opt)
+}
+
+// Baselines returns the same ordered prior-art registry as the package-level
+// Baselines, with every mapper that supports it wired to share the Engine's
+// cached cost sessions (see BaselineMapper implementations' UseSessions), so
+// a head-to-head comparison against an Engine-driven Sunstone run reuses one
+// set of per-problem tables instead of rebuilding them per tool.
+func (e *Engine) Baselines() []NamedBaseline {
+	all := registry.All()
+	out := make([]NamedBaseline, len(all))
+	for i, ent := range all {
+		m := ent.New()
+		if s, ok := m.(interface {
+			UseSessions(baselines.SessionSource)
+		}); ok {
+			s.UseSessions(e.core)
+		}
+		out[i] = NamedBaseline{Name: ent.Name, Mapper: m}
+	}
+	return out
+}

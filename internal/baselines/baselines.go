@@ -61,6 +61,27 @@ type Mapper interface {
 	MapContext(ctx context.Context, w *tensor.Workload, a *arch.Arch) Result
 }
 
+// SessionSource supplies shared fast-path cost sessions. A core.Engine
+// satisfies it structurally, so an Engine-held baseline scores candidates
+// against the same compiled tables and warm evaluation memo as the main
+// search instead of rebuilding both per call. A nil source — or a source
+// declining the problem by returning nil — means "build your own".
+type SessionSource interface {
+	Session(model cost.Model, w *tensor.Workload, a *arch.Arch) *cost.Session
+}
+
+// SessionFor resolves the session a mapper should score with: the injected
+// source's when available, a freshly built one otherwise. Mappers with a
+// Sessions field route every session construction through this.
+func SessionFor(src SessionSource, model cost.Model, w *tensor.Workload, a *arch.Arch) *cost.Session {
+	if src != nil {
+		if s := src.Session(model, w, a); s != nil {
+			return s
+		}
+	}
+	return model.NewSession(w, a)
+}
+
 // FinalReport materializes the full cost.Report — breakdowns, per-buffer
 // accesses — for the winning mapping of a search that scored candidates on
 // the fast scalar path (cost.Evaluator.EvaluateEDP). The scalar path already

@@ -35,10 +35,16 @@ import (
 // Mapper is the CoSA-style one-shot mapper.
 type Mapper struct {
 	Model cost.Model
+	// Sessions, when non-nil, supplies the fast-path cost session (e.g. a
+	// shared Engine's compiled cache) instead of building one per call.
+	Sessions baselines.SessionSource
 }
 
 // New returns a mapper with the default model.
 func New() *Mapper { return &Mapper{Model: cost.Default} }
+
+// UseSessions injects a shared session source (see baselines.SessionFor).
+func (m *Mapper) UseSessions(src baselines.SessionSource) { m.Sessions = src }
 
 // Name implements baselines.Mapper.
 func (m *Mapper) Name() string { return "CoSA" }
@@ -190,7 +196,7 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 	evaluated := 0
 	// Fast-path evaluator for the permutation scoring; the winner's full
 	// Report (including the Invalid diagnosis) is materialized afterwards.
-	ev := m.Model.NewSession(w, a).NewEvaluator()
+	ev := baselines.SessionFor(m.Sessions, m.Model, w, a).NewEvaluator()
 	for _, ord := range candidates {
 		cand := mp.Clone()
 		for l := 1; l < len(a.Levels); l++ {

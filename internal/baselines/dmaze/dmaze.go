@@ -58,10 +58,16 @@ func Slow() Config {
 type Mapper struct {
 	Cfg   Config
 	Model cost.Model
+	// Sessions, when non-nil, supplies the fast-path cost session (e.g. a
+	// shared Engine's compiled cache) instead of building one per call.
+	Sessions baselines.SessionSource
 }
 
 // New returns a mapper with the given configuration and the default model.
 func New(cfg Config) *Mapper { return &Mapper{Cfg: cfg, Model: cost.Default} }
+
+// UseSessions injects a shared session source (see baselines.SessionFor).
+func (m *Mapper) UseSessions(src baselines.SessionSource) { m.Sessions = src }
 
 // Name implements baselines.Mapper.
 func (m *Mapper) Name() string { return m.Cfg.Name }
@@ -109,7 +115,7 @@ func (m *Mapper) mapContext(ctx context.Context, w *tensor.Workload, a *arch.Arc
 	stopped := anytime.Complete
 	// Fast-path evaluator: the directed enumeration only needs the scalar
 	// objective; the full Report is materialized once for the winner.
-	ev := m.Model.NewSession(w, a).NewEvaluator()
+	ev := baselines.SessionFor(m.Sessions, m.Model, w, a).NewEvaluator()
 
 	// Directed enumeration: unconstrained tiling trees per level filtered
 	// by the utilization thresholds, spatial unrolling over dimensions that

@@ -34,10 +34,16 @@ type Mapper struct {
 	// MinPEUtil is the high-throughput threshold below which the CK preset
 	// is considered unable to utilize the grid and the fallback engages.
 	MinPEUtil float64
+	// Sessions, when non-nil, supplies the fast-path cost session (e.g. a
+	// shared Engine's compiled cache) instead of building one per call.
+	Sessions baselines.SessionSource
 }
 
 // New returns a mapper with the default model and the paper's methodology.
 func New() *Mapper { return &Mapper{Model: cost.Default, MinPEUtil: 0.5} }
+
+// UseSessions injects a shared session source (see baselines.SessionFor).
+func (m *Mapper) UseSessions(src baselines.SessionSource) { m.Sessions = src }
 
 // Name implements baselines.Mapper.
 func (m *Mapper) Name() string { return "INTER" }
@@ -116,7 +122,7 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 	evaluated := 0
 	base := mapping.New(w, a)
 	// Fast-path evaluator: candidates only need the scalar objective.
-	ev := m.Model.NewSession(w, a).NewEvaluator()
+	ev := baselines.SessionFor(m.Sessions, m.Model, w, a).NewEvaluator()
 	for _, u := range unrolls {
 		mu := base.Clone()
 		for d, f := range u {

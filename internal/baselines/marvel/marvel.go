@@ -39,12 +39,18 @@ type Mapper struct {
 	MinUtil float64
 	// OffChipCandidates bounds the DRAM tilings carried into step two.
 	OffChipCandidates int
+	// Sessions, when non-nil, supplies the fast-path cost session (e.g. a
+	// shared Engine's compiled cache) instead of building one per call.
+	Sessions baselines.SessionSource
 }
 
 // New returns a mapper with the published strategy's defaults.
 func New() *Mapper {
 	return &Mapper{Model: cost.Default, MinUtil: 0.5, OffChipCandidates: 8}
 }
+
+// UseSessions injects a shared session source (see baselines.SessionFor).
+func (m *Mapper) UseSessions(src baselines.SessionSource) { m.Sessions = src }
 
 // Name implements baselines.Mapper.
 func (m *Mapper) Name() string { return "Marvel" }
@@ -140,7 +146,7 @@ func (m *Mapper) Map(w *tensor.Workload, a *arch.Arch) baselines.Result {
 	var bestEnergyPJ, bestCycles float64
 	// Fast-path evaluator: the on-chip enumeration only needs the scalar
 	// objective; the winner's full Report is materialized at the end.
-	ev := m.Model.NewSession(w, a).NewEvaluator()
+	ev := baselines.SessionFor(m.Sessions, m.Model, w, a).NewEvaluator()
 	for _, oc := range cands {
 		base := mapping.New(w, a)
 		for d, f := range oc.factors {

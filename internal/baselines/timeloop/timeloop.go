@@ -61,10 +61,16 @@ func Slow() Config {
 type Mapper struct {
 	Cfg   Config
 	Model cost.Model
+	// Sessions, when non-nil, supplies the fast-path cost session (e.g. a
+	// shared Engine's compiled cache) instead of building one per call.
+	Sessions baselines.SessionSource
 }
 
 // New returns a mapper with the given configuration and the default model.
 func New(cfg Config) *Mapper { return &Mapper{Cfg: cfg, Model: cost.Default} }
+
+// UseSessions injects a shared session source (see baselines.SessionFor).
+func (m *Mapper) UseSessions(src baselines.SessionSource) { m.Sessions = src }
 
 // Name implements baselines.Mapper.
 func (m *Mapper) Name() string { return m.Cfg.Name }
@@ -103,7 +109,7 @@ func (m *Mapper) mapContext(ctx context.Context, w *tensor.Workload, a *arch.Arc
 
 	// One fast-path session for the whole search; each thread owns a scratch
 	// evaluator, so the sampling loop allocates only the candidates.
-	sess := m.Model.NewSession(w, a)
+	sess := baselines.SessionFor(m.Sessions, m.Model, w, a)
 
 	type threadBest struct {
 		m         *mapping.Mapping

@@ -1,235 +1,70 @@
 package core
 
+// This file holds the bottom-up expansion machinery: the candidate
+// generators for the default direction (Table VI row 1). The
+// level-sequencing driver itself is shared with top-down — see stepper.go;
+// this file only knows how to extend a partial mapping upward by one level.
+
 import (
 	"context"
-	"errors"
 	"fmt"
 
 	"sunstone/internal/anytime"
-	"sunstone/internal/arch"
-	"sunstone/internal/factor"
 	"sunstone/internal/mapping"
-	"sunstone/internal/obs"
 	"sunstone/internal/order"
 	"sunstone/internal/tensor"
 	"sunstone/internal/tile"
 	"sunstone/internal/unroll"
 )
 
-// incumbent is the anytime best-so-far: the best *completed* (evaluable)
-// mapping observed at any point of the search, maintained so an early stop
-// can return real work instead of nothing. Only the fast path's scalars are
-// tracked; the full Report is materialized once, at finish.
-type incumbent struct {
-	m        *mapping.Mapping
-	score    float64
-	energyPJ float64
-	cycles   float64
-}
-
-// observe folds a scored, completed state into the incumbent, reporting
-// whether it improved the best-so-far.
-func (inc *incumbent) observe(s state) bool {
-	if s.completed != nil && s.valid && (inc.m == nil || s.score < inc.score) {
-		inc.m, inc.score, inc.energyPJ, inc.cycles = s.completed, s.score, s.energyPJ, s.cycles
-		return true
+// expandBottom is the sequencer's expand hook for the bottom-up direction:
+// expandLevel plus the flow accounting the shared stepper expects — every
+// produced candidate is charged as generated, and the visit count handed to
+// the (unbounded) step budget includes both the enumeration effort and the
+// candidates themselves, matching the paper's space-size merit.
+//
+// The expansion is deterministic given (state, level, enumeration options),
+// so its outcome is memoized in the compiled problem's expansion cache: a
+// warm Engine call replays the recorded candidates and counter deltas
+// instead of re-walking the tiling/unrolling trees. Bottom-up ignores the
+// step budget (it is unbounded), so the budget is not part of the key.
+func (sc *search) expandBottom(ctx context.Context, base *mapping.Mapping, l int, orderings []order.Ordering, budget int) ([]*mapping.Mapping, int) {
+	key := sc.expandKey(l, 0, base)
+	if e := sc.comp.expansions.get(key); e != nil {
+		sc.replayExpansion(e)
+		return e.cands, e.visited
 	}
-	return false
-}
-
-// finish stamps res with the incumbent and the stop reason. When the search
-// was stopped before any valid mapping completed, it reports an error — the
-// only case where an anytime return has nothing to give.
-func (inc *incumbent) finish(sc *search, res Result, reason StopReason) (Result, error) {
-	res.Stopped = reason
-	if inc.m == nil {
-		return res, fmt.Errorf("search stopped (%s) before any valid mapping was completed", reason)
+	cands, effort, prunedTiling, prunedUnrolling := sc.expandLevel(ctx, base, l, orderings)
+	e := &expandEntry{
+		cands:           cands,
+		visited:         effort + len(cands),
+		prunedTiling:    prunedTiling,
+		prunedUnrolling: prunedUnrolling,
 	}
-	res.Mapping = inc.m
-	res.Report = sc.finalReport(inc.m, inc.energyPJ, inc.cycles)
-	return res, nil
-}
-
-// seedIncumbent scores the trivial completion (everything at the top level)
-// so even an immediate cancel returns a valid mapping.
-func seedIncumbent(sc *search, inc *incumbent, res *Result, seed *mapping.Mapping) {
-	trivial := complete(seed)
-	if trivial == nil {
-		return
+	sc.replayExpansion(e)
+	// A cancellation mid-enumeration truncates the candidate set; only
+	// complete expansions may be memoized.
+	if anytime.FromContext(ctx) == StopComplete {
+		sc.comp.expansions.put(key, e)
 	}
-	sc.ctr.Generated.Inc()
-	sc.ctr.Evaluated.Inc()
-	edp, energyPJ, cycles, valid, err := sc.safeEvalFast(sc.evs[0], trivial)
-	if err != nil {
-		res.CandidateErrors = appendCapped(res.CandidateErrors, err)
-		return
-	}
-	if inc.observe(state{
-		completed: trivial,
-		score:     sc.opt.Objective.scoreScalars(edp, energyPJ, cycles, valid),
-		energyPJ:  energyPJ,
-		cycles:    cycles,
-		valid:     valid,
-	}) {
-		sc.prog.incumbent("seed", -1, inc.score, inc.energyPJ, inc.cycles)
-	}
-}
-
-// bottomUp optimizes level by level starting at the memory closest to the
-// MACs (the paper's default; Table VI shows it examines an order of
-// magnitude fewer candidates than top-down because completed-cost estimates
-// are tight when the low levels — where most accesses happen — are fixed
-// first). It polls ctx between orderings, candidates and levels; on
-// cancellation it returns the incumbent best completed mapping.
-func bottomUp(ctx context.Context, w *tensor.Workload, a *arch.Arch, sc *search) (Result, error) {
-	opt := sc.opt
-	orderings, ostats := sc.enumerateOrderings(ctx, w)
-	res := Result{OrderingsConsidered: ostats.Survivors}
-
-	states := []state{{m: mapping.New(w, a)}}
-	top := len(a.Levels) - 1
-
-	var inc incumbent
-	seedIncumbent(sc, &inc, &res, states[0].m)
-
-	for l := 0; l < top; l++ {
-		next, done, out, err := sc.bottomUpLevel(ctx, l, states, orderings, &res, &inc)
-		if done {
-			return out, err
-		}
-		states = next
-	}
-
-	best := states[0]
-	final := best.completed
-	if final == nil {
-		// Evaluation of the winner was skipped or poisoned; fall back to
-		// the incumbent.
-		return inc.finish(sc, res, anytime.FromContext(ctx))
-	}
-	energyPJ, cycles := best.energyPJ, best.cycles
-	if !opt.NoPolish {
-		_, psp := obs.StartSpan(ctx, "polish")
-		sc.prog.phase(obs.PhaseStarted, "polish", -1)
-		var evals int
-		var reason StopReason
-		final, energyPJ, cycles, evals, reason = polish(ctx, sc, final, best.score, energyPJ, cycles, orderings)
-		res.SpaceSize += evals
-		res.Stopped = reason
-		sc.prog.phase(obs.PhaseFinished, "polish", -1)
-		psp.Arg("evals", evals).End()
-	}
-	res.Mapping = final
-	res.Report = sc.finalReport(final, energyPJ, cycles)
-	return res, nil
-}
-
-// enumerateOrderings runs the ordering trie under a span and charges its
-// rejects to the candidate flow: every trie node examined but not surviving
-// counts as generated + pruned-by-the-ordering-principle.
-func (sc *search) enumerateOrderings(ctx context.Context, w *tensor.Workload) ([]order.Ordering, order.Stats) {
-	_, osp := obs.StartSpan(ctx, "orderings")
-	orderings, ostats := order.Enumerate(w)
-	rejects := ostats.NodesVisited - ostats.Survivors
-	if rejects > 0 {
-		sc.ctr.Generated.Add(uint64(rejects))
-		sc.ctr.PrunedOrdering.Add(uint64(rejects))
-	}
-	osp.Arg("survivors", ostats.Survivors).Arg("visited", ostats.NodesVisited).End()
-	return orderings, ostats
-}
-
-// bottomUpLevel runs one level of the bottom-up pass: expand every beam
-// state, dedupe, evaluate the fan-out, prune to the next beam. When the
-// search must return at this level — cancellation, no feasible candidates —
-// it reports done=true with the final (Result, error); otherwise it hands
-// back the next beam. Extracted so the level's span and progress phase close
-// on every early return.
-func (sc *search) bottomUpLevel(ctx context.Context, l int, states []state, orderings []order.Ordering, res *Result, inc *incumbent) (next []state, done bool, out Result, err error) {
-	a := states[0].m.Arch
-	lctx, lsp := obs.StartSpanf(ctx, "level %d (%s)", l, a.Levels[l].Name)
-	defer lsp.End()
-	sc.prog.phasef(obs.PhaseStarted, l, "level %d (%s)", l, a.Levels[l].Name)
-	defer sc.prog.phasef(obs.PhaseFinished, l, "level %d (%s)", l, a.Levels[l].Name)
-
-	if r := anytime.FromContext(ctx); r != StopComplete {
-		out, err = inc.finish(sc, *res, r)
-		return nil, true, out, err
-	}
-	_, esp := obs.StartSpan(lctx, "enumerate")
-	var produced []*mapping.Mapping
-	for _, st := range states {
-		cands, effort := sc.expandLevel(ctx, st.m, l, orderings)
-		produced = append(produced, cands...)
-		res.SpaceSize += effort
-		if anytime.FromContext(ctx) != StopComplete {
-			break // partial batch: score what we have, then stop above
-		}
-	}
-	esp.Arg("produced", len(produced)).End()
-	if len(produced) == 0 {
-		if r := anytime.FromContext(ctx); r != StopComplete {
-			out, err = inc.finish(sc, *res, r)
-			return nil, true, out, err
-		}
-		return nil, true, *res, fmt.Errorf("no feasible candidates at level %d (%s): tiles cannot fit", l, a.Levels[l].Name)
-	}
-	// Space size counts candidates the enumeration examined, so it is
-	// charged before deduplication; the duplicates just don't pay for a
-	// second completion + evaluation.
-	res.SpaceSize += len(produced)
-	sc.ctr.Generated.Add(uint64(len(produced)))
-	produced = sc.dedupe(produced)
-	vctx, vsp := obs.StartSpan(lctx, "evaluate")
-	scored, panics := sc.evalAll(vctx, produced)
-	vsp.Arg("candidates", len(produced)).End()
-	for _, e := range panics {
-		res.CandidateErrors = appendCapped(res.CandidateErrors, e)
-	}
-	next = sc.prunedAndCount(scored)
-	if len(next) == 0 {
-		if r := anytime.FromContext(ctx); r != StopComplete {
-			out, err = inc.finish(sc, *res, r)
-			return nil, true, out, err
-		}
-		return nil, true, *res, errors.Join(append([]error{fmt.Errorf("all candidates at level %d are invalid", l)}, res.CandidateErrors...)...)
-	}
-	if inc.observe(next[0]) {
-		sc.prog.incumbent(fmt.Sprintf("level %d (%s)", l, a.Levels[l].Name), l, inc.score, inc.energyPJ, inc.cycles)
-	}
-	if r := anytime.FromContext(ctx); r != StopComplete {
-		out, err = inc.finish(sc, *res, r)
-		return nil, true, out, err
-	}
-	return next, false, Result{}, nil
-}
-
-// appendCapped appends err to errs unless the cap is reached.
-func appendCapped(errs []error, err error) []error {
-	if len(errs) >= maxCandidateErrors {
-		return errs
-	}
-	return append(errs, err)
+	return e.cands, e.visited
 }
 
 // expandLevel generates the candidate extensions of partial mapping base at
 // step l: loop ordering for level l+1, tiling of level l, spatial unrolling
 // at level 0 (step 0 only) and at level l+1. Returns the candidates plus the
 // enumeration effort (tree nodes visited), which depends on the intra-level
-// Strategy. Cancellation is polled between orderings — the bounded unit of
-// work here — so a stop truncates the candidate set rather than discarding
-// it.
-//
-// Enumeration rejects — tiling-tree nodes that never became a candidate,
-// unrolling choices cut by the utilization filter or capacity — are charged
-// to the candidate flow here, accumulated locally and flushed once per call
-// so the hot enumeration loops never touch an atomic.
-func (sc *search) expandLevel(ctx context.Context, base *mapping.Mapping, l int, orderings []order.Ordering) ([]*mapping.Mapping, int) {
+// Strategy, and the enumeration-reject tallies — tiling-tree nodes that
+// never became a candidate, unrolling choices cut by the utilization filter
+// or capacity. The rejects are accumulated locally and flushed by the caller
+// (see replayExpansion) so the hot enumeration loops never touch an atomic
+// and a memoized replay charges identical deltas. Cancellation is polled
+// between orderings — the bounded unit of work here — so a stop truncates
+// the candidate set rather than discarding it.
+func (sc *search) expandLevel(ctx context.Context, base *mapping.Mapping, l int, orderings []order.Ordering) (out []*mapping.Mapping, effort, prunedTiling, prunedUnrolling int) {
 	opt := sc.opt
 	w := base.Workload
 	a := base.Arch
-	effort := 0
-	prunedTiling, prunedUnrolling := 0, 0
 	poll := &anytime.Poller{Ctx: ctx}
 
 	// Strategy accounting: the non-default intra-level orders enumerate
@@ -237,13 +72,12 @@ func (sc *search) expandLevel(ctx context.Context, base *mapping.Mapping, l int,
 	// filter later, so they visit extra nodes for the same final set.
 	switch opt.Strategy {
 	case TileUnrollOrder:
-		effort += unguidedTileEffort(ctx, base, l, opt)
+		effort += sc.unguidedTileEffort(ctx, base, l)
 	case UnrollTileOrder:
-		effort += unguidedUnrollEffort(base, l, opt)
-		effort += unguidedTileEffort(ctx, base, l, opt)
+		effort += sc.unguidedUnrollEffort(base, l)
+		effort += sc.unguidedTileEffort(ctx, base, l)
 	}
 
-	var out []*mapping.Mapping
 	for oi := range orderings {
 		if poll.Stop() != StopComplete {
 			break
@@ -257,7 +91,7 @@ func (sc *search) expandLevel(ctx context.Context, base *mapping.Mapping, l int,
 		// (e.g. the DianNao NFU between the on-chip buffers and the MACs).
 		bases := []*mapping.Mapping{m1}
 		if l == 0 && a.Levels[0].Fanout > 1 {
-			bases = unrollAt(m1, 0, nil, opt, &prunedUnrolling)
+			bases = sc.unrollAt(m1, 0, nil, &prunedUnrolling)
 			effort += len(bases)
 		}
 
@@ -268,11 +102,11 @@ func (sc *search) expandLevel(ctx context.Context, base *mapping.Mapping, l int,
 		for _, m2 := range bases {
 			withSpatial := []*mapping.Mapping{m2}
 			if a.Levels[l+1].Fanout > 1 {
-				withSpatial = unrollAt(m2, l+1, grow, opt, &prunedUnrolling)
+				withSpatial = sc.unrollAt(m2, l+1, grow, &prunedUnrolling)
 				effort += len(withSpatial)
 			}
 			for _, m3 := range withSpatial {
-				tiles, tstats := enumerateTiles(ctx, m3, l, grow, opt)
+				tiles, tstats := sc.enumerateTiles(ctx, m3, l, grow)
 				effort += tstats.NodesVisited
 				prunedTiling += tstats.NodesVisited - tstats.Survivors
 				for _, tc := range tiles {
@@ -282,32 +116,51 @@ func (sc *search) expandLevel(ctx context.Context, base *mapping.Mapping, l int,
 							m4.Levels[l].Temporal[d] = f
 						}
 					}
-					residualFill(m4, l, grow)
+					sc.residualFill(m4, l, grow)
 					out = append(out, m4)
 				}
 			}
 		}
 	}
-	if prunedTiling > 0 {
-		sc.ctr.Generated.Add(uint64(prunedTiling))
-		sc.ctr.PrunedTiling.Add(uint64(prunedTiling))
+	return out, effort, prunedTiling, prunedUnrolling
+}
+
+// replayExpansion charges one expansion's candidate-flow deltas — whether
+// the expansion just ran or was served from the compiled memo, the counters
+// move identically: every produced candidate plus every enumeration reject
+// counts as generated, rejects additionally to their pruning principle.
+func (sc *search) replayExpansion(e *expandEntry) {
+	sc.ctr.Generated.Add(uint64(len(e.cands) + e.prunedTiling + e.prunedUnrolling))
+	if e.prunedTiling > 0 {
+		sc.ctr.PrunedTiling.Add(uint64(e.prunedTiling))
 	}
-	if prunedUnrolling > 0 {
-		sc.ctr.Generated.Add(uint64(prunedUnrolling))
-		sc.ctr.PrunedUnrolling.Add(uint64(prunedUnrolling))
+	if e.prunedUnrolling > 0 {
+		sc.ctr.PrunedUnrolling.Add(uint64(e.prunedUnrolling))
 	}
-	return out, effort
+}
+
+// expandKey renders the expansion-memo key for extending base at level lvl:
+// the direction, the option knobs that shape enumeration, the step budget
+// where it can bind (top-down; bottom-up passes 0), and the partial
+// mapping's canonical render. Knobs that only affect scoring or selection —
+// objective, beam, alpha slack, threads — are deliberately absent: they do
+// not change what an expansion produces.
+func (sc *search) expandKey(lvl, budget int, base *mapping.Mapping) string {
+	o := sc.opt
+	return fmt.Sprintf("%d|%d|%d|%d|%d|%d|%g|%s",
+		o.Direction, o.Strategy, lvl, budget, o.TilesPerStep, o.UnrollsPerStep, o.MinUtilization, base.String())
 }
 
 // enumerateTiles runs the tiling tree for level l of partial mapping m with
 // the given grow dimensions, checking capacity feasibility from level l up.
-// Capacity probes go through a fitChecker — precomputed integer tables that
-// answer exactly what writing the factors into the mapping and calling
-// feasible would, without per-probe maps or allocation. A canceled context
-// makes the predicate reject everything, which collapses the remaining tree
-// growth within a few dozen probes.
-func enumerateTiles(ctx context.Context, m *mapping.Mapping, l int, grow []tensor.Dim, opt Options) ([]tile.Candidate, tile.Stats) {
-	fc := newFitChecker(m, l)
+// Capacity probes go through a fitChecker instantiated from the compiled
+// skeleton — precomputed integer tables that answer exactly what writing the
+// factors into the mapping and calling feasible would, without per-probe
+// maps or allocation. A canceled context makes the predicate reject
+// everything, which collapses the remaining tree growth within a few dozen
+// probes.
+func (sc *search) enumerateTiles(ctx context.Context, m *mapping.Mapping, l int, grow []tensor.Dim) ([]tile.Candidate, tile.Stats) {
+	fc := sc.newFitChecker(m, l)
 	poll := &anytime.Poller{Ctx: ctx, Every: 64}
 	return tile.Enumerate(tile.Space{
 		GrowDims: grow,
@@ -318,7 +171,8 @@ func enumerateTiles(ctx context.Context, m *mapping.Mapping, l int, grow []tenso
 			}
 			return fc.fits(ds, fs)
 		},
-		MaxCandidates: opt.TilesPerStep,
+		Ladder:        sc.comp.ladders.ladder,
+		MaxCandidates: sc.opt.TilesPerStep,
 	})
 }
 
@@ -330,7 +184,7 @@ func enumerateTiles(ctx context.Context, m *mapping.Mapping, l int, grow []tenso
 // completion (no branching, not counted as search-space growth). Reduction
 // dimensions fill first — keeping partial sums resident longest — then the
 // rest in canonical order.
-func residualFill(m *mapping.Mapping, l int, grow []tensor.Dim) {
+func (sc *search) residualFill(m *mapping.Mapping, l int, grow []tensor.Dim) {
 	growSet := map[tensor.Dim]bool{}
 	for _, d := range grow {
 		growSet[d] = true
@@ -348,7 +202,7 @@ func residualFill(m *mapping.Mapping, l int, grow []tensor.Dim) {
 	}
 	quota := remainingQuota(m)
 	for _, d := range fillDims {
-		ladder := factor.Ladder(quota[d], 4)
+		ladder := sc.comp.ladders.ladder(quota[d], 4)
 		for i := len(ladder) - 1; i >= 0; i-- {
 			f := ladder[i]
 			if f <= m.Levels[l].T(d) {
@@ -381,16 +235,17 @@ func isReduction(m *mapping.Mapping, d tensor.Dim) bool {
 // lvl (allowed dims nil = no principle restriction), keeping only
 // capacity-feasible extensions. Enumeration-tree rejects and
 // capacity-infeasible unrollings are added to *pruned.
-func unrollAt(m *mapping.Mapping, lvl int, allowed []tensor.Dim, opt Options, pruned *int) []*mapping.Mapping {
+func (sc *search) unrollAt(m *mapping.Mapping, lvl int, allowed []tensor.Dim, pruned *int) []*mapping.Mapping {
 	a := m.Arch
 	cands, ustats := unroll.Enumerate(unroll.Space{
 		Allowed:               allowed,
 		ReductionDims:         m.Workload.ReductionDims(),
 		Quota:                 quotas(m, lvl),
 		Fanout:                a.Levels[lvl].Fanout,
-		MinUtilization:        opt.MinUtilization,
+		MinUtilization:        sc.opt.MinUtilization,
 		AllowSpatialReduction: a.Levels[lvl].AllowSpatialReduction,
-		MaxCandidates:         opt.UnrollsPerStep,
+		MaxCandidates:         sc.opt.UnrollsPerStep,
+		Ladder:                sc.comp.ladders.ladder,
 	})
 	*pruned += ustats.NodesVisited - ustats.Survivors
 	var out []*mapping.Mapping
@@ -428,15 +283,15 @@ func remainingQuota(m *mapping.Mapping) map[tensor.Dim]int {
 
 // unguidedTileEffort counts the tiling-tree nodes an ordering-last strategy
 // visits: the tree grown along every dimension, no Tiling Principle filter.
-func unguidedTileEffort(ctx context.Context, m *mapping.Mapping, l int, opt Options) int {
-	_, stats := enumerateTiles(ctx, m, l, nil, opt)
+func (sc *search) unguidedTileEffort(ctx context.Context, m *mapping.Mapping, l int) int {
+	_, stats := sc.enumerateTiles(ctx, m, l, nil)
 	return stats.NodesVisited
 }
 
 // unguidedUnrollEffort counts the unrolling candidates an ordering-last
 // strategy enumerates at this step's spatial levels without the Unrolling
 // Principle filter.
-func unguidedUnrollEffort(m *mapping.Mapping, l int, opt Options) int {
+func (sc *search) unguidedUnrollEffort(m *mapping.Mapping, l int) int {
 	a := m.Arch
 	n := 0
 	for _, lvl := range []int{0, l + 1} {
@@ -450,8 +305,9 @@ func unguidedUnrollEffort(m *mapping.Mapping, l int, opt Options) int {
 			ReductionDims:         m.Workload.ReductionDims(),
 			Quota:                 quotas(m, lvl),
 			Fanout:                a.Levels[lvl].Fanout,
-			MinUtilization:        opt.MinUtilization,
+			MinUtilization:        sc.opt.MinUtilization,
 			AllowSpatialReduction: a.Levels[lvl].AllowSpatialReduction,
+			Ladder:                sc.comp.ladders.ladder,
 		})
 		n += stats.NodesVisited
 	}

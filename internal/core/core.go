@@ -374,12 +374,18 @@ func OptimizeContext(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt 
 		return Result{}, err
 	}
 	opt = opt.withDefaults()
-	if err := w.Validate(); err != nil {
+	comp, err := Compile(w, a, opt.Model)
+	if err != nil {
 		return Result{}, err
 	}
-	if err := a.Validate(); err != nil {
-		return Result{}, err
-	}
+	return optimizeCompiled(ctx, comp, opt)
+}
+
+// optimizeCompiled runs one search over a compiled problem. opt must already
+// be validated and defaulted. This is the single execution path: the per-call
+// entry points compile fresh, an Engine reuses cached artifacts, and both end
+// here.
+func optimizeCompiled(ctx context.Context, comp *Compiled, opt Options) (Result, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -389,16 +395,10 @@ func OptimizeContext(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt 
 		defer cancel()
 	}
 	start := time.Now()
-	sc := newSearch(w, a, opt)
-	ctx, root := obs.StartSpanf(ctx, "optimize %s (%s)", w.Name, opt.Direction)
+	sc := newSearch(comp, opt)
+	ctx, root := obs.StartSpanf(ctx, "optimize %s (%s)", comp.w.Name, opt.Direction)
 	sc.prog.phase(obs.PhaseStarted, "optimize", -1)
-	var res Result
-	var err error
-	if opt.Direction == TopDown {
-		res, err = topDown(ctx, w, a, sc)
-	} else {
-		res, err = bottomUp(ctx, w, a, sc)
-	}
+	res, err := runLevelSearch(ctx, sc)
 	res.Stats = obs.SnapshotSearch(sc.reg)
 	sc.prog.phase(obs.PhaseFinished, "optimize", -1)
 	if perr := sc.prog.takeErr(); perr != nil {
@@ -415,14 +415,16 @@ func OptimizeContext(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt 
 	return res, err
 }
 
-// search is the per-run evaluation context: the fast-path cost session
-// (per-(workload, arch) tables plus the search-wide memoization cache), one
+// search is the per-run evaluation context over a compiled problem: one
 // scratch evaluator per worker thread — so the steady-state scoring path
 // allocates nothing and never contends on scratch space — and the run's
-// telemetry: a counter registry (candidate flow plus the session's adopted
-// cache counters) and the progress emitter.
+// telemetry: a counter registry (candidate flow plus per-run memo-cache
+// attribution) and the progress emitter. The compiled artifacts (cost
+// session, orderings, fit skeleton, ladder memo) may be shared with other
+// concurrent searches; everything mutable here is per-run.
 type search struct {
 	opt  Options
+	comp *Compiled
 	sess *cost.Session
 	evs  []*cost.Evaluator
 	reg  *obs.Registry
@@ -430,15 +432,19 @@ type search struct {
 	prog *progressEmitter
 }
 
-func newSearch(w *tensor.Workload, a *arch.Arch, opt Options) *search {
-	sc := &search{opt: opt, sess: opt.Model.NewSession(w, a)}
+func newSearch(comp *Compiled, opt Options) *search {
+	sc := &search{opt: opt, comp: comp, sess: comp.sess}
 	sc.evs = make([]*cost.Evaluator, opt.Threads)
+	// Cache hits/misses are charged to per-run counters (as well as the
+	// session's lifetime tally) so Result.Stats partitions per call even
+	// when an Engine shares one session across many searches.
+	hits, misses := &obs.Counter{}, &obs.Counter{}
 	for i := range sc.evs {
 		sc.evs[i] = sc.sess.NewEvaluator()
+		sc.evs[i].CountCacheInto(hits, misses)
 	}
 	sc.reg = obs.NewRegistry()
 	sc.ctr = obs.NewSearchCounters(sc.reg)
-	hits, misses := sc.sess.CacheCounters()
 	sc.reg.Register(obs.CtrCacheHits, hits)
 	sc.reg.Register(obs.CtrCacheMisses, misses)
 	sc.prog = newProgressEmitter(opt.Progress, sc.ctr)
@@ -468,16 +474,21 @@ func (s *state) tieKey() string {
 	return s.key
 }
 
-// complete clones m into a full (evaluable) mapping: every intermediate
-// level is greedily filled with whatever remaining factors fit its buffers
-// (a stand-in for the optimization the upper steps will perform — this is
-// what makes the bottom-up completed-cost estimates tight), and the final
-// remainder lands at the unbounded top level.
-func complete(m *mapping.Mapping) *mapping.Mapping {
+// completeFn turns a partial mapping into its evaluable completion; each
+// direction supplies its own (see sequencer). It must be safe to call from
+// the evaluation fan-out's worker goroutines.
+type completeFn func(*mapping.Mapping) *mapping.Mapping
+
+// completeUp clones m into a full (evaluable) mapping the bottom-up way:
+// every intermediate level is greedily filled with whatever remaining
+// factors fit its buffers (a stand-in for the optimization the upper steps
+// will perform — this is what makes the bottom-up completed-cost estimates
+// tight), and the final remainder lands at the unbounded top level.
+func (sc *search) completeUp(m *mapping.Mapping) *mapping.Mapping {
 	c := m.Clone()
 	top := len(c.Levels) - 1
 	for l := 1; l < top; l++ {
-		residualFill(c, l, nil)
+		sc.residualFill(c, l, nil)
 	}
 	for d, bound := range c.Workload.Dims {
 		below := c.Extent(d, top-1)
@@ -565,7 +576,7 @@ func feasible(m *mapping.Mapping, from int) bool {
 // completion clone. Once ctx is done the remaining unevaluated mappings are
 // skipped — they surface as +Inf states the caller's prune discards — so a
 // cancel drains the worker pool within one evaluation per thread.
-func (sc *search) evalAll(ctx context.Context, ms []*mapping.Mapping) ([]state, []error) {
+func (sc *search) evalAll(ctx context.Context, ms []*mapping.Mapping, cf completeFn) ([]state, []error) {
 	states := make([]state, len(ms))
 	var mu sync.Mutex
 	var panics []error
@@ -584,7 +595,7 @@ func (sc *search) evalAll(ctx context.Context, ms []*mapping.Mapping) ([]state, 
 				if i >= len(ms) {
 					return
 				}
-				sc.evalOne(ctx, ev, ms, states, i, &mu, &panics)
+				sc.evalOne(ctx, ev, ms, states, i, cf, &mu, &panics)
 			}
 		}(sc.evs[wk])
 	}
@@ -595,7 +606,7 @@ func (sc *search) evalAll(ctx context.Context, ms []*mapping.Mapping) ([]state, 
 
 // evalOne scores ms[i] into states[i], containing a cost-model panic to
 // this one candidate (the worker loop survives and keeps draining).
-func (sc *search) evalOne(ctx context.Context, ev *cost.Evaluator, ms []*mapping.Mapping, states []state, i int, mu *sync.Mutex, panics *[]error) {
+func (sc *search) evalOne(ctx context.Context, ev *cost.Evaluator, ms []*mapping.Mapping, states []state, i int, cf completeFn, mu *sync.Mutex, panics *[]error) {
 	defer func() {
 		if e := anytime.PanicErrorFrom(recover(), "evaluate candidate mapping", func() string { return reproMapping(ms[i]) }); e != nil {
 			states[i] = state{m: ms[i], score: math.Inf(1)}
@@ -614,7 +625,7 @@ func (sc *search) evalOne(ctx context.Context, ev *cost.Evaluator, ms []*mapping
 	// Counted before the attempt so a poisoned candidate still counts as
 	// evaluated (its fate is "attempted", not "skipped").
 	sc.ctr.Evaluated.Inc()
-	c := complete(ms[i])
+	c := cf(ms[i])
 	edp, energyPJ, cycles, valid := ev.EvaluateEDP(c)
 	states[i] = state{
 		m:         ms[i],

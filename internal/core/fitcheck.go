@@ -1,21 +1,89 @@
 package core
 
 import (
+	"sunstone/internal/arch"
 	"sunstone/internal/mapping"
 	"sunstone/internal/tensor"
 )
 
+// fitSkeleton is the static half of the capacity tables: per checked level,
+// which bounded buffers exist, which tensors each holds, and each tensor's
+// axis structure (stride and dimension per term). All of it depends only on
+// (workload, arch), so Compile builds it once; per-enumeration work is then
+// reduced to filling in the dynamic base extents of the mapping at hand.
+type fitSkeleton struct {
+	lvls []fitSkelLevel // one per level 0..top-1
+}
+
+type fitSkelLevel struct {
+	bufs []fitSkelBuffer
+}
+
+type fitSkelBuffer struct {
+	capBits int64
+	tens    []fitSkelTensor
+}
+
+type fitSkelTensor struct {
+	bits  int64
+	axes  [][]fitSkelTerm
+	terms int // total term count, so instantiation can size exactly
+}
+
+type fitSkelTerm struct {
+	stride int
+	d      tensor.Dim
+}
+
+// buildFitSkeleton flattens the bounded-buffer capacity constraints of every
+// non-top level.
+func buildFitSkeleton(w *tensor.Workload, a *arch.Arch) fitSkeleton {
+	var sk fitSkeleton
+	top := len(a.Levels) - 1
+	for L := 0; L < top; L++ {
+		var fl fitSkelLevel
+		al := &a.Levels[L]
+		for bi := range al.Buffers {
+			buf := &al.Buffers[bi]
+			if buf.Bytes == 0 {
+				continue
+			}
+			fb := fitSkelBuffer{capBits: buf.Bytes * 8}
+			for _, t := range w.Tensors {
+				if !buf.Holds(t.Name) {
+					continue
+				}
+				ft := fitSkelTensor{bits: int64(a.Bits(t.Name))}
+				for _, ax := range t.Axes {
+					var terms []fitSkelTerm
+					for _, term := range ax {
+						terms = append(terms, fitSkelTerm{stride: term.Stride, d: term.D})
+						ft.terms++
+					}
+					ft.axes = append(ft.axes, terms)
+				}
+				fb.tens = append(fb.tens, ft)
+			}
+			fl.bufs = append(fl.bufs, fb)
+		}
+		sk.lvls = append(sk.lvls, fl)
+	}
+	return sk
+}
+
 // fitChecker answers the tiling tree's capacity probes — "does a tile with
 // these level-l temporal factors still fit every bounded buffer at levels
-// [l, top)?" — without touching the mapping. It precomputes, once per
-// enumeration, the extent contribution of everything already fixed (all
-// temporal and spatial factors except level l's temporal, which the probe
+// [l, top)?" — without touching the mapping. The static constraint structure
+// comes precompiled from the problem's fitSkeleton; on the first probe the
+// checker folds in the dynamic part (the extent contribution of every factor
+// already fixed in the mapping, except level l's temporal which the probe
 // supplies), flattened into integer tables indexed by probe position. Each
 // probe is then pure integer arithmetic: no maps, no allocation. The answers
 // are identical to writing the factors into the mapping and calling feasible.
 type fitChecker struct {
 	m    *mapping.Mapping
 	l    int
+	skel *fitSkeleton
 	init bool       // tables built (lazily, on the first probe)
 	lvls []fitLevel // one per checked level l..top-1
 }
@@ -47,15 +115,15 @@ type fitTerm struct {
 	probe  int // index into the probe factor vector, or -1
 }
 
-func newFitChecker(m *mapping.Mapping, l int) *fitChecker {
-	return &fitChecker{m: m, l: l}
+func (sc *search) newFitChecker(m *mapping.Mapping, l int) *fitChecker {
+	return &fitChecker{m: m, l: l, skel: &sc.comp.fit}
 }
 
-// build flattens the capacity constraints for probes over the grow
-// dimensions ds. ds is stable for the whole enumeration, so this runs once.
+// build instantiates the skeleton for probes over the grow dimensions ds.
+// ds is stable for the whole enumeration, so this runs once.
 func (fc *fitChecker) build(ds []tensor.Dim) {
 	fc.init = true
-	m, w, a := fc.m, fc.m.Workload, fc.m.Arch
+	m, w := fc.m, fc.m.Workload
 	probeOf := func(d tensor.Dim) int {
 		for i, gd := range ds {
 			if gd == d {
@@ -82,29 +150,25 @@ func (fc *fitChecker) build(ds []tensor.Dim) {
 		if L < fc.l {
 			continue
 		}
-		var fl fitLevel
-		al := &a.Levels[L]
-		for bi := range al.Buffers {
-			buf := &al.Buffers[bi]
-			if buf.Bytes == 0 {
-				continue
-			}
-			fb := fitBuffer{capBits: buf.Bytes * 8}
-			for _, t := range w.Tensors {
-				if !buf.Holds(t.Name) {
-					continue
-				}
-				ft := fitTensor{bits: int64(a.Bits(t.Name))}
-				for _, ax := range t.Axes {
-					var fa fitAxis
+		sl := &fc.skel.lvls[L]
+		fl := fitLevel{bufs: make([]fitBuffer, 0, len(sl.bufs))}
+		for bi := range sl.bufs {
+			sb := &sl.bufs[bi]
+			fb := fitBuffer{capBits: sb.capBits, tens: make([]fitTensor, 0, len(sb.tens))}
+			for ti := range sb.tens {
+				st := &sb.tens[ti]
+				ft := fitTensor{bits: st.bits, axes: make([]fitAxis, 0, len(st.axes))}
+				terms := make([]fitTerm, 0, st.terms)
+				for _, ax := range st.axes {
+					lo := len(terms)
 					for _, term := range ax {
-						fa.terms = append(fa.terms, fitTerm{
-							stride: term.Stride,
-							base:   base[term.D],
-							probe:  probeOf(term.D),
+						terms = append(terms, fitTerm{
+							stride: term.stride,
+							base:   base[term.d],
+							probe:  probeOf(term.d),
 						})
 					}
-					ft.axes = append(ft.axes, fa)
+					ft.axes = append(ft.axes, fitAxis{terms: terms[lo:]})
 				}
 				fb.tens = append(fb.tens, ft)
 			}

@@ -1,0 +1,287 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+
+	"sunstone/internal/anytime"
+	"sunstone/internal/mapping"
+	"sunstone/internal/obs"
+	"sunstone/internal/order"
+)
+
+// This file is the direction-agnostic level-sequencing engine. Bottom-up and
+// top-down used to carry near-duplicate ~400-line drivers; what actually
+// differs between them is captured by a sequencer — which levels are stepped
+// in which order, how a step's candidates are expanded, how a partial
+// mapping is completed for scoring, and whether a per-step visit budget and
+// the final polish apply. Everything else — beam expansion, dedupe, the
+// evaluation fan-out, alpha-beta/beam pruning, incumbent tracking, counter
+// flow, span/progress emission, anytime early returns — runs once, here.
+
+// sequencer parameterizes one search direction for the shared stepper.
+type sequencer struct {
+	// levels lists the per-level steps in execution order: 0..top-1 for
+	// bottom-up, top..1 for top-down.
+	levels []int
+	// stepBudget caps the candidates one step may visit (math.MaxInt when
+	// the direction is unbudgeted). Top-down splits its visit budget evenly
+	// across steps so the enormous DRAM-level branching cannot starve the
+	// lower steps.
+	stepBudget int
+	// polish enables the final greedy refinement (bottom-up only: its last
+	// step's winner is a fully-assigned mapping worth perturbing).
+	polish bool
+	// expand generates a beam state's candidate extensions at a level, under
+	// the remaining step budget, returning the candidates plus the visit
+	// count charged against that budget. Implementations flush their own
+	// enumeration-reject counters.
+	expand func(ctx context.Context, base *mapping.Mapping, lvl int, orderings []order.Ordering, budget int) ([]*mapping.Mapping, int)
+	// completeAt returns the completion used to score level lvl's partial
+	// candidates (bottom-up: greedy fill upward; top-down: remaining extents
+	// into the level below).
+	completeAt func(lvl int) completeFn
+}
+
+// sequencer builds the direction's parameterization from the run's options.
+func (sc *search) sequencer() sequencer {
+	top := len(sc.comp.a.Levels) - 1
+	if sc.opt.Direction == TopDown {
+		levels := make([]int, 0, top)
+		for m := top; m >= 1; m-- {
+			levels = append(levels, m)
+		}
+		// Every step gets its own share of the visit budget: the first
+		// (DRAM) step's enormous branching would otherwise starve the lower
+		// steps.
+		stepBudget := sc.opt.TopDownVisitBudget / top
+		if stepBudget < 1 {
+			stepBudget = 1
+		}
+		return sequencer{
+			levels:     levels,
+			stepBudget: stepBudget,
+			expand:     sc.expandTop,
+			completeAt: func(lvl int) completeFn { return sc.completeDownAt(lvl - 1) },
+		}
+	}
+	levels := make([]int, 0, top)
+	for l := 0; l < top; l++ {
+		levels = append(levels, l)
+	}
+	return sequencer{
+		levels:     levels,
+		stepBudget: math.MaxInt,
+		polish:     true,
+		expand:     sc.expandBottom,
+		completeAt: func(int) completeFn { return sc.completeUp },
+	}
+}
+
+// incumbent is the anytime best-so-far: the best *completed* (evaluable)
+// mapping observed at any point of the search, maintained so an early stop
+// can return real work instead of nothing. Only the fast path's scalars are
+// tracked; the full Report is materialized once, at finish.
+type incumbent struct {
+	m        *mapping.Mapping
+	score    float64
+	energyPJ float64
+	cycles   float64
+}
+
+// observe folds a scored, completed state into the incumbent, reporting
+// whether it improved the best-so-far.
+func (inc *incumbent) observe(s state) bool {
+	if s.completed != nil && s.valid && (inc.m == nil || s.score < inc.score) {
+		inc.m, inc.score, inc.energyPJ, inc.cycles = s.completed, s.score, s.energyPJ, s.cycles
+		return true
+	}
+	return false
+}
+
+// finish stamps res with the incumbent and the stop reason. When the search
+// was stopped before any valid mapping completed, it reports an error — the
+// only case where an anytime return has nothing to give.
+func (inc *incumbent) finish(sc *search, res Result, reason StopReason) (Result, error) {
+	res.Stopped = reason
+	if inc.m == nil {
+		return res, fmt.Errorf("search stopped (%s) before any valid mapping was completed", reason)
+	}
+	res.Mapping = inc.m
+	res.Report = sc.finalReport(inc.m, inc.energyPJ, inc.cycles)
+	return res, nil
+}
+
+// seedIncumbent scores the trivial completion (everything at the top level)
+// so even an immediate cancel returns a valid mapping.
+func seedIncumbent(sc *search, inc *incumbent, res *Result, seed *mapping.Mapping) {
+	trivial := sc.completeUp(seed)
+	if trivial == nil {
+		return
+	}
+	sc.ctr.Generated.Inc()
+	sc.ctr.Evaluated.Inc()
+	edp, energyPJ, cycles, valid, err := sc.safeEvalFast(sc.evs[0], trivial)
+	if err != nil {
+		res.CandidateErrors = appendCapped(res.CandidateErrors, err)
+		return
+	}
+	if inc.observe(state{
+		completed: trivial,
+		score:     sc.opt.Objective.scoreScalars(edp, energyPJ, cycles, valid),
+		energyPJ:  energyPJ,
+		cycles:    cycles,
+		valid:     valid,
+	}) {
+		sc.prog.incumbent("seed", -1, inc.score, inc.energyPJ, inc.cycles)
+	}
+}
+
+// appendCapped appends err to errs unless the cap is reached.
+func appendCapped(errs []error, err error) []error {
+	if len(errs) >= maxCandidateErrors {
+		return errs
+	}
+	return append(errs, err)
+}
+
+// orderingSet replays the compiled ordering enumeration into this run's
+// telemetry: the trie ran once at Compile, but every search still gets the
+// span and charges the trie's rejects to its own candidate flow — every node
+// examined but not surviving counts as generated + pruned-by-the-ordering-
+// principle — so counters and traces are identical whether the artifacts
+// were compiled cold or served from an Engine's cache.
+func (sc *search) orderingSet(ctx context.Context) ([]order.Ordering, order.Stats) {
+	_, osp := obs.StartSpan(ctx, "orderings")
+	ostats := sc.comp.ostats
+	rejects := ostats.NodesVisited - ostats.Survivors
+	if rejects > 0 {
+		sc.ctr.Generated.Add(uint64(rejects))
+		sc.ctr.PrunedOrdering.Add(uint64(rejects))
+	}
+	osp.Arg("survivors", ostats.Survivors).Arg("visited", ostats.NodesVisited).End()
+	return sc.comp.orderings, ostats
+}
+
+// runLevelSearch drives the unified search: seed the incumbent, step through
+// the sequencer's levels carrying the beam, then finish — polishing the
+// winner when the direction asks for it. It polls ctx between orderings,
+// candidates and levels; on cancellation it returns the incumbent best
+// completed mapping (Table VI's directions differ only via the sequencer).
+func runLevelSearch(ctx context.Context, sc *search) (Result, error) {
+	seq := sc.sequencer()
+	orderings, ostats := sc.orderingSet(ctx)
+	res := Result{OrderingsConsidered: ostats.Survivors}
+
+	states := []state{{m: mapping.New(sc.comp.w, sc.comp.a)}}
+
+	var inc incumbent
+	seedIncumbent(sc, &inc, &res, states[0].m)
+
+	budgetHit := false
+	for _, lvl := range seq.levels {
+		next, hit, done, out, err := sc.runStep(ctx, &seq, lvl, states, orderings, &res, &inc)
+		if done {
+			return out, err
+		}
+		budgetHit = budgetHit || hit
+		states = next
+	}
+
+	best := states[0]
+	final := best.completed
+	if final == nil || !best.valid {
+		// Evaluation of the winner was skipped or poisoned; fall back to
+		// the incumbent.
+		return inc.finish(sc, res, anytime.FromContext(ctx))
+	}
+	energyPJ, cycles := best.energyPJ, best.cycles
+	if seq.polish && !sc.opt.NoPolish {
+		_, psp := obs.StartSpan(ctx, "polish")
+		sc.prog.phase(obs.PhaseStarted, "polish", -1)
+		var evals int
+		var reason StopReason
+		final, energyPJ, cycles, evals, reason = polish(ctx, sc, final, best.score, energyPJ, cycles, orderings)
+		res.SpaceSize += evals
+		res.Stopped = reason
+		sc.prog.phase(obs.PhaseFinished, "polish", -1)
+		psp.Arg("evals", evals).End()
+	}
+	res.Mapping = final
+	res.Report = sc.finalReport(final, energyPJ, cycles)
+	if budgetHit {
+		res.Stopped = StopBudget
+	}
+	return res, nil
+}
+
+// runStep runs one level of the search: expand every beam state under the
+// step's visit budget, dedupe, evaluate the fan-out on the direction's
+// completion, prune to the next beam. When the search must return at this
+// level — cancellation, no feasible candidates — it reports done=true with
+// the final (Result, error); otherwise it hands back the next beam.
+// Extracted so the level's span and progress phase close on every early
+// return.
+func (sc *search) runStep(ctx context.Context, seq *sequencer, lvl int, states []state, orderings []order.Ordering, res *Result, inc *incumbent) (next []state, budgetHit, done bool, out Result, err error) {
+	a := states[0].m.Arch
+	lctx, lsp := obs.StartSpanf(ctx, "level %d (%s)", lvl, a.Levels[lvl].Name)
+	defer lsp.End()
+	sc.prog.phasef(obs.PhaseStarted, lvl, "level %d (%s)", lvl, a.Levels[lvl].Name)
+	defer sc.prog.phasef(obs.PhaseFinished, lvl, "level %d (%s)", lvl, a.Levels[lvl].Name)
+
+	if r := anytime.FromContext(ctx); r != StopComplete {
+		out, err = inc.finish(sc, *res, r)
+		return nil, false, true, out, err
+	}
+	_, esp := obs.StartSpan(lctx, "enumerate")
+	var produced []*mapping.Mapping
+	visitedTotal := 0
+	remaining := seq.stepBudget
+	for _, st := range states {
+		cands, visited := seq.expand(ctx, st.m, lvl, orderings, remaining)
+		produced = append(produced, cands...)
+		res.SpaceSize += visited
+		visitedTotal += visited
+		remaining -= visited
+		if remaining <= 0 {
+			budgetHit = true
+			break
+		}
+		if anytime.FromContext(ctx) != StopComplete {
+			break // partial batch: score what we have, then stop above
+		}
+	}
+	esp.Arg("produced", len(produced)).Arg("visited", visitedTotal).End()
+	if len(produced) == 0 {
+		if r := anytime.FromContext(ctx); r != StopComplete {
+			out, err = inc.finish(sc, *res, r)
+			return nil, budgetHit, true, out, err
+		}
+		return nil, budgetHit, true, *res, fmt.Errorf("%s: no feasible candidates at level %d (%s)", sc.opt.Direction, lvl, a.Levels[lvl].Name)
+	}
+	produced = sc.dedupe(produced)
+	vctx, vsp := obs.StartSpan(lctx, "evaluate")
+	scored, panics := sc.evalAll(vctx, produced, seq.completeAt(lvl))
+	vsp.Arg("candidates", len(produced)).End()
+	for _, e := range panics {
+		res.CandidateErrors = appendCapped(res.CandidateErrors, e)
+	}
+	next = sc.prunedAndCount(scored)
+	if len(next) == 0 {
+		if r := anytime.FromContext(ctx); r != StopComplete {
+			out, err = inc.finish(sc, *res, r)
+			return nil, budgetHit, true, out, err
+		}
+		return nil, budgetHit, true, *res, errors.Join(append([]error{fmt.Errorf("%s: all candidates at level %d are invalid", sc.opt.Direction, lvl)}, res.CandidateErrors...)...)
+	}
+	if inc.observe(next[0]) {
+		sc.prog.incumbent(fmt.Sprintf("level %d (%s)", lvl, a.Levels[lvl].Name), lvl, inc.score, inc.energyPJ, inc.cycles)
+	}
+	if r := anytime.FromContext(ctx); r != StopComplete {
+		out, err = inc.finish(sc, *res, r)
+		return nil, budgetHit, true, out, err
+	}
+	return next, budgetHit, false, Result{}, nil
+}

@@ -1,139 +1,76 @@
 package core
 
+// This file holds the top-down expansion machinery — the variant Table VI
+// compares against. At step m it assigns the loop order, temporal factors
+// and spatial unrolling of level m; the extents remaining below level m are
+// then fully determined, so level m-1's capacity can be checked. The
+// branching at the first (DRAM) step is enormous because the large on-chip
+// memories admit most factor splits — the paper's explanation for why this
+// direction examines an order of magnitude more candidates — and the
+// alpha-beta estimates are looser because low-level access counts are
+// unknown until the very end. The level-sequencing driver itself is shared
+// with bottom-up — see stepper.go.
+
 import (
 	"context"
-	"errors"
-	"fmt"
 
 	"sunstone/internal/anytime"
-	"sunstone/internal/arch"
-	"sunstone/internal/factor"
 	"sunstone/internal/mapping"
-	"sunstone/internal/obs"
 	"sunstone/internal/order"
 	"sunstone/internal/tensor"
 	"sunstone/internal/unroll"
 )
 
-// topDown optimizes starting at the off-chip memory and walking down — the
-// variant Table VI compares against. At step m it assigns the loop order,
-// temporal factors and spatial unrolling of level m; the extents remaining
-// below level m are then fully determined, so level m-1's capacity can be
-// checked. The branching at the first (DRAM) step is enormous because the
-// large on-chip memories admit most factor splits — the paper's explanation
-// for why this direction examines an order of magnitude more candidates —
-// and the alpha-beta estimates are looser because low-level access counts
-// are unknown until the very end.
-func topDown(ctx context.Context, w *tensor.Workload, a *arch.Arch, sc *search) (Result, error) {
-	opt := sc.opt
-	orderings, ostats := sc.enumerateOrderings(ctx, w)
-	res := Result{OrderingsConsidered: ostats.Survivors}
-
-	top := len(a.Levels) - 1
-	states := []state{{m: mapping.New(w, a)}}
-	// Every step gets its own share of the visit budget: the first (DRAM)
-	// step's enormous branching would otherwise starve the lower steps.
-	stepBudget := opt.TopDownVisitBudget / top
-	if stepBudget < 1 {
-		stepBudget = 1
+// expandTop is the sequencer's expand hook for the top-down direction:
+// expandTopLevel plus the flow accounting the shared stepper expects. Every
+// visited node is either a materialized candidate (evaluated downstream) or
+// a tiling reject; unrolling rejects are tallied separately. The counters
+// are flushed once per beam state (via replayExpansion) — the enumeration
+// recursion can visit millions of nodes, so it must never touch an atomic
+// per node.
+//
+// Like bottom-up, the expansion is memoized in the compiled problem: the
+// outcome is deterministic given (state, level, options, remaining budget) —
+// the budget binds the top-down enumeration, so it is part of the key, and
+// identical repeat runs walk the same deterministic budget sequence.
+func (sc *search) expandTop(ctx context.Context, base *mapping.Mapping, m int, orderings []order.Ordering, budget int) ([]*mapping.Mapping, int) {
+	key := sc.expandKey(m, budget, base)
+	if e := sc.comp.expansions.get(key); e != nil {
+		sc.replayExpansion(e)
+		return e.cands, e.visited
 	}
-	budgetHit := false
-
-	var inc incumbent
-	seedIncumbent(sc, &inc, &res, states[0].m)
-
-	for m := top; m >= 1; m-- {
-		next, hit, done, out, err := sc.topDownStep(ctx, m, states, orderings, stepBudget, &res, &inc)
-		if done {
-			return out, err
-		}
-		budgetHit = budgetHit || hit
-		states = next
+	cands, visited, prunedUnroll := sc.expandTopLevel(ctx, base, m, orderings, budget)
+	e := &expandEntry{
+		cands:           cands,
+		visited:         visited,
+		prunedTiling:    visited - len(cands),
+		prunedUnrolling: prunedUnroll,
 	}
-
-	best := states[0]
-	if best.completed == nil || !best.valid {
-		return inc.finish(sc, res, anytime.FromContext(ctx))
+	sc.replayExpansion(e)
+	if anytime.FromContext(ctx) == StopComplete {
+		sc.comp.expansions.put(key, e)
 	}
-	res.Mapping = best.completed
-	res.Report = sc.finalReport(best.completed, best.energyPJ, best.cycles)
-	if budgetHit {
-		res.Stopped = StopBudget
-	}
-	return res, nil
+	return e.cands, e.visited
 }
 
-// topDownStep runs one level of the top-down pass: expand every beam state
-// under the step's visit budget, score by downward completion, prune to the
-// next beam. When the search must return at this level it reports done=true
-// with the final (Result, error). Extracted — like bottomUpLevel — so the
-// step's span and progress phase close on every early return.
-func (sc *search) topDownStep(ctx context.Context, m int, states []state, orderings []order.Ordering, stepBudget int, res *Result, inc *incumbent) (next []state, budgetHit, done bool, out Result, err error) {
-	a := states[0].m.Arch
-	lctx, lsp := obs.StartSpanf(ctx, "level %d (%s)", m, a.Levels[m].Name)
-	defer lsp.End()
-	sc.prog.phasef(obs.PhaseStarted, m, "level %d (%s)", m, a.Levels[m].Name)
-	defer sc.prog.phasef(obs.PhaseFinished, m, "level %d (%s)", m, a.Levels[m].Name)
-
-	if r := anytime.FromContext(ctx); r != StopComplete {
-		out, err = inc.finish(sc, *res, r)
-		return nil, false, true, out, err
-	}
-	_, esp := obs.StartSpan(lctx, "enumerate")
-	var produced []*mapping.Mapping
-	// Local tallies flushed once per step: the enumeration recursion can
-	// visit millions of nodes, so it must never touch an atomic per node.
-	visitedTotal, prunedUnrollTotal := 0, 0
-	remaining := stepBudget
-	for _, st := range states {
-		cands, visited, prunedUnroll := expandTopLevel(ctx, st.m, m, orderings, sc.opt, remaining)
-		res.SpaceSize += visited
-		remaining -= visited
-		visitedTotal += visited
-		prunedUnrollTotal += prunedUnroll
-		produced = append(produced, cands...)
-		if remaining <= 0 {
-			budgetHit = true
-			break
+// completeDownAt returns the top-down scoring completion for candidates
+// whose remaining factors land in the level-lvl tile (lower levels stay 1).
+// For lvl < 0 — the final step — the mapping is complete as-is, but cloning
+// keeps state.m (the partial the next step would extend) distinct from
+// state.completed (the incumbent) in both directions.
+func (sc *search) completeDownAt(lvl int) completeFn {
+	return func(m *mapping.Mapping) *mapping.Mapping {
+		c := m.Clone()
+		if lvl >= 0 {
+			ext := remainingExtents(c, lvl)
+			for d, e := range ext {
+				if e > 1 {
+					c.Levels[lvl].Temporal[d] = e
+				}
+			}
 		}
-		if anytime.FromContext(ctx) != StopComplete {
-			break
-		}
+		return c
 	}
-	// Every visited node is either a materialized candidate (evaluated
-	// below) or a tiling reject; unrolling rejects are tallied separately.
-	sc.ctr.Generated.Add(uint64(visitedTotal + prunedUnrollTotal))
-	sc.ctr.PrunedTiling.Add(uint64(visitedTotal - len(produced)))
-	sc.ctr.PrunedUnrolling.Add(uint64(prunedUnrollTotal))
-	esp.Arg("produced", len(produced)).Arg("visited", visitedTotal).End()
-	if len(produced) == 0 {
-		if r := anytime.FromContext(ctx); r != StopComplete {
-			out, err = inc.finish(sc, *res, r)
-			return nil, budgetHit, true, out, err
-		}
-		return nil, budgetHit, true, *res, fmt.Errorf("top-down: no feasible candidates at level %d (%s)", m, a.Levels[m].Name)
-	}
-	// Score by completing downward: remaining factors land in the
-	// level-(m-1) tile, lower levels at 1. (The final step's states are
-	// already complete mappings.)
-	vctx, vsp := obs.StartSpan(lctx, "evaluate")
-	scored, panics := scoreTopDown(vctx, sc, produced, m-1)
-	vsp.Arg("candidates", len(produced)).End()
-	for _, e := range panics {
-		res.CandidateErrors = appendCapped(res.CandidateErrors, e)
-	}
-	next = sc.prunedAndCount(scored)
-	if len(next) == 0 {
-		if r := anytime.FromContext(ctx); r != StopComplete {
-			out, err = inc.finish(sc, *res, r)
-			return nil, budgetHit, true, out, err
-		}
-		return nil, budgetHit, true, *res, errors.Join(append([]error{fmt.Errorf("top-down: all candidates invalid at level %d", m)}, res.CandidateErrors...)...)
-	}
-	if inc.observe(next[0]) {
-		sc.prog.incumbent(fmt.Sprintf("level %d (%s)", m, a.Levels[m].Name), m, inc.score, inc.energyPJ, inc.cycles)
-	}
-	return next, budgetHit, false, Result{}, nil
 }
 
 // expandTopLevel enumerates (ordering, spatial, temporal-factor) choices for
@@ -142,7 +79,7 @@ func (sc *search) topDownStep(ctx context.Context, m int, states []state, orderi
 // the unrolling-enumeration rejects. Enumeration stops when the remaining
 // visit budget is exhausted or the context is canceled (polled every 1024
 // visits — the recursion itself is the hot loop here).
-func expandTopLevel(ctx context.Context, base *mapping.Mapping, m int, orderings []order.Ordering, opt Options, budget int) ([]*mapping.Mapping, int, int) {
+func (sc *search) expandTopLevel(ctx context.Context, base *mapping.Mapping, m int, orderings []order.Ordering, budget int) ([]*mapping.Mapping, int, int) {
 	w := base.Workload
 	a := base.Arch
 	visited := 0
@@ -161,7 +98,7 @@ func expandTopLevel(ctx context.Context, base *mapping.Mapping, m int, orderings
 
 		spatials := []*mapping.Mapping{m1}
 		if a.Levels[m].Fanout > 1 {
-			spatials = topDownUnroll(m1, m, opt, &prunedUnroll)
+			spatials = sc.topDownUnroll(m1, m, &prunedUnroll)
 		}
 		for _, m2 := range spatials {
 			// Budget for T(m): the remainder above level m, net of the
@@ -177,7 +114,7 @@ func expandTopLevel(ctx context.Context, base *mapping.Mapping, m int, orderings
 			// the next level) is reached before any visit budget expires.
 			ladders := make([][]int, len(dims))
 			for i, d := range dims {
-				l := factor.Ladder(quota[d], 4)
+				l := sc.comp.ladders.ladder(quota[d], 4)
 				rev := make([]int, len(l))
 				for j, v := range l {
 					rev[len(l)-1-j] = v
@@ -230,15 +167,16 @@ func expandTopLevel(ctx context.Context, base *mapping.Mapping, m int, orderings
 // restrictions (top-down has no lower-level ordering fixed yet to derive OP
 // from; this unguided enumeration is part of why its space is larger).
 // Enumeration-tree rejects are added to *pruned.
-func topDownUnroll(m1 *mapping.Mapping, m int, opt Options, pruned *int) []*mapping.Mapping {
+func (sc *search) topDownUnroll(m1 *mapping.Mapping, m int, pruned *int) []*mapping.Mapping {
 	a := m1.Arch
 	cands, ustats := unroll.Enumerate(unroll.Space{
 		ReductionDims:         m1.Workload.ReductionDims(),
 		Quota:                 remainingExtents(m1, m),
 		Fanout:                a.Levels[m].Fanout,
-		MinUtilization:        opt.MinUtilization,
+		MinUtilization:        sc.opt.MinUtilization,
 		AllowSpatialReduction: a.Levels[m].AllowSpatialReduction,
-		MaxCandidates:         opt.UnrollsPerStep * 2,
+		MaxCandidates:         sc.opt.UnrollsPerStep * 2,
+		Ladder:                sc.comp.ladders.ladder,
 	})
 	*pruned += ustats.NodesVisited - ustats.Survivors
 	var out []*mapping.Mapping
@@ -304,37 +242,4 @@ func partialRemainderCanFit(m2 *mapping.Mapping, m int, cur map[tensor.Dim]int, 
 		}
 	}
 	return true
-}
-
-// scoreTopDown scores top-down partial mappings by completing them downward:
-// the remaining extents are placed as the level-lvl tile (lower levels stay
-// 1), then the full model runs. For lvl == 0 the mapping is complete as-is.
-func scoreTopDown(ctx context.Context, sc *search, ms []*mapping.Mapping, lvl int) ([]state, []error) {
-	completed := make([]*mapping.Mapping, len(ms))
-	for i, m := range ms {
-		c := m.Clone()
-		if lvl >= 0 {
-			ext := remainingExtents(c, lvl)
-			for d, e := range ext {
-				if e > 1 {
-					c.Levels[lvl].Temporal[d] = e
-				}
-			}
-		}
-		completed[i] = c
-	}
-	states, panics := sc.evalAll(ctx, completed)
-	// Re-point the states at the *partial* mappings so the next step
-	// extends them (evalAll sorted by the completed cost; map back). The
-	// completed form stays in state.completed for incumbent tracking.
-	byPtr := map[*mapping.Mapping]*mapping.Mapping{}
-	for i := range completed {
-		byPtr[completed[i]] = ms[i]
-	}
-	for i := range states {
-		if lvl >= 1 { // not final step: keep the partial form
-			states[i].m = byPtr[states[i].m]
-		}
-	}
-	return states, panics
 }

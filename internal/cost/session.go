@@ -319,17 +319,28 @@ func (s *Session) CacheCounters() (hits, misses *obs.Counter) {
 	return &s.hits, &s.misses
 }
 
-func (s *Session) lookup(k Key) (cacheEntry, bool) {
+// lookup consults the memo cache, charging the outcome to the Session's
+// lifetime counters and — when the Evaluator has been wired with
+// CountCacheInto — to the per-run counters as well, so a search on a shared
+// (Engine-cached) Session still reports its own hit rate.
+func (e *Evaluator) lookup(k Key) (cacheEntry, bool) {
+	s := e.s
 	sh := &s.shards[k.Hi%cacheShards]
 	sh.mu.RLock()
-	e, ok := sh.m[k]
+	v, ok := sh.m[k]
 	sh.mu.RUnlock()
 	if ok {
 		s.hits.Add(1)
+		if e.hits != nil {
+			e.hits.Add(1)
+		}
 	} else {
 		s.misses.Add(1)
+		if e.misses != nil {
+			e.misses.Add(1)
+		}
 	}
-	return e, ok
+	return v, ok
 }
 
 func (s *Session) store(k Key, e cacheEntry) {
@@ -361,6 +372,9 @@ const (
 // shared).
 type Evaluator struct {
 	s *Session
+
+	// Per-run cache attribution (see CountCacheInto); nil = Session-only.
+	hits, misses *obs.Counter
 
 	// Snapshot of the mapping under evaluation (filled by snapshot()).
 	tb    []int   // nLevels x nDims temporal bounds (the T() view)
@@ -405,6 +419,15 @@ func (s *Session) NewEvaluator() *Evaluator {
 	}
 }
 
+// CountCacheInto additionally charges this Evaluator's memo-cache hits and
+// misses to the given counters. The Session's lifetime counters (CacheStats)
+// keep accumulating regardless; the per-run pair is what lets many searches
+// share one long-lived Session — as an Engine does — while each Result.Stats
+// still partitions cleanly per call.
+func (e *Evaluator) CountCacheInto(hits, misses *obs.Counter) {
+	e.hits, e.misses = hits, misses
+}
+
 // EvaluateEDP scores m on the zero-allocation fast path, returning exactly
 // the EDP/EnergyPJ/Cycles/Valid that Model.Evaluate would report. Results
 // are memoized in the Session's search-wide cache under the mapping's
@@ -422,7 +445,7 @@ func (e *Evaluator) EvaluateEDP(m *mapping.Mapping) (edp, energyPJ, cycles float
 		return e.fallback(m)
 	}
 	k := e.key()
-	if v, ok := s.lookup(k); ok {
+	if v, ok := e.lookup(k); ok {
 		return v.edp, v.energy, v.cycles, v.valid
 	}
 	edp, energyPJ, cycles, valid = e.compute()

@@ -134,9 +134,11 @@ func stoppedLabel(r anytime.StopReason) string {
 }
 
 // runSunstone wraps the optimizer as a ToolRun producer; cfg.LayerTimeout
-// bounds the search via Options.Timeout.
-func runSunstone(cfg Config, w *tensor.Workload, a *arch.Arch) ToolRun {
-	res, err := core.OptimizeContext(cfg.ctx(), w, a, core.Options{Timeout: cfg.LayerTimeout})
+// bounds the search via Options.Timeout. The search runs through eng, the
+// figure-wide Engine, so a workload appearing in several cells (or shared
+// with a baseline via UseSessions) compiles its problem artifacts once.
+func runSunstone(cfg Config, eng *core.Engine, w *tensor.Workload, a *arch.Arch) ToolRun {
+	res, err := eng.OptimizeContext(cfg.ctx(), w, a, core.Options{Timeout: cfg.LayerTimeout})
 	tr := ToolRun{Tool: "Sunstone", Workload: w.Name}
 	if err != nil {
 		tr.Reason = err.Error()
@@ -153,7 +155,15 @@ func runSunstone(cfg Config, w *tensor.Workload, a *arch.Arch) ToolRun {
 
 // runBaseline runs one prior-art mapper under cfg.LayerTimeout (via the
 // MapContext anytime contract) so head-to-head wall-clock budgets are fair.
-func runBaseline(cfg Config, m baselines.Mapper, w *tensor.Workload, a *arch.Arch) ToolRun {
+// Mappers that support session injection share eng's cached cost sessions,
+// so the per-(workload, arch) tables behind the fast-path evaluator are
+// built once per figure rather than once per (tool, workload) cell.
+func runBaseline(cfg Config, eng *core.Engine, m baselines.Mapper, w *tensor.Workload, a *arch.Arch) ToolRun {
+	if s, ok := m.(interface {
+		UseSessions(baselines.SessionSource)
+	}); ok {
+		s.UseSessions(eng)
+	}
 	ctx := cfg.ctx()
 	if cfg.LayerTimeout > 0 {
 		var cancel context.CancelFunc
@@ -336,11 +346,12 @@ func Fig6(cfg Config) []ToolRun {
 		)
 	}
 	a := arch.Conventional()
+	eng := core.NewEngine(0)
 	var runs []ToolRun
 	for _, w := range ws {
-		runs = append(runs, runSunstone(cfg, w, a))
+		runs = append(runs, runSunstone(cfg, eng, w, a))
 		for _, m := range cfg.tools("timeloop-fast", "timeloop-slow") {
-			runs = append(runs, runBaseline(cfg, m, w, a))
+			runs = append(runs, runBaseline(cfg, eng, m, w, a))
 		}
 	}
 	return runs
@@ -351,11 +362,12 @@ func Fig6(cfg Config) []ToolRun {
 // Interstellar; invalid results flagged (Figs. 7a/7b).
 func Fig7(cfg Config) []ToolRun {
 	a := arch.Conventional()
+	eng := core.NewEngine(0)
 	var runs []ToolRun
 	for _, w := range inceptionWULayers(cfg.Quick) {
-		runs = append(runs, runSunstone(cfg, w, a))
+		runs = append(runs, runSunstone(cfg, eng, w, a))
 		for _, m := range cfg.tools("timeloop-fast", "timeloop-slow", "dmaze-fast", "dmaze-slow", "interstellar") {
-			runs = append(runs, runBaseline(cfg, m, w, a))
+			runs = append(runs, runBaseline(cfg, eng, m, w, a))
 		}
 	}
 	return runs
@@ -366,16 +378,17 @@ func Fig7(cfg Config) []ToolRun {
 // Interstellar cannot target multi-spatial-level machines.
 func Fig8(cfg Config) []ToolRun {
 	a := arch.Simba()
+	eng := core.NewEngine(0)
 	var runs []ToolRun
 	for _, w := range resnetLayers(cfg.Quick, 16) {
-		runs = append(runs, runSunstone(cfg, w, a))
+		runs = append(runs, runSunstone(cfg, eng, w, a))
 		names := []string{"timeloop-fast"}
 		if !cfg.Quick {
 			names = append(names, "timeloop-slow")
 		}
 		names = append(names, "cosa")
 		for _, m := range cfg.tools(names...) {
-			runs = append(runs, runBaseline(cfg, m, w, a))
+			runs = append(runs, runBaseline(cfg, eng, m, w, a))
 		}
 	}
 	return runs

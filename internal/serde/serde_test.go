@@ -64,8 +64,19 @@ func TestDecodeWorkloadRejectsInvalid(t *testing.T) {
 	}
 }
 
+// archPresets is every built-in architecture preset; the parameterized Tiny
+// family is pinned at representative sizes.
+func archPresets() []*arch.Arch {
+	return []*arch.Arch{
+		arch.Conventional(),
+		arch.Simba(),
+		arch.DianNao(),
+		arch.TinySpatial(512, 1<<16, 4),
+	}
+}
+
 func TestArchRoundTrip(t *testing.T) {
-	for _, orig := range []*arch.Arch{arch.Conventional(), arch.Simba(), arch.DianNao()} {
+	for _, orig := range archPresets() {
 		data, err := EncodeArch(orig)
 		if err != nil {
 			t.Fatal(err)
@@ -89,6 +100,59 @@ func TestArchRoundTrip(t *testing.T) {
 		if orig.Name == "simba-like" && back.Levels[2].Keeps(arch.Weight) {
 			t.Error("simba bypass lost in round trip")
 		}
+	}
+}
+
+// TestArchRoundTripFidelity is the full-fidelity contract for every preset:
+// decode(encode(a)) must re-encode to byte-identical JSON, and the semantic
+// fields the optimizer and the Engine's content-addressed cache key depend on
+// — buffer capacities, energies, bypass sets, fanout, NoC parameters — must
+// survive exactly. Encode-stability is what makes EncodeArch usable as a
+// cache key: two structurally equal archs always key identically.
+func TestArchRoundTripFidelity(t *testing.T) {
+	for _, orig := range archPresets() {
+		t.Run(orig.Name, func(t *testing.T) {
+			data, err := EncodeArch(orig)
+			if err != nil {
+				t.Fatal(err)
+			}
+			back, err := DecodeArch(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data2, err := EncodeArch(back)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != string(data2) {
+				t.Errorf("re-encode not byte-identical:\nfirst:\n%s\nsecond:\n%s", data, data2)
+			}
+			if back.Name != orig.Name || back.MACPJ != orig.MACPJ {
+				t.Errorf("name/MAC energy changed: %q %g vs %q %g",
+					back.Name, back.MACPJ, orig.Name, orig.MACPJ)
+			}
+			for i := range orig.Levels {
+				ol, bl := &orig.Levels[i], &back.Levels[i]
+				if bl.Name != ol.Name || bl.Fanout != ol.Fanout ||
+					bl.AllowSpatialReduction != ol.AllowSpatialReduction ||
+					bl.DoubleBuffered != ol.DoubleBuffered {
+					t.Errorf("level %d structure changed: %+v vs %+v", i, bl, ol)
+				}
+				if len(bl.Buffers) != len(ol.Buffers) {
+					t.Fatalf("level %d buffer count %d vs %d", i, len(bl.Buffers), len(ol.Buffers))
+				}
+				for j := range ol.Buffers {
+					ob, bb := &ol.Buffers[j], &bl.Buffers[j]
+					if bb.Name != ob.Name || bb.Bytes != ob.Bytes ||
+						bb.ReadPJ != ob.ReadPJ || bb.WritePJ != ob.WritePJ {
+						t.Errorf("level %d buffer %d changed: %+v vs %+v", i, j, bb, ob)
+					}
+					if len(bb.Tensors) != len(ob.Tensors) {
+						t.Errorf("level %d buffer %d bypass set changed", i, j)
+					}
+				}
+			}
+		})
 	}
 }
 

@@ -72,6 +72,19 @@ type Space struct {
 	// MaxCandidates truncates the result to the largest tiles (by factor
 	// product — more intra-tile reuse) when positive.
 	MaxCandidates int
+	// Ladder, when non-nil, supplies divisor ladders instead of
+	// factor.Ladder — typically a compiled problem's memoized table, so
+	// repeated enumerations over the same quotas never refactorize. It must
+	// return exactly what factor.Ladder(n, minDivisors) would.
+	Ladder func(n, minDivisors int) []int
+}
+
+// ladderFn resolves an optional injected ladder supplier to factor.Ladder.
+func ladderFn(f func(n, minDivisors int) []int) func(n, minDivisors int) []int {
+	if f != nil {
+		return f
+	}
+	return factor.Ladder
 }
 
 // Stats reports the enumeration effort.
@@ -108,7 +121,7 @@ func Enumerate(s Space) ([]Candidate, Stats) {
 		if q < 1 {
 			q = 1
 		}
-		ladders[i] = factor.Ladder(q, minDiv)
+		ladders[i] = ladderFn(s.Ladder)(q, minDiv)
 	}
 
 	fs := make([]int, len(grow))    // current factor per grow dim

@@ -49,6 +49,17 @@ type Space struct {
 	// MaxCandidates truncates the result to the highest-utilization
 	// assignments when positive.
 	MaxCandidates int
+	// Ladder, when non-nil, supplies divisor ladders instead of
+	// factor.Ladder (see tile.Space.Ladder).
+	Ladder func(n, minDivisors int) []int
+}
+
+// ladderFn resolves an optional injected ladder supplier to factor.Ladder.
+func ladderFn(f func(n, minDivisors int) []int) func(n, minDivisors int) []int {
+	if f != nil {
+		return f
+	}
+	return factor.Ladder
 }
 
 // Stats reports enumeration effort.
@@ -100,7 +111,7 @@ func Enumerate(s Space) ([]Candidate, Stats) {
 		// Exact divisors only (minDivisors 2 disables padding): a padded
 		// spatial factor wastes PEs on every single pass, unlike a padded
 		// tile which can amortize.
-		ladders[d] = factor.Ladder(q, 2)
+		ladders[d] = ladderFn(s.Ladder)(q, 2)
 	}
 
 	var all []Candidate

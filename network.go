@@ -60,8 +60,26 @@ func ScheduleNetwork(network string, shapes []ConvShape, batch int, repeats []in
 	return ScheduleNetworkContext(context.Background(), network, shapes, batch, repeats, a, NetworkOptions{Options: opt})
 }
 
+// ScheduleNetworkContext is (*Engine).ScheduleNetworkContext on a transient
+// Engine: the layers of one call still share a compilation cache, so a
+// network's repeated shapes (e.g. ResNet-18's conv2_x block) compile once,
+// but nothing is retained across calls. Hold an Engine to reuse compiled
+// artifacts between networks.
+func ScheduleNetworkContext(ctx context.Context, network string, shapes []ConvShape, batch int, repeats []int, a *Arch, opt NetworkOptions) (NetworkSchedule, error) {
+	return NewEngine().ScheduleNetworkContext(ctx, network, shapes, batch, repeats, a, opt)
+}
+
+// ScheduleNetwork maps every layer of a network through the Engine's
+// compilation cache. It is (*Engine).ScheduleNetworkContext with a background
+// context and fail-fast error policy.
+func (e *Engine) ScheduleNetwork(network string, shapes []ConvShape, batch int, repeats []int, a *Arch, opt Options) (NetworkSchedule, error) {
+	return e.ScheduleNetworkContext(context.Background(), network, shapes, batch, repeats, a, NetworkOptions{Options: opt})
+}
+
 // ScheduleNetworkContext maps every layer of a network onto the architecture
-// under ctx. The per-layer searches run concurrently and inherit ctx (plus
+// under ctx, routing every layer's search through the Engine's compilation
+// cache (repeated shapes compile once; an already-warm Engine recompiles
+// nothing). The per-layer searches run concurrently and inherit ctx (plus
 // Options.Timeout, which bounds each layer's search individually), so
 // canceling ctx degrades every in-flight layer to its best-so-far mapping.
 //
@@ -73,7 +91,7 @@ func ScheduleNetwork(network string, shapes []ConvShape, batch int, repeats []in
 // returned error is the errors.Join of all per-layer failures, and a panic
 // in one layer's search (e.g. a poisoned cost-model evaluation) is isolated
 // to that layer as an *anytime.PanicError instead of crashing the process.
-func ScheduleNetworkContext(ctx context.Context, network string, shapes []ConvShape, batch int, repeats []int, a *Arch, opt NetworkOptions) (NetworkSchedule, error) {
+func (e *Engine) ScheduleNetworkContext(ctx context.Context, network string, shapes []ConvShape, batch int, repeats []int, a *Arch, opt NetworkOptions) (NetworkSchedule, error) {
 	if repeats != nil && len(repeats) != len(shapes) {
 		return NetworkSchedule{}, fmt.Errorf("repeats has %d entries for %d shapes", len(repeats), len(shapes))
 	}
@@ -118,7 +136,7 @@ func ScheduleNetworkContext(ctx context.Context, network string, shapes []ConvSh
 				defer lsp.End()
 				lctx = obs.WithSpan(ctx, lsp)
 			}
-			res, err := OptimizeContext(lctx, w, a, opt.Options)
+			res, err := e.OptimizeContext(lctx, w, a, opt.Options)
 			if err != nil {
 				failLayer(i, fmt.Errorf("%s: %w", shapes[i].Name, err))
 				return

@@ -1,0 +1,31 @@
+#!/bin/sh
+# guard-stepper.sh — keep the level search unified.
+#
+# PR 4 merged the former bottomUp/topDown drivers into one direction-agnostic
+# level sequencer (internal/core/stepper.go). This guard fails the build if
+# direction-specific entry points reappear: no Go file may call a function
+# named bottomUp or topDown (the per-direction expansion hooks are named
+# expandBottom/expandTop and live behind the sequencer), and nothing may
+# reference core.bottomUp/core.topDown from outside the core package.
+set -eu
+cd "$(dirname "$0")/.."
+
+status=0
+
+# Calls to a bare bottomUp(...)/topDown(...) function anywhere in the tree.
+# \b keeps compounds like topDownUnroll( legal; cmd/sunstone's `topDown`
+# flag variable never appears with a call paren.
+if grep -rnE --include='*.go' '\b(bottomUp|topDown)[[:space:]]*\(' . ; then
+	echo "guard-stepper: direction-specific search entry points are gone;" >&2
+	echo "route new work through the unified sequencer in internal/core/stepper.go" >&2
+	status=1
+fi
+
+# Qualified references would only appear if the symbols were resurrected and
+# exported by mistake.
+if grep -rnE --include='*.go' 'core\.(bottomUp|topDown)\b' . ; then
+	echo "guard-stepper: do not reference core.bottomUp/core.topDown" >&2
+	status=1
+fi
+
+exit $status
