@@ -7,13 +7,13 @@ BENCH_BEFORE ?= benchdata/pr2_before.txt
 BENCH_AFTER ?= benchdata/pr4_after.txt
 BENCH_OUT ?= BENCH_PR4.json
 
-.PHONY: check vet fmt-check guard build test race fuzz bench bench-smoke trace-smoke
+.PHONY: check vet fmt-check guard build test race fuzz fuzz-smoke bench bench-smoke trace-smoke chaos-smoke
 
 # check is the full pre-commit gate: static analysis, formatting, the
 # unified-stepper guard, build, the whole test suite, the race detector over
-# the concurrent search paths, and a telemetry smoke test of the trace
-# exporter.
-check: vet fmt-check guard build test race trace-smoke
+# the concurrent search paths, a telemetry smoke test of the trace exporter,
+# and a seeded chaos smoke of the resilient scheduling path.
+check: vet fmt-check guard build test race trace-smoke chaos-smoke
 
 vet:
 	$(GO) vet ./...
@@ -36,12 +36,15 @@ test:
 	$(GO) test ./...
 
 # race exercises the goroutine-heavy paths — the core evaluation fan-out and
-# its cancellation/panic-isolation tests, the soak corpus, Timeloop's search
-# threads, network scheduling, and the shared-Engine concurrency test in the
-# root package — under the race detector. Scoped to the packages that spawn
-# goroutines so the instrumented run stays fast.
+# its cancellation/panic-isolation tests, the resilient retry/fallback loop
+# and the concurrent same-key compile-failure tests, the fault-injection
+# registry, the soak corpus, Timeloop's search threads, network scheduling
+# (including the chaos guarantee in short mode), and the shared-Engine
+# concurrency test in the root package — under the race detector. Scoped to
+# the packages that spawn goroutines so the instrumented run stays fast.
 race:
-	$(GO) test -race ./internal/core/ ./internal/cost/ ./internal/baselines/timeloop/ .
+	$(GO) test -race ./internal/core/ ./internal/cost/ ./internal/faults/ ./internal/baselines/timeloop/ ./internal/baselines/innermost/
+	$(GO) test -race -short .
 
 # bench reruns the search/evaluation/Engine-reuse benchmarks and refreshes
 # $(BENCH_OUT), the machine-readable before/after trajectory: the committed
@@ -71,3 +74,17 @@ trace-smoke:
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/tensor/
 	$(GO) test -fuzz=FuzzDecodeWorkload -fuzztime=10s ./internal/serde/
+	$(GO) test -fuzz=FuzzDecodeArch -fuzztime=10s ./internal/serde/
+	$(GO) test -fuzz=FuzzDecodeMapping -fuzztime=10s ./internal/serde/
+
+# fuzz-smoke runs the serde fuzz targets for a handful of seconds each — a
+# CI-speed guard that the corpora still pass and the harness still builds.
+fuzz-smoke:
+	$(GO) test -fuzz=FuzzDecodeArch -fuzztime=3s ./internal/serde/
+	$(GO) test -fuzz=FuzzDecodeMapping -fuzztime=3s ./internal/serde/
+
+# chaos-smoke runs the seeded chaos guarantee (30% uniform fault injection
+# over resilient network schedules; reduced run count via -short) plus the
+# determinism-by-seed check — the graceful-degradation acceptance property.
+chaos-smoke:
+	$(GO) test -short -run 'TestChaos' -count 1 .

@@ -19,6 +19,7 @@ import (
 	"strings"
 
 	"sunstone"
+	"sunstone/internal/faults"
 	"sunstone/internal/profiling"
 )
 
@@ -51,7 +52,67 @@ var (
 	traceOut  = flag.String("trace", "", "write a Chrome trace-event JSON (chrome://tracing, ui.perfetto.dev) of the search's phases to this file")
 	progress  = flag.Bool("progress", false, "stream live search progress (phases, incumbent improvements) to stderr")
 	baseList  = flag.String("baselines", "timeloop-fast,dmaze-fast,interstellar,cosa", "with -compare: comma-separated baseline registry names, or 'all'")
+	retries   = flag.Int("retries", 0, "enable the resilient search path with this many primary retries at backed-off budgets (0 = plain single-attempt search unless -fallback is set)")
+	fallback  = flag.String("fallback", "", "with the resilient path: comma-separated fallback mapper chain tried after the primary retries (empty = default chain, 'none' = retries only); enables resilience when set")
+	faultSpec = flag.String("fault-spec", "", "arm deterministic fault injection, e.g. 'evaluate:panic:0.3', 'compile:error:0.1,seed=42', or 'all:mixed:0.3' (chaos testing; pair with -retries)")
 )
+
+// resiliencePolicy translates -retries/-fallback into the RetryPolicy for the
+// graceful-degradation path; nil means the flags were not used and searches
+// take the legacy single-attempt path.
+func resiliencePolicy() *sunstone.RetryPolicy {
+	if *retries <= 0 && *fallback == "" {
+		return nil
+	}
+	pol := sunstone.RetryPolicy{}
+	if *retries > 0 {
+		pol.Retries = *retries
+	}
+	switch *fallback {
+	case "":
+	case "none":
+		pol.Fallbacks = []string{} // non-nil and empty: no fallback chain
+	default:
+		for _, name := range strings.Split(*fallback, ",") {
+			if name = strings.TrimSpace(name); name != "" {
+				pol.Fallbacks = append(pol.Fallbacks, name)
+			}
+		}
+	}
+	return &pol
+}
+
+// armFaults activates the -fault-spec injector for the whole invocation.
+func armFaults() {
+	if *faultSpec == "" {
+		return
+	}
+	inj, err := faults.ParseSpec(*faultSpec)
+	if err != nil {
+		fatal(err)
+	}
+	faults.Activate(inj)
+	fmt.Fprintf(os.Stderr, "sunstone: fault injection armed (%s)\n", *faultSpec)
+}
+
+// printAttempts summarizes a resilient result's attempt record on stderr.
+func printAttempts(res sunstone.Result) {
+	if len(res.Attempts) == 0 {
+		return
+	}
+	var parts []string
+	for _, at := range res.Attempts {
+		status := "ok"
+		if at.Err != nil {
+			status = "failed"
+		}
+		parts = append(parts, fmt.Sprintf("%s(%s)", at.Mapper, status))
+	}
+	fmt.Fprintf(os.Stderr, "sunstone: %d attempt(s): %s\n", len(res.Attempts), strings.Join(parts, " -> "))
+	if res.FallbackUsed != "" {
+		fmt.Fprintf(os.Stderr, "sunstone: degraded to fallback mapper %q\n", res.FallbackUsed)
+	}
+}
 
 // searchContext returns the context every search in this invocation runs
 // under: the -trace collector installed when requested, plus a flush function
@@ -131,6 +192,7 @@ func main() {
 		fatal(perr)
 	}
 	defer stopProf()
+	armFaults()
 	// One Engine per invocation: the main search, -all-layers network
 	// scheduling, and the -compare baselines all share its compiled
 	// per-problem artifacts.
@@ -191,10 +253,16 @@ func main() {
 		fatal(fmt.Errorf("unknown objective %q", *objective))
 	}
 	ctx, flushTrace := searchContext()
-	res, err := eng.OptimizeContext(ctx, w, a, opt)
+	var res sunstone.Result
+	if pol := resiliencePolicy(); pol != nil {
+		res, err = eng.OptimizeResilient(ctx, w, a, opt, *pol)
+	} else {
+		res, err = eng.OptimizeContext(ctx, w, a, opt)
+	}
 	if err != nil {
 		fatal(err)
 	}
+	printAttempts(res)
 	fmt.Printf("workload: %s\narch: %s (%d MACs)\n\n", w.Name, a.Name, a.TotalMACs())
 	fmt.Printf("best mapping:\n%s\n\n", indent(res.Mapping.String()))
 	fmt.Printf("EDP      %.4e pJ*cycle\nenergy   %.4e pJ\ncycles   %.0f\nsearch   %v, %d candidates, %d orderings\n",
@@ -303,6 +371,7 @@ func runAllLayers(eng *sunstone.Engine) {
 	nopt := sunstone.NetworkOptions{
 		Options:         sunstone.Options{Timeout: *timeout, Progress: progressTicker()},
 		ContinueOnError: *contErr,
+		Resilience:      resiliencePolicy(),
 	}
 	ctx, flushTrace := searchContext()
 	sched, err := eng.ScheduleNetworkContext(ctx, *net, table, *batch, repeats, a, nopt)
@@ -315,6 +384,11 @@ func runAllLayers(eng *sunstone.Engine) {
 		note := ""
 		if l.Result.Stopped != sunstone.StopComplete {
 			note = "  [stopped: " + l.Result.Stopped.String() + "]"
+		}
+		if l.Result.FallbackUsed != "" {
+			note += "  [fallback: " + l.Result.FallbackUsed + "]"
+		} else if len(l.Result.Attempts) > 1 {
+			note += fmt.Sprintf("  [%d attempts]", len(l.Result.Attempts))
 		}
 		fmt.Printf("%-12s %-3d %-12.3e %-12.3e %.0f%s\n",
 			l.Layer, l.Repeats, l.Result.Report.EDP, l.Result.Report.EnergyPJ, l.Result.Report.Cycles, note)

@@ -48,6 +48,21 @@ func (r StopReason) String() string {
 	}
 }
 
+// Err maps a stop reason back to its canonical sentinel: the context
+// package's DeadlineExceeded/Canceled for the context-driven reasons, nil
+// for Complete and Budget (which are not context errors). Searches wrap it
+// into their stopped-before-any-result errors so callers can classify the
+// failure with errors.Is instead of parsing messages.
+func (r StopReason) Err() error {
+	switch r {
+	case Deadline:
+		return context.DeadlineExceeded
+	case Canceled:
+		return context.Canceled
+	}
+	return nil
+}
+
 // FromContext maps the context's error state to a StopReason: Complete while
 // ctx is live, Deadline after its deadline passed, Canceled after a cancel.
 func FromContext(ctx context.Context) StopReason {

@@ -6,6 +6,7 @@ import (
 	"sunstone/internal/arch"
 	"sunstone/internal/cost"
 	"sunstone/internal/factor"
+	"sunstone/internal/faults"
 	"sunstone/internal/mapping"
 	"sunstone/internal/order"
 	"sunstone/internal/tensor"
@@ -44,6 +45,12 @@ func Compile(w *tensor.Workload, a *arch.Arch, model cost.Model) (*Compiled, err
 		return nil, err
 	}
 	if err := a.Validate(); err != nil {
+		return nil, err
+	}
+	// Chaos hook: an injected compile fault fails (or poisons) the build
+	// after input validation, exactly where a real mid-compile failure
+	// would land.
+	if err, _ := faults.Fire(faults.SiteCompile); err != nil {
 		return nil, err
 	}
 	if model == (cost.Model{}) {

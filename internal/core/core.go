@@ -350,6 +350,13 @@ type Result struct {
 	// memo-cache hits and misses.
 	Stats   SearchStats
 	Elapsed time.Duration
+	// Attempts records every attempt the resilient path made before this
+	// result was accepted, in order — the accepted attempt last with a nil
+	// Err. Nil for the plain (non-resilient) entry points.
+	Attempts []Attempt
+	// FallbackUsed names the fallback mapper that produced Mapping when the
+	// resilient path degraded ("" = the primary Sunstone search).
+	FallbackUsed string
 }
 
 // maxCandidateErrors caps Result.CandidateErrors so a systematically

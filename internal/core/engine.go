@@ -6,6 +6,7 @@ import (
 	"crypto/sha256"
 	"sync"
 
+	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
 	"sunstone/internal/cost"
 	"sunstone/internal/obs"
@@ -166,6 +167,9 @@ func (e *Engine) compiled(w *tensor.Workload, a *arch.Arch, model cost.Model) (*
 		e.hits.Inc()
 		// Wait out a concurrent first compile; no-op when already done.
 		ent.once.Do(func() {})
+		if ent.err != nil {
+			e.dropFailed(sh, key, ent)
+		}
 		return ent.comp, ent.err
 	}
 	ent := &engineEntry{key: key}
@@ -178,10 +182,37 @@ func (e *Engine) compiled(w *tensor.Workload, a *arch.Arch, model cost.Model) (*
 	}
 	sh.mu.Unlock()
 	ent.once.Do(func() {
+		// A panicking compile (an injected chaos fault, a poisoned model)
+		// must complete the once normally: sync.Once marks itself done even
+		// when f panics, so letting the panic escape would leave a poisoned
+		// entry serving (nil, nil) to every later caller.
+		defer func() {
+			if pe := anytime.PanicErrorFrom(recover(), "compile problem", nil); pe != nil {
+				ent.comp, ent.err = nil, pe
+			}
+		}()
 		e.compiles.Inc()
 		ent.comp, ent.err = Compile(w, a, model)
 	})
+	if ent.err != nil {
+		e.dropFailed(sh, key, ent)
+	}
 	return ent.comp, ent.err
+}
+
+// dropFailed removes a failed compilation from the cache so the failure is
+// never retained: transient faults (an injected chaos error, a poisoned
+// model panic) must not pin an error forever on a problem that would
+// compile cleanly on retry. The pointer comparison keeps the removal
+// precise — if another caller already replaced the entry with a fresh
+// (possibly successful) compilation, that one stays.
+func (e *Engine) dropFailed(sh *engineShard, key string, ent *engineEntry) {
+	sh.mu.Lock()
+	if el, ok := sh.entries[key]; ok && el.Value.(*engineEntry) == ent {
+		sh.lru.Remove(el)
+		delete(sh.entries, key)
+	}
+	sh.mu.Unlock()
 }
 
 // problemKey content-addresses a (workload, arch, model) problem via its

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"sunstone/internal/anytime"
+	"sunstone/internal/faults"
 	"sunstone/internal/obs"
 )
 
@@ -59,6 +60,9 @@ func (p *progressEmitter) emit(ev obs.ProgressEvent) {
 			p.err = e
 		}
 	}()
+	// Chaos hook: an injected delivery fault panics and is contained
+	// exactly like a panicking user callback.
+	faults.MustFire(faults.SiteProgress)
 	p.fn(ev)
 }
 

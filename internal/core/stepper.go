@@ -7,6 +7,7 @@ import (
 	"math"
 
 	"sunstone/internal/anytime"
+	"sunstone/internal/faults"
 	"sunstone/internal/mapping"
 	"sunstone/internal/obs"
 	"sunstone/internal/order"
@@ -107,6 +108,9 @@ func (inc *incumbent) observe(s state) bool {
 func (inc *incumbent) finish(sc *search, res Result, reason StopReason) (Result, error) {
 	res.Stopped = reason
 	if inc.m == nil {
+		if c := reason.Err(); c != nil {
+			return res, fmt.Errorf("search stopped (%s) before any valid mapping was completed: %w", reason, c)
+		}
 		return res, fmt.Errorf("search stopped (%s) before any valid mapping was completed", reason)
 	}
 	res.Mapping = inc.m
@@ -240,6 +244,9 @@ func (sc *search) runStep(ctx context.Context, seq *sequencer, lvl int, states [
 	visitedTotal := 0
 	remaining := seq.stepBudget
 	for _, st := range states {
+		// Chaos hook: an injected expansion fault panics (expansion has no
+		// error channel); resilient callers convert it into a retry.
+		faults.MustFire(faults.SiteExpand)
 		cands, visited := seq.expand(ctx, st.m, lvl, orderings, remaining)
 		produced = append(produced, cands...)
 		res.SpaceSize += visited

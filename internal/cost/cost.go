@@ -34,6 +34,7 @@ import (
 	"strings"
 
 	"sunstone/internal/arch"
+	"sunstone/internal/faults"
 	"sunstone/internal/mapping"
 	"sunstone/internal/tensor"
 )
@@ -104,6 +105,9 @@ func (mo Model) Evaluate(m *mapping.Mapping) Report {
 	if mo.Probe != nil {
 		mo.Probe.BeforeEvaluate(m)
 	}
+	// Chaos hook: an injected evaluation fault panics, contained by the
+	// caller's per-candidate isolation like any poisoned cost model.
+	faults.MustFire(faults.SiteEvaluate)
 	r := Report{
 		Breakdown: map[string]float64{},
 		Accesses:  map[string]Access{},

@@ -22,6 +22,7 @@ import (
 	"sync"
 
 	"sunstone/internal/arch"
+	"sunstone/internal/faults"
 	"sunstone/internal/mapping"
 	"sunstone/internal/obs"
 	"sunstone/internal/tensor"
@@ -438,6 +439,9 @@ func (e *Evaluator) EvaluateEDP(m *mapping.Mapping) (edp, energyPJ, cycles float
 	if s.model.Probe != nil {
 		s.model.Probe.BeforeEvaluate(m)
 	}
+	// Chaos hook: an injected evaluation fault panics, contained by the
+	// caller's per-candidate isolation like any poisoned cost model.
+	faults.MustFire(faults.SiteEvaluate)
 	switch e.snapshot(m) {
 	case snapBad:
 		return inf, inf, inf, false
@@ -446,6 +450,12 @@ func (e *Evaluator) EvaluateEDP(m *mapping.Mapping) (edp, energyPJ, cycles float
 	}
 	k := e.key()
 	if v, ok := e.lookup(k); ok {
+		// Chaos hook: a corrupt-kind cache-get fault perturbs the memoized
+		// scalars on the way out (the stored entry stays clean), simulating
+		// the memo corruption the final mapping audit exists to catch.
+		if _, corrupt := faults.Fire(faults.SiteCacheGet); corrupt {
+			return v.edp * 1.5, v.energy * 1.5, v.cycles, v.valid
+		}
 		return v.edp, v.energy, v.cycles, v.valid
 	}
 	edp, energyPJ, cycles, valid = e.compute()

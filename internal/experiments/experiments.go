@@ -44,6 +44,11 @@ type Config struct {
 	// figure regeneration exports as one Chrome trace. Nil means
 	// context.Background().
 	Ctx context.Context
+	// Resilience, when non-nil, routes every Sunstone cell through the
+	// graceful-degradation path (core.OptimizeResilient); the attempt count
+	// and any fallback used land in the ToolRun and the runs CSV. Nil is the
+	// plain single-attempt search the committed numbers use.
+	Resilience *core.RetryPolicy
 }
 
 // ctx returns the configured base context.
@@ -122,6 +127,11 @@ type ToolRun struct {
 	// StopReason string ("deadline", "canceled", "budget") of an anytime
 	// early return — the EDP then reflects the best mapping found so far.
 	Stopped string
+	// Attempts counts the resilient path's tries (0 = plain single-attempt
+	// path); Fallback names the fallback mapper that produced the result
+	// when the primary search degraded. See Config.Resilience.
+	Attempts int
+	Fallback string
 }
 
 // stoppedLabel renders a StopReason for ToolRun.Stopped: empty when the
@@ -138,10 +148,18 @@ func stoppedLabel(r anytime.StopReason) string {
 // figure-wide Engine, so a workload appearing in several cells (or shared
 // with a baseline via UseSessions) compiles its problem artifacts once.
 func runSunstone(cfg Config, eng *core.Engine, w *tensor.Workload, a *arch.Arch) ToolRun {
-	res, err := eng.OptimizeContext(cfg.ctx(), w, a, core.Options{Timeout: cfg.LayerTimeout})
+	opt := core.Options{Timeout: cfg.LayerTimeout}
+	var res core.Result
+	var err error
+	if cfg.Resilience != nil {
+		res, err = eng.OptimizeResilient(cfg.ctx(), w, a, opt, *cfg.Resilience)
+	} else {
+		res, err = eng.OptimizeContext(cfg.ctx(), w, a, opt)
+	}
 	tr := ToolRun{Tool: "Sunstone", Workload: w.Name}
 	if err != nil {
 		tr.Reason = err.Error()
+		tr.Attempts = len(res.Attempts)
 		return tr
 	}
 	tr.EDP = res.Report.EDP
@@ -150,6 +168,8 @@ func runSunstone(cfg Config, eng *core.Engine, w *tensor.Workload, a *arch.Arch)
 	tr.Seconds = res.Elapsed.Seconds()
 	tr.Valid = res.Report.Valid
 	tr.Stopped = stoppedLabel(res.Stopped)
+	tr.Attempts = len(res.Attempts)
+	tr.Fallback = res.FallbackUsed
 	return tr
 }
 
@@ -405,16 +425,19 @@ func sortedKeys(m map[string]float64) []string {
 }
 
 // RunsCSV renders tool runs as CSV (workload,tool,valid,edp,energy_pj,
-// cycles,seconds,stopped,reason) for plotting the figures externally. The
-// stopped column is empty for naturally-completed runs and otherwise holds
-// the StopReason string of an anytime early return.
+// cycles,seconds,stopped,attempts,fallback,reason) for plotting the figures
+// externally. The stopped column is empty for naturally-completed runs and
+// otherwise holds the StopReason string of an anytime early return; attempts
+// is 0 and fallback empty unless the run went through the resilient path
+// (Config.Resilience).
 func RunsCSV(runs []ToolRun) string {
 	var b strings.Builder
-	b.WriteString("workload,tool,valid,edp,energy_pj,cycles,seconds,stopped,reason\n")
+	b.WriteString("workload,tool,valid,edp,energy_pj,cycles,seconds,stopped,attempts,fallback,reason\n")
 	for _, r := range runs {
 		reason := strings.ReplaceAll(r.Reason, ",", ";")
-		fmt.Fprintf(&b, "%s,%s,%t,%g,%g,%g,%.3f,%s,%s\n",
-			r.Workload, r.Tool, r.Valid, r.EDP, r.EnergyPJ, r.Cycles, r.Seconds, r.Stopped, reason)
+		fmt.Fprintf(&b, "%s,%s,%t,%g,%g,%g,%.3f,%s,%d,%s,%s\n",
+			r.Workload, r.Tool, r.Valid, r.EDP, r.EnergyPJ, r.Cycles, r.Seconds, r.Stopped,
+			r.Attempts, r.Fallback, reason)
 	}
 	return b.String()
 }

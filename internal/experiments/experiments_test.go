@@ -194,7 +194,8 @@ func TestDataflowSpread(t *testing.T) {
 
 func TestRunsCSV(t *testing.T) {
 	runs := []ToolRun{
-		{Tool: "Sunstone", Workload: "l1", Valid: true, EDP: 1e15, EnergyPJ: 2e9, Cycles: 5e5, Seconds: 0.5},
+		{Tool: "Sunstone", Workload: "l1", Valid: true, EDP: 1e15, EnergyPJ: 2e9, Cycles: 5e5, Seconds: 0.5,
+			Attempts: 4, Fallback: "innermost-fit"},
 		{Tool: "dMaze-fast", Workload: "l1", Valid: false, Reason: "asymmetric, unsupported"},
 	}
 	s := RunsCSV(runs)
@@ -204,6 +205,15 @@ func TestRunsCSV(t *testing.T) {
 	}
 	if !strings.HasPrefix(lines[0], "workload,tool,") {
 		t.Errorf("header = %q", lines[0])
+	}
+	if !strings.Contains(lines[0], ",attempts,fallback,") {
+		t.Errorf("header missing resilience columns: %q", lines[0])
+	}
+	if !strings.Contains(lines[1], ",4,innermost-fit,") {
+		t.Errorf("resilient run lost its attempts/fallback cells: %q", lines[1])
+	}
+	if !strings.Contains(lines[2], ",0,,") {
+		t.Errorf("plain run should carry empty resilience cells: %q", lines[2])
 	}
 	if !strings.Contains(lines[2], "asymmetric; unsupported") {
 		t.Errorf("commas in reasons must be escaped: %q", lines[2])

@@ -1,0 +1,103 @@
+package serde
+
+import (
+	"testing"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
+	"sunstone/internal/workloads"
+)
+
+// FuzzDecodeArch hardens the architecture loader against hostile or corrupt
+// configuration files: whatever the bytes, DecodeArch must return a value or
+// an error — never panic — and anything it accepts must survive an
+// encode/decode round trip (the accepted value is internally consistent
+// enough to re-serialize).
+func FuzzDecodeArch(f *testing.F) {
+	for _, a := range archPresets() {
+		data, err := EncodeArch(a)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	for _, s := range []string{
+		``,
+		`null`,
+		`{}`,
+		`{"name":"x","mac_pj":-1,"levels":[]}`,
+		`{"levels":[{"name":"L","fanout":-3,"buffers":[]}]}`,
+		`{"levels":[{"buffers":[{"bytes":-5}]}]}`,
+		`{"levels":[{"buffers":[{"name":"b","tensors":["NoSuch"]}]}]}`,
+		`{"name":"\u0000","mac_pj":1e308,"levels":[{"fanout":2147483647,"buffers":[{"bytes":9223372036854775807}]}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		a, err := DecodeArch(data)
+		if err != nil {
+			return
+		}
+		re, err := EncodeArch(a)
+		if err != nil {
+			t.Fatalf("accepted arch failed to encode: %v", err)
+		}
+		if _, err := DecodeArch(re); err != nil {
+			t.Fatalf("accepted arch failed to round-trip: %v\nencoded:\n%s", err, re)
+		}
+	})
+}
+
+// fuzzProblem is the fixed workload/architecture pair mapping files are bound
+// to during fuzzing — DecodeMapping validates against a concrete problem, so
+// the fuzzer explores the file format, not the problem space.
+func fuzzProblem() (*tensor.Workload, *arch.Arch) {
+	return workloads.Conv2D("fuzz", 1, 4, 8, 7, 7, 3, 3, 1, 1), arch.TinySpatial(512, 1<<16, 4)
+}
+
+// FuzzDecodeMapping hardens the mapping loader the same way: no input may
+// panic it, and any accepted mapping must pass full structural validation and
+// survive a round trip.
+func FuzzDecodeMapping(f *testing.F) {
+	w, a := fuzzProblem()
+	m := mapping.New(w, a)
+	top := len(m.Levels) - 1
+	for d, n := range w.FullExtents() {
+		m.Levels[top].Temporal[d] = n
+		m.Levels[top].Order = append(m.Levels[top].Order, d)
+	}
+	seed, err := EncodeMapping(m)
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed)
+	for _, s := range []string{
+		``,
+		`{}`,
+		`{"format":"sunstone/v2","levels":[]}`,
+		`{"format":"sunstone/v1","levels":[{},{},{}]}`,
+		`{"levels":[{"temporal":{"K":-1}},{},{}]}`,
+		`{"levels":[{"temporal":{"Z":2}},{},{}]}`,
+		`{"levels":[{"order":["K","K","Z"]},{},{}]}`,
+		`{"levels":[{"spatial":{"K":1073741824},"temporal":{"K":1073741824}},{},{}]}`,
+	} {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := DecodeMapping(data, w, a)
+		if err != nil {
+			return
+		}
+		if verr := m.Validate(); verr != nil {
+			t.Fatalf("DecodeMapping accepted an invalid mapping: %v", verr)
+		}
+		re, err := EncodeMapping(m)
+		if err != nil {
+			t.Fatalf("accepted mapping failed to encode: %v", err)
+		}
+		if _, err := DecodeMapping(re, w, a); err != nil {
+			t.Fatalf("accepted mapping failed to round-trip: %v\nencoded:\n%s", err, re)
+		}
+	})
+}

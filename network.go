@@ -6,9 +6,11 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"sunstone/internal/anytime"
+	"sunstone/internal/faults"
 	"sunstone/internal/obs"
 )
 
@@ -48,6 +50,89 @@ type NetworkOptions struct {
 	// sibling layer searches, which then return their best-so-far mappings
 	// with Result.Stopped = StopCanceled.
 	ContinueOnError bool
+	// Resilience, when non-nil, routes every layer through the graceful-
+	// degradation path (Engine.OptimizeResilient): bounded retries with
+	// budget backoff, then the policy's fallback-mapper chain, with every
+	// accepted mapping passing the final audit. Each layer's attempts are
+	// recorded in its Result.Attempts / Result.FallbackUsed. Nil (the
+	// default) is the legacy single-attempt path, bit-identical to before.
+	Resilience *RetryPolicy
+}
+
+// FailureCause classifies why a layer's search failed (LayerError.Cause).
+type FailureCause string
+
+const (
+	// CauseInjected: a deterministic chaos fault (internal/faults) was the
+	// root cause, directly or inside a contained panic.
+	CauseInjected FailureCause = "injected"
+	// CausePanic: a contained panic (poisoned cost model, broken callback)
+	// not attributable to an injected fault.
+	CausePanic FailureCause = "panic"
+	// CauseDeadline: a wall-clock deadline expired before any valid mapping
+	// was completed.
+	CauseDeadline FailureCause = "deadline"
+	// CauseSiblingCancel: the layer was canceled by the fail-fast policy
+	// after a sibling layer failed first.
+	CauseSiblingCancel FailureCause = "sibling-cancel"
+	// CauseSearch: an ordinary search failure (invalid inputs, no feasible
+	// candidates, exhausted resilient attempts).
+	CauseSearch FailureCause = "search"
+)
+
+// LayerError is a per-layer scheduling failure with its classified cause.
+// Error renders as "<layer>: [<cause>] <err>" so logs keep the layer prefix
+// older tooling greps for; Unwrap exposes the underlying failure for
+// errors.Is/As.
+type LayerError struct {
+	Layer string
+	Cause FailureCause
+	Err   error
+}
+
+func (e *LayerError) Error() string { return fmt.Sprintf("%s: [%s] %v", e.Layer, e.Cause, e.Err) }
+
+// Unwrap exposes the underlying search failure.
+func (e *LayerError) Unwrap() error { return e.Err }
+
+// CauseOf extracts the classified failure cause from an error chain:
+// LayerError's recorded cause when present, otherwise a direct
+// classification of err itself. A nil error has no cause ("").
+func CauseOf(err error) FailureCause {
+	if err == nil {
+		return ""
+	}
+	var le *LayerError
+	if errors.As(err, &le) {
+		return le.Cause
+	}
+	return classifyFailure(err, false)
+}
+
+// classifyFailure maps a layer failure to its cause. Injected chaos faults
+// win over the panic that may carry them (an injected panic-kind fault
+// surfaces as a PanicError whose value is the *faults.InjectedError);
+// siblingCanceled marks failures observed after the fail-fast policy
+// canceled the layer's context.
+func classifyFailure(err error, siblingCanceled bool) FailureCause {
+	var inj *faults.InjectedError
+	if errors.As(err, &inj) {
+		return CauseInjected
+	}
+	var pe *anytime.PanicError
+	if errors.As(err, &pe) {
+		if v, ok := pe.Value.(error); ok && errors.As(v, &inj) {
+			return CauseInjected
+		}
+		return CausePanic
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return CauseDeadline
+	}
+	if siblingCanceled {
+		return CauseSiblingCancel
+	}
+	return CauseSearch
 }
 
 // ScheduleNetwork maps every layer of a network onto the architecture,
@@ -104,10 +189,18 @@ func (e *Engine) ScheduleNetworkContext(ctx context.Context, network string, sha
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	failLayer := func(i int, err error) {
-		errs[i] = err
-		out.Layers[i].Err = err
+	// siblingFailed is set before the fail-fast cancel fires, so a layer
+	// whose search died *because* of that cancellation classifies as
+	// sibling-cancel rather than an ordinary search failure. The store
+	// happens-before the cancel, and the cancel happens-before any sibling
+	// observes it, so the flag is always visible to the layers it explains.
+	var siblingFailed atomic.Bool
+	failLayer := func(i int, name string, err error) {
+		lerr := &LayerError{Layer: name, Cause: classifyFailure(err, siblingFailed.Load()), Err: err}
+		errs[i] = lerr
+		out.Layers[i].Err = lerr
 		if !opt.ContinueOnError {
+			siblingFailed.Store(true)
 			cancel() // fail fast: siblings stop at their next poll
 		}
 	}
@@ -123,7 +216,7 @@ func (e *Engine) ScheduleNetworkContext(ctx context.Context, network string, sha
 			out.Layers[i].Layer = shapes[i].Name
 			defer func() {
 				if e := anytime.PanicErrorFrom(recover(), "schedule layer "+shapes[i].Name, nil); e != nil {
-					failLayer(i, fmt.Errorf("%s: %w", shapes[i].Name, e))
+					failLayer(i, shapes[i].Name, e)
 				}
 			}()
 			w := shapes[i].Inference(batch)
@@ -136,9 +229,15 @@ func (e *Engine) ScheduleNetworkContext(ctx context.Context, network string, sha
 				defer lsp.End()
 				lctx = obs.WithSpan(ctx, lsp)
 			}
-			res, err := e.OptimizeContext(lctx, w, a, opt.Options)
+			var res Result
+			var err error
+			if opt.Resilience != nil {
+				res, err = e.core.OptimizeResilient(lctx, w, a, opt.Options, *opt.Resilience)
+			} else {
+				res, err = e.OptimizeContext(lctx, w, a, opt.Options)
+			}
 			if err != nil {
-				failLayer(i, fmt.Errorf("%s: %w", shapes[i].Name, err))
+				failLayer(i, shapes[i].Name, err)
 				return
 			}
 			rep := 1

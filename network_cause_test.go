@@ -1,0 +1,77 @@
+package sunstone
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"sunstone/internal/anytime"
+	"sunstone/internal/faults"
+)
+
+// TestClassifyFailure pins the cause taxonomy: injected faults win over the
+// panic that may carry them, contained panics beat the generic bucket,
+// deadlines are recognized structurally (errors.Is, not string matching), and
+// the sibling-cancel flag only matters when nothing more specific applies.
+func TestClassifyFailure(t *testing.T) {
+	inj := &faults.InjectedError{Site: faults.SiteCompile, Kind: faults.Error, Seq: 1}
+	cases := []struct {
+		name    string
+		err     error
+		sibling bool
+		want    FailureCause
+	}{
+		{"injected direct", inj, false, CauseInjected},
+		{"injected wrapped", fmt.Errorf("compile: %w", inj), false, CauseInjected},
+		{"injected inside panic", &anytime.PanicError{Op: "evaluate", Value: fmt.Errorf("die: %w", inj)}, false, CauseInjected},
+		{"plain panic", &anytime.PanicError{Op: "evaluate", Value: "index out of range"}, false, CausePanic},
+		{"deadline", fmt.Errorf("search stopped: %w", context.DeadlineExceeded), false, CauseDeadline},
+		{"sibling cancel", errors.New("no valid mapping completed"), true, CauseSiblingCancel},
+		{"plain search failure", errors.New("no valid mapping completed"), false, CauseSearch},
+		// An injected fault on a canceled sibling is still injected — the
+		// specific cause wins over the circumstance.
+		{"injected on canceled sibling", inj, true, CauseInjected},
+	}
+	for _, tc := range cases {
+		if got := classifyFailure(tc.err, tc.sibling); got != tc.want {
+			t.Errorf("%s: classifyFailure = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCauseOf covers the public accessor: nil has no cause, a LayerError's
+// recorded cause is authoritative even deep in a joined chain, and bare
+// errors fall back to direct classification.
+func TestCauseOf(t *testing.T) {
+	if got := CauseOf(nil); got != "" {
+		t.Errorf("CauseOf(nil) = %q", got)
+	}
+	le := &LayerError{Layer: "conv1", Cause: CauseDeadline, Err: context.DeadlineExceeded}
+	if got := CauseOf(fmt.Errorf("schedule: %w", le)); got != CauseDeadline {
+		t.Errorf("wrapped LayerError: CauseOf = %q, want %q", got, CauseDeadline)
+	}
+	if got := CauseOf(errors.Join(errors.New("other"), le)); got != CauseDeadline {
+		t.Errorf("joined LayerError: CauseOf = %q, want %q", got, CauseDeadline)
+	}
+	inj := &faults.InjectedError{Site: faults.SiteExpand, Kind: faults.Panic, Seq: 3}
+	if got := CauseOf(fmt.Errorf("bare: %w", inj)); got != CauseInjected {
+		t.Errorf("bare injected: CauseOf = %q, want %q", got, CauseInjected)
+	}
+	if got := CauseOf(errors.New("anything else")); got != CauseSearch {
+		t.Errorf("bare error: CauseOf = %q, want %q", got, CauseSearch)
+	}
+}
+
+// TestLayerErrorRendering pins the log format ("<layer>: [<cause>] <err>",
+// keeping the layer prefix older tooling greps for) and Unwrap.
+func TestLayerErrorRendering(t *testing.T) {
+	base := errors.New("boom")
+	le := &LayerError{Layer: "conv2_x", Cause: CausePanic, Err: base}
+	if got, want := le.Error(), "conv2_x: [panic] boom"; got != want {
+		t.Errorf("Error() = %q, want %q", got, want)
+	}
+	if !errors.Is(le, base) {
+		t.Error("LayerError must unwrap to the underlying failure")
+	}
+}
