@@ -7,13 +7,15 @@ BENCH_BEFORE ?= benchdata/pr2_before.txt
 BENCH_AFTER ?= benchdata/pr4_after.txt
 BENCH_OUT ?= BENCH_PR4.json
 
-.PHONY: check vet fmt-check guard build test race fuzz fuzz-smoke bench bench-smoke trace-smoke chaos-smoke
+.PHONY: check vet fmt-check guard build test race fuzz fuzz-smoke bench bench-smoke trace-smoke chaos-smoke server-smoke
 
 # check is the full pre-commit gate: static analysis, formatting, the
 # unified-stepper guard, build, the whole test suite, the race detector over
 # the concurrent search paths, a telemetry smoke test of the trace exporter,
-# and a seeded chaos smoke of the resilient scheduling path.
-check: vet fmt-check guard build test race trace-smoke chaos-smoke
+# a seeded chaos smoke of the resilient scheduling path, and an end-to-end
+# smoke of the sunstoned scheduler service (submit, poll, drain under
+# SIGTERM).
+check: vet fmt-check guard build test race trace-smoke chaos-smoke server-smoke
 
 vet:
 	$(GO) vet ./...
@@ -43,7 +45,7 @@ test:
 # concurrency test in the root package — under the race detector. Scoped to
 # the packages that spawn goroutines so the instrumented run stays fast.
 race:
-	$(GO) test -race ./internal/core/ ./internal/cost/ ./internal/faults/ ./internal/baselines/timeloop/ ./internal/baselines/innermost/
+	$(GO) test -race ./internal/core/ ./internal/cost/ ./internal/faults/ ./internal/server/ ./internal/baselines/timeloop/ ./internal/baselines/innermost/
 	$(GO) test -race -short .
 
 # bench reruns the search/evaluation/Engine-reuse benchmarks and refreshes
@@ -88,3 +90,10 @@ fuzz-smoke:
 # determinism-by-seed check — the graceful-degradation acceptance property.
 chaos-smoke:
 	$(GO) test -short -run 'TestChaos' -count 1 .
+
+# server-smoke builds the real sunstoned binary, runs it on an ephemeral
+# port, submits a job and polls it to completion, then SIGTERMs the daemon
+# with a long-budget job mid-search and asserts the drained job's SSE
+# terminal event carries a best-so-far mapping and the process exits 0.
+server-smoke:
+	$(GO) test -run 'TestServerSmoke' -count 1 ./cmd/sunstoned/

@@ -1,0 +1,97 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"sunstone/internal/anytime"
+	"sunstone/internal/faults"
+)
+
+// This file is the structural failure-cause taxonomy shared by the network
+// scheduler (per-layer LayerError) and the scheduler service (per-job
+// failure records): one classifier, keyed on error types via errors.As/Is —
+// never on message text — so every consumer agrees on why a search died.
+
+// FailureCause classifies why a search failed (LayerError.Cause, the
+// service's per-job cause field).
+type FailureCause string
+
+const (
+	// CauseInjected: a deterministic chaos fault (internal/faults) was the
+	// root cause, directly or inside a contained panic.
+	CauseInjected FailureCause = "injected"
+	// CausePanic: a contained panic (poisoned cost model, broken callback)
+	// not attributable to an injected fault.
+	CausePanic FailureCause = "panic"
+	// CauseDeadline: a wall-clock deadline expired before any valid mapping
+	// was completed.
+	CauseDeadline FailureCause = "deadline"
+	// CauseSiblingCancel: the layer was canceled by the fail-fast policy
+	// after a sibling layer failed first.
+	CauseSiblingCancel FailureCause = "sibling-cancel"
+	// CauseSearch: an ordinary search failure (invalid inputs, no feasible
+	// candidates, exhausted resilient attempts).
+	CauseSearch FailureCause = "search"
+	// CauseWatchdog: the scheduler service's per-job watchdog canceled a
+	// search that stopped reporting progress. Only the service assigns it —
+	// the classifier below cannot distinguish a watchdog cancel from any
+	// other cancellation, so the watchdog's owner records the cause itself.
+	CauseWatchdog FailureCause = "watchdog"
+)
+
+// LayerError is a per-layer scheduling failure with its classified cause.
+// Error renders as "<layer>: [<cause>] <err>" so logs keep the layer prefix
+// older tooling greps for; Unwrap exposes the underlying failure for
+// errors.Is/As.
+type LayerError struct {
+	Layer string
+	Cause FailureCause
+	Err   error
+}
+
+func (e *LayerError) Error() string { return fmt.Sprintf("%s: [%s] %v", e.Layer, e.Cause, e.Err) }
+
+// Unwrap exposes the underlying search failure.
+func (e *LayerError) Unwrap() error { return e.Err }
+
+// CauseOf extracts the classified failure cause from an error chain:
+// LayerError's recorded cause when present, otherwise a direct
+// classification of err itself. A nil error has no cause ("").
+func CauseOf(err error) FailureCause {
+	if err == nil {
+		return ""
+	}
+	var le *LayerError
+	if errors.As(err, &le) {
+		return le.Cause
+	}
+	return ClassifyFailure(err, false)
+}
+
+// ClassifyFailure maps a search failure to its cause. Injected chaos faults
+// win over the panic that may carry them (an injected panic-kind fault
+// surfaces as a PanicError whose value is the *faults.InjectedError);
+// siblingCanceled marks failures observed after a fail-fast policy canceled
+// the search's context.
+func ClassifyFailure(err error, siblingCanceled bool) FailureCause {
+	var inj *faults.InjectedError
+	if errors.As(err, &inj) {
+		return CauseInjected
+	}
+	var pe *anytime.PanicError
+	if errors.As(err, &pe) {
+		if v, ok := pe.Value.(error); ok && errors.As(v, &inj) {
+			return CauseInjected
+		}
+		return CausePanic
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		return CauseDeadline
+	}
+	if siblingCanceled {
+		return CauseSiblingCancel
+	}
+	return CauseSearch
+}

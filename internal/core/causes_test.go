@@ -1,0 +1,58 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+
+	"sunstone/internal/anytime"
+	"sunstone/internal/faults"
+)
+
+// TestClassifyFailure pins the cause taxonomy: injected faults win over the
+// panic that may carry them, contained panics beat the generic bucket,
+// deadlines are recognized structurally (errors.Is, not string matching), and
+// the sibling-cancel flag only matters when nothing more specific applies.
+func TestClassifyFailure(t *testing.T) {
+	inj := &faults.InjectedError{Site: faults.SiteCompile, Kind: faults.Error, Seq: 1}
+	cases := []struct {
+		name    string
+		err     error
+		sibling bool
+		want    FailureCause
+	}{
+		{"injected direct", inj, false, CauseInjected},
+		{"injected wrapped", fmt.Errorf("compile: %w", inj), false, CauseInjected},
+		{"injected inside panic", &anytime.PanicError{Op: "evaluate", Value: fmt.Errorf("die: %w", inj)}, false, CauseInjected},
+		{"plain panic", &anytime.PanicError{Op: "evaluate", Value: "index out of range"}, false, CausePanic},
+		{"deadline", fmt.Errorf("search stopped: %w", context.DeadlineExceeded), false, CauseDeadline},
+		{"sibling cancel", errors.New("no valid mapping completed"), true, CauseSiblingCancel},
+		{"plain search failure", errors.New("no valid mapping completed"), false, CauseSearch},
+		// An injected fault on a canceled sibling is still injected — the
+		// specific cause wins over the circumstance.
+		{"injected on canceled sibling", inj, true, CauseInjected},
+	}
+	for _, tc := range cases {
+		if got := ClassifyFailure(tc.err, tc.sibling); got != tc.want {
+			t.Errorf("%s: ClassifyFailure = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+}
+
+// TestCauseOfCore covers the accessor: nil has no cause, a LayerError's
+// recorded cause is authoritative even deep in a joined chain, and bare
+// errors fall back to direct classification. CauseWatchdog is never assigned
+// by the classifier — only its owner (the service watchdog) records it.
+func TestCauseOfCore(t *testing.T) {
+	if got := CauseOf(nil); got != "" {
+		t.Errorf("CauseOf(nil) = %q", got)
+	}
+	le := &LayerError{Layer: "conv1", Cause: CauseWatchdog, Err: context.Canceled}
+	if got := CauseOf(errors.Join(errors.New("other"), le)); got != CauseWatchdog {
+		t.Errorf("joined LayerError: CauseOf = %q, want %q", got, CauseWatchdog)
+	}
+	if got := ClassifyFailure(context.Canceled, false); got != CauseSearch {
+		t.Errorf("bare cancel classifies %q, want %q (watchdog is owner-assigned)", got, CauseSearch)
+	}
+}

@@ -318,18 +318,21 @@ func ParseSpec(spec string) (*Injector, error) {
 		if v, ok := strings.CutPrefix(item, "seed="); ok {
 			n, err := strconv.ParseInt(v, 10, 64)
 			if err != nil {
-				return nil, fmt.Errorf("fault spec: bad seed %q", v)
+				return nil, specError("token %q: seed %q is not an integer", item, v)
 			}
 			seed = n
 			continue
 		}
 		parts := strings.Split(item, ":")
 		if len(parts) < 3 || len(parts) > 4 {
-			return nil, fmt.Errorf("fault spec: %q is not site:kind:rate[:delay]", item)
+			return nil, specError("token %q has %d field(s), want site:kind:rate or site:kind:rate:delay", item, len(parts))
 		}
 		rate, err := strconv.ParseFloat(parts[2], 64)
 		if err != nil {
-			return nil, fmt.Errorf("fault spec: bad rate in %q", item)
+			return nil, specError("token %q: rate %q is not a number", item, parts[2])
+		}
+		if math.IsNaN(rate) || rate < 0 || rate > 1 {
+			return nil, specError("token %q: rate %v outside [0, 1]", item, rate)
 		}
 		if parts[0] == "all" {
 			uniform = rate
@@ -337,13 +340,13 @@ func ParseSpec(spec string) (*Injector, error) {
 		}
 		kind, err := parseKind(parts[1])
 		if err != nil {
-			return nil, fmt.Errorf("fault spec %q: %w", item, err)
+			return nil, specError("token %q: %v", item, err)
 		}
 		r := Rule{Site: Site(parts[0]), Kind: kind, Rate: rate}
 		if len(parts) == 4 {
 			d, err := time.ParseDuration(parts[3])
 			if err != nil {
-				return nil, fmt.Errorf("fault spec: bad delay in %q", item)
+				return nil, specError("token %q: delay %q is not a duration (e.g. 1ms)", item, parts[3])
 			}
 			r.Delay = d
 		}
@@ -351,16 +354,30 @@ func ParseSpec(spec string) (*Injector, error) {
 	}
 	if uniform >= 0 {
 		if len(rules) > 0 {
-			return nil, fmt.Errorf("fault spec: 'all' cannot be combined with per-site rules")
-		}
-		if uniform > 1 {
-			return nil, fmt.Errorf("fault spec: rate %v outside [0, 1]", uniform)
+			return nil, specError("the 'all' pseudo-site cannot be combined with per-site rules")
 		}
 		u := NewUniform(seed, uniform)
 		return u, nil
 	}
 	if len(rules) == 0 {
-		return nil, fmt.Errorf("fault spec %q names no rules", spec)
+		return nil, specError("%q names no rules", spec)
 	}
-	return NewInjector(seed, rules...)
+	inj, err := NewInjector(seed, rules...)
+	if err != nil {
+		return nil, specError("%v", err)
+	}
+	return inj, nil
+}
+
+// specGrammar is the accepted ParseSpec grammar, appended to every parse
+// error so a CLI typo is self-documenting.
+const specGrammar = "spec = rule{,rule}[,seed=N] | all:mixed:rate[,seed=N]; " +
+	"rule = site:kind:rate[:delay]; " +
+	"site = compile | expand | evaluate | cache-get | progress-callback; " +
+	"kind = error | panic | latency | corrupt; rate in [0, 1]; delay like 1ms"
+
+// specError builds a ParseSpec error that names the offending token and
+// restates the accepted grammar.
+func specError(format string, args ...any) error {
+	return fmt.Errorf("fault spec: "+format+"\naccepted grammar: "+specGrammar, args...)
 }

@@ -2,6 +2,7 @@ package faults
 
 import (
 	"errors"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -163,15 +164,50 @@ func TestParseSpec(t *testing.T) {
 	if inj, err = ParseSpec("all:mixed:0.3,seed=3"); err != nil || inj == nil {
 		t.Errorf("'all' spec rejected: %v", err)
 	}
-	for _, bad := range []string{
-		"", "evaluate", "evaluate:panic", "evaluate:panic:x",
-		"evaluate:nosuchkind:0.5", "nosuchsite:panic:0.5",
-		"evaluate:panic:0.5:notaduration", "all:mixed:0.3,evaluate:panic:0.1",
-		"all:mixed:1.5", "seed=abc,evaluate:panic:0.1",
-	} {
-		if _, err := ParseSpec(bad); err == nil {
-			t.Errorf("ParseSpec(%q) should fail", bad)
-		}
+}
+
+// TestParseSpecErrors pins the parser's error contract: every rejection
+// names the offending token (not just "bad spec") and restates the accepted
+// grammar, so a CLI typo is self-diagnosing.
+func TestParseSpecErrors(t *testing.T) {
+	cases := []struct {
+		name, spec string
+		// wantToken must appear in the error — the piece of input that
+		// caused the rejection.
+		wantToken string
+	}{
+		{"empty", "", `""`},
+		{"one field", "evaluate", `"evaluate"`},
+		{"two fields", "evaluate:panic", `"evaluate:panic"`},
+		{"five fields", "evaluate:panic:1:1ms:extra", `"evaluate:panic:1:1ms:extra"`},
+		{"rate not a number", "evaluate:panic:x", `"x"`},
+		{"rate above one", "evaluate:panic:1.5", `1.5`},
+		{"rate negative", "evaluate:panic:-0.5", `-0.5`},
+		{"uniform rate above one", "all:mixed:1.5", `1.5`},
+		{"unknown kind", "evaluate:nosuchkind:0.5", `"nosuchkind"`},
+		{"unknown site", "nosuchsite:panic:0.5", `"nosuchsite"`},
+		{"bad delay", "evaluate:panic:0.5:notaduration", `"notaduration"`},
+		{"all mixed with rules", "all:mixed:0.3,evaluate:panic:0.1", `'all'`},
+		{"bad seed", "seed=abc,evaluate:panic:0.1", `"abc"`},
+		// The offending token is named even when buried mid-spec among
+		// valid rules.
+		{"bad token mid-spec", "compile:error:0.1,evaluate:oops:0.2,seed=9", `"oops"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParseSpec(tc.spec)
+			if err == nil {
+				t.Fatalf("ParseSpec(%q) succeeded", tc.spec)
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, tc.wantToken) {
+				t.Errorf("error does not name the offending token %s:\n%s", tc.wantToken, msg)
+			}
+			if !strings.Contains(msg, "accepted grammar:") ||
+				!strings.Contains(msg, "site:kind:rate[:delay]") {
+				t.Errorf("error does not restate the grammar:\n%s", msg)
+			}
+		})
 	}
 }
 

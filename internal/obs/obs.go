@@ -46,6 +46,19 @@ func (c *Counter) Add(n uint64) { c.v.Add(n) }
 // Load returns the current value.
 func (c *Counter) Load() uint64 { return c.v.Load() }
 
+// Gauge is a race-clean instantaneous level (queue depth, running jobs) —
+// unlike a Counter it moves both ways. The zero value is ready to use.
+type Gauge struct{ v atomic.Int64 }
+
+// Add moves the gauge by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Set pins the gauge to n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Load returns the current level.
+func (g *Gauge) Load() int64 { return g.v.Load() }
+
 // CounterValue is one named counter's snapshot.
 type CounterValue struct {
 	Name  string
@@ -118,6 +131,33 @@ const (
 	CtrPrunedBeam      = "pruned.beam"
 	CtrCacheHits       = "eval.cache.hits"
 	CtrCacheMisses     = "eval.cache.misses"
+)
+
+// Canonical counter names of the scheduler service (internal/server): the
+// admission/shedding flow, job outcomes, and the overload-protection
+// machinery. The service's registry uses exactly these strings, so the
+// expvar export, /statz, and tests key on them.
+const (
+	// CtrSrvAdmitted counts submissions accepted into the job queue.
+	CtrSrvAdmitted = "srv.jobs.admitted"
+	// CtrSrvShedTenant counts submissions shed by per-tenant token-bucket
+	// admission control (429 + Retry-After).
+	CtrSrvShedTenant = "srv.shed.tenant-rate"
+	// CtrSrvShedQueue counts submissions shed because the bounded job queue
+	// was full (429 + Retry-After).
+	CtrSrvShedQueue = "srv.shed.queue-full"
+	// CtrSrvShedDrain counts submissions rejected while draining (503).
+	CtrSrvShedDrain = "srv.shed.draining"
+	// CtrSrvDone / CtrSrvFailed / CtrSrvCanceled count terminal job states.
+	CtrSrvDone     = "srv.jobs.done"
+	CtrSrvFailed   = "srv.jobs.failed"
+	CtrSrvCanceled = "srv.jobs.canceled"
+	// CtrSrvWatchdog counts stalled searches canceled by the per-job
+	// watchdog.
+	CtrSrvWatchdog = "srv.watchdog.fired"
+	// CtrSrvPanics counts panics recovered by the HTTP handler guard and
+	// the job workers (each converted into a structured failure).
+	CtrSrvPanics = "srv.panics.recovered"
 )
 
 // SearchCounters is the typed handle set the optimizer hot paths increment.

@@ -178,3 +178,36 @@ func TestLimiter(t *testing.T) {
 		t.Fatal("event at the window edge must fire")
 	}
 }
+
+func TestGauge(t *testing.T) {
+	var g Gauge
+	if g.Load() != 0 {
+		t.Fatal("zero gauge must read 0")
+	}
+	g.Add(5)
+	g.Add(-2)
+	if got := g.Load(); got != 3 {
+		t.Errorf("gauge reads %d, want 3", got)
+	}
+	g.Set(-7)
+	if got := g.Load(); got != -7 {
+		t.Errorf("gauge reads %d after Set, want -7", got)
+	}
+	// Concurrent movement must settle exactly (race-clean both ways).
+	g.Set(0)
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+				g.Add(-1)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := g.Load(); got != 0 {
+		t.Errorf("gauge reads %d after balanced concurrent adds, want 0", got)
+	}
+}

@@ -1,0 +1,100 @@
+package server
+
+import (
+	"math"
+	"sync"
+	"time"
+)
+
+// maxTenants bounds the admission map: an attacker cycling tenant names must
+// not grow server memory without bound. Past the cap, stale full buckets are
+// swept; if every bucket is mid-refill (pathological), the oldest is evicted
+// — which only ever errs toward admitting, never toward leaking memory.
+const maxTenants = 4096
+
+// tenantBuckets is per-tenant token-bucket admission control. Each tenant
+// accrues rate tokens/second up to burst; a submission spends one token or
+// is shed with a retry hint. Unknown tenants start with a full bucket, so
+// bursts up to the burst size are always admitted before shaping kicks in.
+type tenantBuckets struct {
+	rate  float64 // tokens per second; <= 0 disables shaping entirely
+	burst float64
+
+	mu sync.Mutex
+	m  map[string]*bucket
+}
+
+type bucket struct {
+	tokens float64
+	last   time.Time
+}
+
+func newTenantBuckets(rate float64, burst int) *tenantBuckets {
+	if burst < 1 {
+		burst = 1
+	}
+	return &tenantBuckets{rate: rate, burst: float64(burst), m: make(map[string]*bucket)}
+}
+
+// allow spends one token from tenant's bucket. When the bucket is empty it
+// returns false and the wait until a token accrues (the Retry-After hint).
+func (tb *tenantBuckets) allow(tenant string, now time.Time) (bool, time.Duration) {
+	if tb.rate <= 0 {
+		return true, 0
+	}
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	b, ok := tb.m[tenant]
+	if !ok {
+		if len(tb.m) >= maxTenants {
+			tb.sweep(now)
+		}
+		b = &bucket{tokens: tb.burst, last: now}
+		tb.m[tenant] = b
+	}
+	if dt := now.Sub(b.last).Seconds(); dt > 0 {
+		b.tokens = math.Min(tb.burst, b.tokens+dt*tb.rate)
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	wait := time.Duration((1 - b.tokens) / tb.rate * float64(time.Second))
+	if wait < time.Second {
+		wait = time.Second
+	}
+	return false, wait
+}
+
+// sweep drops buckets that have refilled to full — a full bucket holds no
+// state an admission decision needs (a fresh bucket behaves identically).
+// Callers hold mu. If nothing is full, the least-recently-touched bucket is
+// evicted to keep the map bounded.
+func (tb *tenantBuckets) sweep(now time.Time) {
+	var oldestKey string
+	var oldest time.Time
+	for k, b := range tb.m {
+		tokens := b.tokens
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			tokens = math.Min(tb.burst, tokens+dt*tb.rate)
+		}
+		if tokens >= tb.burst {
+			delete(tb.m, k)
+			continue
+		}
+		if oldestKey == "" || b.last.Before(oldest) {
+			oldestKey, oldest = k, b.last
+		}
+	}
+	if len(tb.m) >= maxTenants && oldestKey != "" {
+		delete(tb.m, oldestKey)
+	}
+}
+
+// tenants reports how many buckets are live (for tests and /statz).
+func (tb *tenantBuckets) tenants() int {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return len(tb.m)
+}

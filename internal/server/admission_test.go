@@ -1,0 +1,78 @@
+package server
+
+import (
+	"fmt"
+	"testing"
+	"time"
+)
+
+func TestTenantBucketBurstAndRefill(t *testing.T) {
+	tb := newTenantBuckets(2, 3) // 2 tokens/s, burst 3
+	now := time.Unix(1000, 0)
+	for i := range 3 {
+		ok, _ := tb.allow("a", now)
+		if !ok {
+			t.Fatalf("burst submission %d shed", i)
+		}
+	}
+	ok, wait := tb.allow("a", now)
+	if ok {
+		t.Fatal("fourth submission admitted past burst")
+	}
+	if wait < time.Second {
+		t.Errorf("Retry-After hint %v, want >= 1s floor", wait)
+	}
+	// One second refills two tokens.
+	now = now.Add(time.Second)
+	for i := range 2 {
+		if ok, _ := tb.allow("a", now); !ok {
+			t.Fatalf("refilled submission %d shed", i)
+		}
+	}
+	if ok, _ := tb.allow("a", now); ok {
+		t.Error("admitted beyond the refill")
+	}
+}
+
+func TestTenantBucketsIsolated(t *testing.T) {
+	tb := newTenantBuckets(1, 1)
+	now := time.Unix(1000, 0)
+	if ok, _ := tb.allow("noisy", now); !ok {
+		t.Fatal("noisy's first submission shed")
+	}
+	if ok, _ := tb.allow("noisy", now); ok {
+		t.Fatal("noisy's second submission admitted")
+	}
+	// A different tenant has its own full bucket.
+	if ok, _ := tb.allow("quiet", now); !ok {
+		t.Fatal("quiet shed because of noisy's bucket")
+	}
+}
+
+func TestTenantBucketsDisabled(t *testing.T) {
+	tb := newTenantBuckets(0, 1)
+	now := time.Unix(1000, 0)
+	for range 100 {
+		if ok, _ := tb.allow("anyone", now); !ok {
+			t.Fatal("rate 0 must admit everything")
+		}
+	}
+	if tb.tenants() != 0 {
+		t.Errorf("disabled shaping tracked %d tenants", tb.tenants())
+	}
+}
+
+// TestTenantBucketsBounded: cycling tenant names cannot grow the map past
+// maxTenants — stale full buckets are swept, and behavior for the tenants
+// that matter (mid-refill ones) is preserved.
+func TestTenantBucketsBounded(t *testing.T) {
+	tb := newTenantBuckets(1, 2)
+	now := time.Unix(1000, 0)
+	for i := range maxTenants + 500 {
+		tb.allow(fmt.Sprintf("tenant-%d", i), now)
+		now = now.Add(10 * time.Millisecond)
+	}
+	if got := tb.tenants(); got > maxTenants {
+		t.Errorf("tenant map grew to %d, cap %d", got, maxTenants)
+	}
+}

@@ -1,0 +1,41 @@
+package server
+
+import (
+	"expvar"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// debugServer is the server whose stats the process-wide expvar variable
+// reports. expvar.Publish is global and panics on re-publish, so the
+// variable is registered once and reads through this pointer — the last
+// server to call DebugHandler wins (in practice a process runs one).
+var debugServer atomic.Pointer[Server]
+
+func init() {
+	expvar.Publish("sunstone", expvar.Func(func() any {
+		s := debugServer.Load()
+		if s == nil {
+			return nil
+		}
+		return s.Stats()
+	}))
+}
+
+// DebugHandler returns the diagnostics mux sunstoned serves on its private
+// debug listener (off by default; see the -debug-addr flag): expvar at
+// /debug/vars — including the "sunstone" variable with EngineStats, the
+// srv.* counters, and the cumulative search-flow totals — and net/http/pprof
+// under /debug/pprof/. Never mount this on the public job API listener.
+func (s *Server) DebugHandler() http.Handler {
+	debugServer.Store(s)
+	mux := http.NewServeMux()
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}

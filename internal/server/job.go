@@ -1,0 +1,388 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/core"
+	"sunstone/internal/obs"
+	"sunstone/internal/serde"
+	"sunstone/internal/tensor"
+	"sunstone/internal/workloads"
+)
+
+// JobState is a job's lifecycle position. Transitions are strictly forward:
+// queued -> running -> one of done | failed | canceled.
+type JobState string
+
+const (
+	// JobQueued: admitted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is searching.
+	JobRunning JobState = "running"
+	// JobDone: finished with an audit-passing mapping (complete or
+	// best-so-far after a deadline/drain/watchdog cancel).
+	JobDone JobState = "done"
+	// JobFailed: every resilient attempt failed; see Error and Cause.
+	JobFailed JobState = "failed"
+	// JobCanceled: the tenant canceled the job. A job canceled mid-search
+	// still carries its best-so-far mapping when one was completed.
+	JobCanceled JobState = "canceled"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == JobDone || s == JobFailed || s == JobCanceled
+}
+
+// ConvSpec is the inline convolution form of a submission: the Conv2D
+// constructor's geometry as JSON.
+type ConvSpec struct {
+	N, K, C, P, Q, R, S int `json:",omitempty"`
+	StrideH, StrideW    int `json:",omitempty"`
+}
+
+// SubmitOptions is the optimizer-knob subset a submission may set; zero
+// fields keep the server defaults (which are the library defaults).
+type SubmitOptions struct {
+	// Objective: edp | energy | delay | ed2p (default edp).
+	Objective string `json:"objective,omitempty"`
+	// Direction: bottom-up | top-down (default bottom-up).
+	Direction string `json:"direction,omitempty"`
+	// BeamWidth bounds the beam (0 = default).
+	BeamWidth int `json:"beam_width,omitempty"`
+	// NoPolish disables the final greedy refinement.
+	NoPolish bool `json:"no_polish,omitempty"`
+}
+
+// SubmitRequest is the POST /v1/jobs body. Exactly one workload form —
+// workload (serde JSON), describe (the paper's textual syntax), or conv —
+// must be set; arch is a preset name or arch_json a serde document.
+type SubmitRequest struct {
+	// Tenant attributes the job for admission control ("" = "default").
+	Tenant string `json:"tenant,omitempty"`
+
+	Workload json.RawMessage `json:"workload,omitempty"`
+	Describe string          `json:"describe,omitempty"`
+	Conv     *ConvSpec       `json:"conv,omitempty"`
+
+	// Arch names a preset: conventional | simba | diannao | tiny.
+	Arch     string          `json:"arch,omitempty"`
+	ArchJSON json.RawMessage `json:"arch_json,omitempty"`
+
+	Options *SubmitOptions `json:"options,omitempty"`
+	// TimeoutMS is the end-to-end deadline in milliseconds, counted from
+	// admission — queue wait included — and propagated into the search's
+	// Options.Timeout and context deadline. On expiry the job completes
+	// with its best-so-far mapping instead of an error. 0 uses the server
+	// default; values above the server maximum are clamped.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+}
+
+// build materializes the request into a problem. All validation errors are
+// client errors (HTTP 400).
+func (r *SubmitRequest) build() (*tensor.Workload, *arch.Arch, core.Options, error) {
+	var opt core.Options
+	forms := 0
+	var w *tensor.Workload
+	var err error
+	if len(r.Workload) > 0 {
+		forms++
+		w, err = serde.DecodeWorkload(r.Workload)
+	}
+	if r.Describe != "" {
+		forms++
+		w, err = tensor.Parse(r.Describe)
+	}
+	if r.Conv != nil {
+		forms++
+		c := *r.Conv
+		if c.N <= 0 {
+			c.N = 1
+		}
+		if c.StrideH <= 0 {
+			c.StrideH = 1
+		}
+		if c.StrideW <= 0 {
+			c.StrideW = 1
+		}
+		if c.K <= 0 || c.C <= 0 || c.P <= 0 || c.Q <= 0 || c.R <= 0 || c.S <= 0 {
+			return nil, nil, opt, errors.New("conv: every one of K, C, P, Q, R, S must be positive")
+		}
+		w = workloads.Conv2D("conv", c.N, c.K, c.C, c.P, c.Q, c.R, c.S, c.StrideH, c.StrideW)
+	}
+	if forms == 0 {
+		return nil, nil, opt, errors.New("no workload: set exactly one of workload, describe, or conv")
+	}
+	if forms > 1 {
+		return nil, nil, opt, errors.New("ambiguous workload: set exactly one of workload, describe, or conv")
+	}
+	if err != nil {
+		return nil, nil, opt, fmt.Errorf("workload: %w", err)
+	}
+
+	var a *arch.Arch
+	switch {
+	case len(r.ArchJSON) > 0:
+		if r.Arch != "" {
+			return nil, nil, opt, errors.New("set arch or arch_json, not both")
+		}
+		a, err = serde.DecodeArch(r.ArchJSON)
+		if err != nil {
+			return nil, nil, opt, fmt.Errorf("arch_json: %w", err)
+		}
+	default:
+		a, err = pickArchPreset(r.Arch)
+		if err != nil {
+			return nil, nil, opt, err
+		}
+	}
+
+	if o := r.Options; o != nil {
+		switch strings.ToLower(o.Objective) {
+		case "", "edp":
+		case "energy":
+			opt.Objective = core.MinEnergy
+		case "delay":
+			opt.Objective = core.MinDelay
+		case "ed2p":
+			opt.Objective = core.MinED2P
+		default:
+			return nil, nil, opt, fmt.Errorf("unknown objective %q (edp|energy|delay|ed2p)", o.Objective)
+		}
+		switch strings.ToLower(o.Direction) {
+		case "", "bottom-up":
+		case "top-down":
+			opt.Direction = core.TopDown
+		default:
+			return nil, nil, opt, fmt.Errorf("unknown direction %q (bottom-up|top-down)", o.Direction)
+		}
+		if o.BeamWidth < 0 {
+			return nil, nil, opt, fmt.Errorf("beam_width %d must be non-negative", o.BeamWidth)
+		}
+		opt.BeamWidth = o.BeamWidth
+		opt.NoPolish = o.NoPolish
+	}
+	if r.TimeoutMS < 0 {
+		return nil, nil, opt, fmt.Errorf("timeout_ms %d must be non-negative", r.TimeoutMS)
+	}
+	return w, a, opt, nil
+}
+
+// pickArchPreset resolves an architecture preset name ("" = conventional).
+func pickArchPreset(name string) (*arch.Arch, error) {
+	switch strings.ToLower(name) {
+	case "", "conventional":
+		return arch.Conventional(), nil
+	case "simba":
+		return arch.Simba(), nil
+	case "diannao":
+		return arch.DianNao(), nil
+	case "tiny":
+		return arch.Tiny(256), nil
+	}
+	return nil, fmt.Errorf("unknown arch preset %q (conventional|simba|diannao|tiny)", name)
+}
+
+// JobStatus is the wire view of a job (GET /v1/jobs/{id}, submit responses,
+// the terminal SSE event). Result fields are present only once terminal.
+type JobStatus struct {
+	ID       string   `json:"id"`
+	Tenant   string   `json:"tenant"`
+	State    JobState `json:"state"`
+	Workload string   `json:"workload"`
+	Arch     string   `json:"arch"`
+
+	// SubmittedMS/StartedMS/FinishedMS are Unix-epoch milliseconds (0 =
+	// not yet); DeadlineMS is the job's absolute end-to-end deadline.
+	SubmittedMS int64 `json:"submitted_ms"`
+	StartedMS   int64 `json:"started_ms,omitempty"`
+	FinishedMS  int64 `json:"finished_ms,omitempty"`
+	DeadlineMS  int64 `json:"deadline_ms"`
+
+	EDP      float64 `json:"edp,omitempty"`
+	EnergyPJ float64 `json:"energy_pj,omitempty"`
+	Cycles   float64 `json:"cycles,omitempty"`
+	// Stopped is the search's anytime stop reason (complete | deadline |
+	// canceled | budget) once terminal.
+	Stopped string `json:"stopped,omitempty"`
+	// Attempts counts the resilient path's tries; FallbackUsed names the
+	// fallback mapper that produced the mapping ("" = primary search).
+	Attempts     int    `json:"attempts,omitempty"`
+	FallbackUsed string `json:"fallback_used,omitempty"`
+	// Mapping is the serde-encoded best mapping (sunstone/v1 JSON).
+	Mapping json.RawMessage `json:"mapping,omitempty"`
+
+	Error string            `json:"error,omitempty"`
+	Cause core.FailureCause `json:"cause,omitempty"`
+	// WatchdogFired records that the per-job watchdog canceled a stalled
+	// search; a done job with it set carries a best-so-far mapping.
+	WatchdogFired bool `json:"watchdog_fired,omitempty"`
+}
+
+// Event is one SSE frame on GET /v1/jobs/{id}/events: search progress
+// (phase boundaries, incumbent improvements) while running, then a terminal
+// frame carrying the full JobStatus.
+type Event struct {
+	Kind  string `json:"kind"`
+	Phase string `json:"phase,omitempty"`
+	// Score is the incumbent objective value on incumbent-improved events.
+	Score     float64 `json:"score,omitempty"`
+	Generated uint64  `json:"generated,omitempty"`
+	Evaluated uint64  `json:"evaluated,omitempty"`
+	ElapsedMS int64   `json:"elapsed_ms,omitempty"`
+	// Job carries the final status on the terminal frame.
+	Job *JobStatus `json:"job,omitempty"`
+}
+
+// job is the server-side record. Mutable fields are guarded by mu; lastBeat
+// and flags are atomics because the search goroutine touches them from its
+// progress callback.
+type job struct {
+	id       string
+	tenant   string
+	w        *tensor.Workload
+	a        *arch.Arch
+	opt      core.Options
+	deadline time.Time
+
+	mu        sync.Mutex
+	state     JobState
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	res       core.Result
+	err       error
+	cause     core.FailureCause
+	mapping   []byte
+	cancel    func() // cancels the running search; nil until running
+	subs      map[chan []byte]struct{}
+
+	userCanceled  atomic.Bool
+	watchdogFired atomic.Bool
+	lastBeat      atomic.Int64 // UnixNano of the last progress sign of life
+	done          chan struct{}
+}
+
+func newJob(id, tenant string, w *tensor.Workload, a *arch.Arch, opt core.Options, deadline, now time.Time) *job {
+	return &job{
+		id: id, tenant: tenant, w: w, a: a, opt: opt, deadline: deadline,
+		state: JobQueued, submitted: now,
+		subs: make(map[chan []byte]struct{}),
+		done: make(chan struct{}),
+	}
+}
+
+// beat records a sign of life for the watchdog.
+func (j *job) beat() { j.lastBeat.Store(time.Now().UnixNano()) }
+
+// sinceBeat is the time since the last sign of life.
+func (j *job) sinceBeat() time.Duration {
+	return time.Duration(time.Now().UnixNano() - j.lastBeat.Load())
+}
+
+// status snapshots the wire view.
+func (j *job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID: j.id, Tenant: j.tenant, State: j.state,
+		Workload: j.w.Name, Arch: j.a.Name,
+		SubmittedMS: j.submitted.UnixMilli(),
+		DeadlineMS:  j.deadline.UnixMilli(),
+	}
+	if !j.started.IsZero() {
+		st.StartedMS = j.started.UnixMilli()
+	}
+	if !j.finished.IsZero() {
+		st.FinishedMS = j.finished.UnixMilli()
+	}
+	if j.state.Terminal() {
+		if j.res.Mapping != nil {
+			st.EDP = j.res.Report.EDP
+			st.EnergyPJ = j.res.Report.EnergyPJ
+			st.Cycles = j.res.Report.Cycles
+		}
+		st.Stopped = j.res.Stopped.String()
+		st.Attempts = len(j.res.Attempts)
+		st.FallbackUsed = j.res.FallbackUsed
+		st.Mapping = j.mapping
+		if j.err != nil {
+			st.Error = j.err.Error()
+		}
+		st.Cause = j.cause
+		st.WatchdogFired = j.watchdogFired.Load()
+	}
+	return st
+}
+
+// subscribe registers an SSE listener. The returned channel delivers
+// marshaled progress Events and is closed when the job reaches a terminal
+// state (a job already terminal returns an immediately-closed channel);
+// call off to unsubscribe early.
+func (j *job) subscribe() (ch chan []byte, off func()) {
+	ch = make(chan []byte, 64)
+	j.mu.Lock()
+	if j.state.Terminal() {
+		j.mu.Unlock()
+		close(ch)
+		return ch, func() {}
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch, func() {
+		j.mu.Lock()
+		if _, live := j.subs[ch]; live {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+}
+
+// publish fans one frame out to every subscriber, dropping frames for
+// subscribers whose buffers are full — a slow SSE reader loses intermediate
+// progress, never the terminal status (the handler renders that itself
+// after the channel closes).
+func (j *job) publish(frame []byte) {
+	j.mu.Lock()
+	for ch := range j.subs {
+		select {
+		case ch <- frame:
+		default:
+		}
+	}
+	j.mu.Unlock()
+}
+
+// closeSubs ends every subscription; called exactly once, at finalize.
+func (j *job) closeSubs() {
+	j.mu.Lock()
+	for ch := range j.subs {
+		close(ch)
+		delete(j.subs, ch)
+	}
+	j.mu.Unlock()
+}
+
+// progressFrame renders a search progress event as an SSE payload.
+func progressFrame(ev obs.ProgressEvent) []byte {
+	b, err := json.Marshal(Event{
+		Kind:      ev.Kind.String(),
+		Phase:     ev.Phase,
+		Score:     ev.Score,
+		Generated: ev.Generated,
+		Evaluated: ev.Evaluated,
+		ElapsedMS: ev.Elapsed.Milliseconds(),
+	})
+	if err != nil {
+		return nil
+	}
+	return b
+}

@@ -10,7 +10,7 @@ import (
 	"time"
 
 	"sunstone/internal/anytime"
-	"sunstone/internal/faults"
+	"sunstone/internal/core"
 	"sunstone/internal/obs"
 )
 
@@ -60,80 +60,41 @@ type NetworkOptions struct {
 }
 
 // FailureCause classifies why a layer's search failed (LayerError.Cause).
-type FailureCause string
+// The taxonomy lives in internal/core so the network scheduler and the
+// scheduler service (internal/server) share one classifier.
+type FailureCause = core.FailureCause
 
 const (
 	// CauseInjected: a deterministic chaos fault (internal/faults) was the
 	// root cause, directly or inside a contained panic.
-	CauseInjected FailureCause = "injected"
+	CauseInjected = core.CauseInjected
 	// CausePanic: a contained panic (poisoned cost model, broken callback)
 	// not attributable to an injected fault.
-	CausePanic FailureCause = "panic"
+	CausePanic = core.CausePanic
 	// CauseDeadline: a wall-clock deadline expired before any valid mapping
 	// was completed.
-	CauseDeadline FailureCause = "deadline"
+	CauseDeadline = core.CauseDeadline
 	// CauseSiblingCancel: the layer was canceled by the fail-fast policy
 	// after a sibling layer failed first.
-	CauseSiblingCancel FailureCause = "sibling-cancel"
+	CauseSiblingCancel = core.CauseSiblingCancel
 	// CauseSearch: an ordinary search failure (invalid inputs, no feasible
 	// candidates, exhausted resilient attempts).
-	CauseSearch FailureCause = "search"
+	CauseSearch = core.CauseSearch
+	// CauseWatchdog: the scheduler service's per-job watchdog canceled a
+	// search that stopped reporting progress.
+	CauseWatchdog = core.CauseWatchdog
 )
 
 // LayerError is a per-layer scheduling failure with its classified cause.
 // Error renders as "<layer>: [<cause>] <err>" so logs keep the layer prefix
 // older tooling greps for; Unwrap exposes the underlying failure for
 // errors.Is/As.
-type LayerError struct {
-	Layer string
-	Cause FailureCause
-	Err   error
-}
-
-func (e *LayerError) Error() string { return fmt.Sprintf("%s: [%s] %v", e.Layer, e.Cause, e.Err) }
-
-// Unwrap exposes the underlying search failure.
-func (e *LayerError) Unwrap() error { return e.Err }
+type LayerError = core.LayerError
 
 // CauseOf extracts the classified failure cause from an error chain:
 // LayerError's recorded cause when present, otherwise a direct
 // classification of err itself. A nil error has no cause ("").
-func CauseOf(err error) FailureCause {
-	if err == nil {
-		return ""
-	}
-	var le *LayerError
-	if errors.As(err, &le) {
-		return le.Cause
-	}
-	return classifyFailure(err, false)
-}
-
-// classifyFailure maps a layer failure to its cause. Injected chaos faults
-// win over the panic that may carry them (an injected panic-kind fault
-// surfaces as a PanicError whose value is the *faults.InjectedError);
-// siblingCanceled marks failures observed after the fail-fast policy
-// canceled the layer's context.
-func classifyFailure(err error, siblingCanceled bool) FailureCause {
-	var inj *faults.InjectedError
-	if errors.As(err, &inj) {
-		return CauseInjected
-	}
-	var pe *anytime.PanicError
-	if errors.As(err, &pe) {
-		if v, ok := pe.Value.(error); ok && errors.As(v, &inj) {
-			return CauseInjected
-		}
-		return CausePanic
-	}
-	if errors.Is(err, context.DeadlineExceeded) {
-		return CauseDeadline
-	}
-	if siblingCanceled {
-		return CauseSiblingCancel
-	}
-	return CauseSearch
-}
+func CauseOf(err error) FailureCause { return core.CauseOf(err) }
 
 // ScheduleNetwork maps every layer of a network onto the architecture,
 // optimizing layers concurrently (each layer's search is independent), and
@@ -196,7 +157,7 @@ func (e *Engine) ScheduleNetworkContext(ctx context.Context, network string, sha
 	// observes it, so the flag is always visible to the layers it explains.
 	var siblingFailed atomic.Bool
 	failLayer := func(i int, name string, err error) {
-		lerr := &LayerError{Layer: name, Cause: classifyFailure(err, siblingFailed.Load()), Err: err}
+		lerr := &LayerError{Layer: name, Cause: core.ClassifyFailure(err, siblingFailed.Load()), Err: err}
 		errs[i] = lerr
 		out.Layers[i].Err = lerr
 		if !opt.ContinueOnError {

@@ -5,38 +5,104 @@ import (
 	"errors"
 	"fmt"
 	"testing"
+	"time"
 
-	"sunstone/internal/anytime"
 	"sunstone/internal/faults"
 )
 
-// TestClassifyFailure pins the cause taxonomy: injected faults win over the
-// panic that may carry them, contained panics beat the generic bucket,
-// deadlines are recognized structurally (errors.Is, not string matching), and
-// the sibling-cancel flag only matters when nothing more specific applies.
-func TestClassifyFailure(t *testing.T) {
-	inj := &faults.InjectedError{Site: faults.SiteCompile, Kind: faults.Error, Seq: 1}
+// TestLayerCauseClassificationEndToEnd drives every FailureCause through the
+// public API: real ScheduleNetworkContext runs whose layers fail for each of
+// the five classified reasons, asserted via CauseOf on the per-layer errors.
+//
+//   - injected: a deterministic compile fault (internal/faults) fails the
+//     layer's problem compilation;
+//   - panic: a structurally invalid layer shape panics inside the layer
+//     goroutine (tensor.MustNew), contained as an *anytime.PanicError;
+//   - deadline: every evaluation is poisoned (so no valid mapping can ever
+//     complete) and a nanosecond timeout expires first;
+//   - sibling-cancel: a tiny poisoned layer fails fast and cancels a larger
+//     sibling before it can complete anything;
+//   - search: the poisoned layer runs to its natural end with nothing valid.
+func TestLayerCauseClassificationEndToEnd(t *testing.T) {
+	a := Tiny(256)
+	tiny := ConvShape{Name: "tiny", K: 1, C: 1, P: 1, Q: 1, R: 1, S: 1, StrideH: 1, StrideW: 1}
+	mid := ConvShape{Name: "mid", K: 8, C: 8, P: 7, Q: 7, R: 3, S: 3, StrideH: 1, StrideW: 1}
+	big := ConvShape{Name: "big", K: 64, C: 64, P: 28, Q: 28, R: 3, S: 3, StrideH: 1, StrideW: 1}
+	bad := ConvShape{Name: "bad"} // zero dims: Inference panics in tensor.MustNew
+
 	cases := []struct {
-		name    string
-		err     error
-		sibling bool
-		want    FailureCause
+		name   string
+		spec   string // fault spec armed for the run ("" = none)
+		shapes []ConvShape
+		opt    NetworkOptions
+		layer  string // the layer whose cause is asserted
+		want   FailureCause
 	}{
-		{"injected direct", inj, false, CauseInjected},
-		{"injected wrapped", fmt.Errorf("compile: %w", inj), false, CauseInjected},
-		{"injected inside panic", &anytime.PanicError{Op: "evaluate", Value: fmt.Errorf("die: %w", inj)}, false, CauseInjected},
-		{"plain panic", &anytime.PanicError{Op: "evaluate", Value: "index out of range"}, false, CausePanic},
-		{"deadline", fmt.Errorf("search stopped: %w", context.DeadlineExceeded), false, CauseDeadline},
-		{"sibling cancel", errors.New("no valid mapping completed"), true, CauseSiblingCancel},
-		{"plain search failure", errors.New("no valid mapping completed"), false, CauseSearch},
-		// An injected fault on a canceled sibling is still injected — the
-		// specific cause wins over the circumstance.
-		{"injected on canceled sibling", inj, true, CauseInjected},
+		{
+			name: "injected", spec: "compile:error:1,seed=1",
+			shapes: []ConvShape{tiny}, layer: "tiny", want: CauseInjected,
+		},
+		{
+			name:   "panic",
+			shapes: []ConvShape{bad}, layer: "bad", want: CausePanic,
+		},
+		{
+			name: "deadline", spec: "evaluate:panic:1,seed=1",
+			shapes: []ConvShape{mid},
+			opt:    NetworkOptions{Options: Options{Timeout: time.Nanosecond}},
+			layer:  "mid", want: CauseDeadline,
+		},
+		{
+			// The tiny layer exhausts its poisoned search first (cause:
+			// search) and the fail-fast policy cancels the big sibling,
+			// which cannot have completed anything valid either.
+			name: "sibling-cancel", spec: "evaluate:panic:1,seed=1",
+			shapes: []ConvShape{tiny, big}, layer: "big", want: CauseSiblingCancel,
+		},
+		{
+			// An ordinary search failure: invalid options are rejected by
+			// Options.Validate before any search runs — a plain error with
+			// no injected fault, panic, or context signal in its chain.
+			name:   "search",
+			shapes: []ConvShape{tiny},
+			opt:    NetworkOptions{Options: Options{MinUtilization: 2}},
+			layer:  "tiny", want: CauseSearch,
+		},
 	}
 	for _, tc := range cases {
-		if got := classifyFailure(tc.err, tc.sibling); got != tc.want {
-			t.Errorf("%s: classifyFailure = %q, want %q", tc.name, got, tc.want)
-		}
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.spec != "" {
+				inj, err := faults.ParseSpec(tc.spec)
+				if err != nil {
+					t.Fatalf("ParseSpec(%q): %v", tc.spec, err)
+				}
+				defer faults.Activate(inj)()
+			}
+			sched, err := ScheduleNetworkContext(context.Background(), tc.name, tc.shapes, 1, nil, a, tc.opt)
+			if err == nil {
+				t.Fatalf("schedule succeeded; wanted layer %q to fail with cause %q", tc.layer, tc.want)
+			}
+			var found bool
+			for _, l := range sched.Layers {
+				if l.Layer != tc.layer {
+					continue
+				}
+				found = true
+				if l.Err == nil {
+					t.Fatalf("layer %q has no error (schedule error: %v)", tc.layer, err)
+				}
+				if got := CauseOf(l.Err); got != tc.want {
+					t.Errorf("layer %q: CauseOf = %q, want %q (err: %v)", tc.layer, got, tc.want, l.Err)
+				}
+				var le *LayerError
+				if !errors.As(l.Err, &le) {
+					t.Errorf("layer %q error is not a *LayerError: %v", tc.layer, l.Err)
+				}
+			}
+			if !found {
+				t.Fatalf("layer %q missing from schedule", tc.layer)
+			}
+		})
 	}
 }
 

@@ -1,0 +1,67 @@
+package sunstone
+
+import (
+	"sunstone/internal/server"
+)
+
+// Scheduler service: re-exports of the overload-protected HTTP job service
+// (see internal/server and DESIGN.md "Scheduler service & overload
+// protection"). The service front-ends one shared Engine with per-tenant
+// admission control, bounded queueing with load shedding, end-to-end
+// deadline propagation, a per-job stall watchdog, and graceful drain —
+// every job accepted before a drain still ends with a valid mapping.
+
+type (
+	// Server is the scheduler service: an http.Handler exposing job
+	// submission, status polling, SSE progress streaming, cancellation,
+	// and health/readiness/stats endpoints. Create with NewServer or
+	// (*Engine).NewServer; call Drain (or Close) exactly once on the way
+	// out.
+	Server = server.Server
+	// ServerConfig parameterizes NewServer; the zero value of every field
+	// selects a production-sane default. Leave the Engine field nil and
+	// use (*Engine).NewServer to share a root Engine's compile cache.
+	ServerConfig = server.Config
+	// ServerStats is the /statz document: engine-cache stats, the srv.*
+	// service counters, cumulative search-flow totals, and queue gauges.
+	ServerStats = server.Stats
+	// JobState is a job's lifecycle position (queued, running, done,
+	// failed, canceled).
+	JobState = server.JobState
+	// JobStatus is the wire view of a job returned by the status, list,
+	// and submit endpoints and by the terminal SSE event.
+	JobStatus = server.JobStatus
+	// SubmitRequest is the POST /v1/jobs body: one workload form
+	// (serde JSON, textual description, or inline conv geometry), an
+	// architecture preset or document, optimizer knobs, and the
+	// end-to-end deadline.
+	SubmitRequest = server.SubmitRequest
+	// ConvSpec is SubmitRequest's inline convolution geometry.
+	ConvSpec = server.ConvSpec
+	// SubmitOptions is SubmitRequest's optimizer-knob subset.
+	SubmitOptions = server.SubmitOptions
+	// JobEvent is one SSE frame of GET /v1/jobs/{id}/events.
+	JobEvent = server.Event
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = server.JobQueued
+	JobRunning  = server.JobRunning
+	JobDone     = server.JobDone
+	JobFailed   = server.JobFailed
+	JobCanceled = server.JobCanceled
+)
+
+// NewServer builds a scheduler service from cfg (zero fields defaulted),
+// backed by a fresh Engine unless cfg.Engine is set. The worker pool starts
+// immediately.
+func NewServer(cfg ServerConfig) *Server { return server.New(cfg) }
+
+// NewServer builds a scheduler service sharing this Engine's compilation
+// cache: identical problems submitted by any tenant compile once for the
+// whole service (and for any direct Optimize calls on the same Engine).
+func (e *Engine) NewServer(cfg ServerConfig) *Server {
+	cfg.Engine = e.core
+	return server.New(cfg)
+}
