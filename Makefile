@@ -7,15 +7,15 @@ BENCH_BEFORE ?= benchdata/pr2_before.txt
 BENCH_AFTER ?= benchdata/pr4_after.txt
 BENCH_OUT ?= BENCH_PR4.json
 
-.PHONY: check vet fmt-check guard build test race fuzz fuzz-smoke bench bench-smoke trace-smoke chaos-smoke server-smoke
+.PHONY: check vet fmt-check guard build test race fuzz fuzz-smoke bench bench-smoke trace-smoke chaos-smoke server-smoke parallel-smoke
 
 # check is the full pre-commit gate: static analysis, formatting, the
 # unified-stepper guard, build, the whole test suite, the race detector over
-# the concurrent search paths, a telemetry smoke test of the trace exporter,
-# a seeded chaos smoke of the resilient scheduling path, and an end-to-end
-# smoke of the sunstoned scheduler service (submit, poll, drain under
-# SIGTERM).
-check: vet fmt-check guard build test race trace-smoke chaos-smoke server-smoke
+# the concurrent search paths, a thread-count parity smoke of the parallel
+# beam expansion, a telemetry smoke test of the trace exporter, a seeded
+# chaos smoke of the resilient scheduling path, and an end-to-end smoke of
+# the sunstoned scheduler service (submit, poll, drain under SIGTERM).
+check: vet fmt-check guard build test race parallel-smoke trace-smoke chaos-smoke server-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,6 +47,13 @@ test:
 race:
 	$(GO) test -race ./internal/core/ ./internal/cost/ ./internal/faults/ ./internal/server/ ./internal/baselines/timeloop/ ./internal/baselines/innermost/
 	$(GO) test -race -short .
+
+# parallel-smoke pins the determinism contract of intra-search parallelism
+# on the tiny preset: the search result must be bit-identical at 1 and 8
+# threads, under the race detector, at both GOMAXPROCS=1 and 4 (-cpu), so
+# goroutine interleaving differences cannot change a mapping.
+parallel-smoke:
+	$(GO) test -race -run 'TestParallelParity/tiny' -cpu 1,4 -count 1 ./internal/core/
 
 # bench reruns the search/evaluation/Engine-reuse benchmarks and refreshes
 # $(BENCH_OUT), the machine-readable before/after trajectory: the committed

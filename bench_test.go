@@ -13,6 +13,7 @@ package sunstone_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	"sunstone"
@@ -123,15 +124,21 @@ func BenchmarkFig9Overheads(b *testing.B) {
 // --- Component micro-benchmarks ---
 
 // BenchmarkOptimizeConvConventional measures one full Sunstone search on a
-// representative ResNet-18 layer, conventional accelerator.
+// representative ResNet-18 layer, conventional accelerator, across worker
+// pool sizes. The threads=1 sub-benchmark is the serial baseline; the
+// threads=N ratios are the intra-search parallel speedup (results are
+// bit-identical at every thread count — see TestParallelParity).
 func BenchmarkOptimizeConvConventional(b *testing.B) {
 	w := sunstone.ResNet18Layers[1].Inference(16)
 	a := sunstone.Conventional()
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		if _, err := sunstone.Optimize(w, a, sunstone.Options{}); err != nil {
-			b.Fatal(err)
-		}
+	for _, threads := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("threads=%d", threads), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sunstone.Optimize(w, a, sunstone.Options{Threads: threads}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -26,6 +26,7 @@ var (
 	seed     = flag.Int64("seed", 1, "seed for randomized baselines")
 	csv      = flag.Bool("csv", false, "emit fig6/fig7/fig8 rows as CSV instead of text")
 	layerTO  = flag.Duration("layer-timeout", 0, "per-workload wall-clock budget for every tool (0 = each tool's natural budget); early-stopped runs report best-so-far with a stopped annotation")
+	threads  = flag.Int("threads", 0, "worker goroutines per search (0 = all cores); results are identical at any value")
 	cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
 	memProf  = flag.String("memprofile", "", "write a heap profile at exit to this file")
 	traceOut = flag.String("trace", "", "write a Chrome trace-event JSON of every search's phases to this file")
@@ -43,7 +44,7 @@ func main() {
 		os.Exit(2)
 	}
 	defer stopProf()
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, LayerTimeout: *layerTO}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, LayerTimeout: *layerTO, Threads: *threads}
 	var tr *obs.Trace
 	if *traceOut != "" {
 		tr = obs.NewTrace()

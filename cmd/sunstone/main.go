@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -40,6 +41,7 @@ var (
 	topDown   = flag.Bool("top-down", false, "optimize top-down instead of bottom-up (Table VI)")
 	objective = flag.String("objective", "edp", "figure of merit: edp | energy | delay | ed2p")
 	beam      = flag.Int("beam", 0, "beam width (0 = default)")
+	threads   = flag.Int("threads", 0, "worker goroutines per search — expansion, evaluation and polish fan-outs (0 = all cores); results are identical at any value")
 	compare   = flag.Bool("compare", false, "also run the baseline mappers on the same problem")
 	showBreak = flag.Bool("breakdown", false, "print the per-component energy breakdown")
 	accesses  = flag.Bool("accesses", false, "print per-level, per-tensor access counts")
@@ -236,7 +238,7 @@ func main() {
 		fatal(err)
 	}
 
-	opt := sunstone.Options{BeamWidth: *beam, Timeout: *timeout, Progress: progressTicker()}
+	opt := sunstone.Options{BeamWidth: *beam, Threads: *threads, Timeout: *timeout, Progress: progressTicker()}
 	if *topDown {
 		opt.Direction = sunstone.TopDown
 	}
@@ -265,9 +267,9 @@ func main() {
 	printAttempts(res)
 	fmt.Printf("workload: %s\narch: %s (%d MACs)\n\n", w.Name, a.Name, a.TotalMACs())
 	fmt.Printf("best mapping:\n%s\n\n", indent(res.Mapping.String()))
-	fmt.Printf("EDP      %.4e pJ*cycle\nenergy   %.4e pJ\ncycles   %.0f\nsearch   %v, %d candidates, %d orderings\n",
+	fmt.Printf("EDP      %.4e pJ*cycle\nenergy   %.4e pJ\ncycles   %.0f\nsearch   %v, %d candidates, %d orderings, %d threads\n",
 		res.Report.EDP, res.Report.EnergyPJ, res.Report.Cycles,
-		res.Elapsed, res.SpaceSize, res.OrderingsConsidered)
+		res.Elapsed, res.SpaceSize, res.OrderingsConsidered, effectiveThreads())
 	st := res.Stats
 	fmt.Printf("flow     %d generated = %d pruned (%d order, %d tile, %d unroll) + %d deduped + %d evaluated + %d skipped\n",
 		st.Generated, st.Pruned(), st.PrunedOrdering, st.PrunedTiling, st.PrunedUnrolling,
@@ -369,7 +371,7 @@ func runAllLayers(eng *sunstone.Engine) {
 		fatal(fmt.Errorf("-all-layers needs -net resnet18|inception|alexnet|vgg16"))
 	}
 	nopt := sunstone.NetworkOptions{
-		Options:         sunstone.Options{Timeout: *timeout, Progress: progressTicker()},
+		Options:         sunstone.Options{Threads: *threads, Timeout: *timeout, Progress: progressTicker()},
 		ContinueOnError: *contErr,
 		Resilience:      resiliencePolicy(),
 	}
@@ -546,4 +548,14 @@ func indent(s string) string {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "sunstone:", err)
 	os.Exit(2)
+}
+
+// effectiveThreads reports the worker-pool size a search actually uses: the
+// -threads value when set, otherwise every available core (the library's
+// Threads<=0 default).
+func effectiveThreads() int {
+	if *threads > 0 {
+		return *threads
+	}
+	return runtime.GOMAXPROCS(0)
 }

@@ -17,112 +17,89 @@ import (
 	"sunstone/internal/unroll"
 )
 
-// expandBottom is the sequencer's expand hook for the bottom-up direction:
-// expandLevel plus the flow accounting the shared stepper expects — every
+// expandBottomUnit is the sequencer's per-(state, ordering) expansion unit
+// for the bottom-up direction: it extends partial mapping base at step l
+// under one ordering — loop ordering for level l+1, tiling of level l,
+// spatial unrolling at level 0 (step 0 only) and at level l+1. Every
 // produced candidate is charged as generated, and the visit count handed to
 // the (unbounded) step budget includes both the enumeration effort and the
-// candidates themselves, matching the paper's space-size merit.
+// candidates themselves, matching the paper's space-size merit; the budget
+// parameter itself is ignored. Reject tallies are accumulated locally in the
+// returned unitOut and flushed once per state by the driver (see
+// replayExpansion) so the hot enumeration loops never touch an atomic and a
+// memoized replay charges identical deltas.
 //
-// The expansion is deterministic given (state, level, enumeration options),
-// so its outcome is memoized in the compiled problem's expansion cache: a
-// warm Engine call replays the recorded candidates and counter deltas
-// instead of re-walking the tiling/unrolling trees. Bottom-up ignores the
-// step budget (it is unbounded), so the budget is not part of the key.
-func (sc *search) expandBottom(ctx context.Context, base *mapping.Mapping, l int, orderings []order.Ordering, budget int) ([]*mapping.Mapping, int) {
-	key := sc.expandKey(l, 0, base)
-	if e := sc.comp.expansions.get(key); e != nil {
-		sc.replayExpansion(e)
-		return e.cands, e.visited
+// The unit runs on a pool worker: it must not touch anything mutable that is
+// shared with sibling units. It reads base (never written after creation),
+// clones before every extension, and goes through the compiled problem's
+// internally-synchronized ladder cache; the fit checker is per-call scratch.
+// Cancellation is checked on entry and polled inside the tiling walk, so a
+// stop truncates the candidate set rather than discarding it (the driver
+// then skips memoization).
+func (sc *search) expandBottomUnit(ctx context.Context, base *mapping.Mapping, l int, o *order.Ordering, budget int) unitOut {
+	var out unitOut
+	if anytime.FromContext(ctx) != StopComplete {
+		return out
 	}
-	cands, effort, prunedTiling, prunedUnrolling := sc.expandLevel(ctx, base, l, orderings)
-	e := &expandEntry{
-		cands:           cands,
-		visited:         effort + len(cands),
-		prunedTiling:    prunedTiling,
-		prunedUnrolling: prunedUnrolling,
-	}
-	sc.replayExpansion(e)
-	// A cancellation mid-enumeration truncates the candidate set; only
-	// complete expansions may be memoized.
-	if anytime.FromContext(ctx) == StopComplete {
-		sc.comp.expansions.put(key, e)
-	}
-	return e.cands, e.visited
-}
-
-// expandLevel generates the candidate extensions of partial mapping base at
-// step l: loop ordering for level l+1, tiling of level l, spatial unrolling
-// at level 0 (step 0 only) and at level l+1. Returns the candidates plus the
-// enumeration effort (tree nodes visited), which depends on the intra-level
-// Strategy, and the enumeration-reject tallies — tiling-tree nodes that
-// never became a candidate, unrolling choices cut by the utilization filter
-// or capacity. The rejects are accumulated locally and flushed by the caller
-// (see replayExpansion) so the hot enumeration loops never touch an atomic
-// and a memoized replay charges identical deltas. Cancellation is polled
-// between orderings — the bounded unit of work here — so a stop truncates
-// the candidate set rather than discarding it.
-func (sc *search) expandLevel(ctx context.Context, base *mapping.Mapping, l int, orderings []order.Ordering) (out []*mapping.Mapping, effort, prunedTiling, prunedUnrolling int) {
-	opt := sc.opt
 	w := base.Workload
 	a := base.Arch
-	poll := &anytime.Poller{Ctx: ctx}
+	effort := 0
 
-	// Strategy accounting: the non-default intra-level orders enumerate
-	// their first stage without the ordering's principle guidance and
-	// filter later, so they visit extra nodes for the same final set.
-	switch opt.Strategy {
-	case TileUnrollOrder:
-		effort += sc.unguidedTileEffort(ctx, base, l)
-	case UnrollTileOrder:
-		effort += sc.unguidedUnrollEffort(base, l)
-		effort += sc.unguidedTileEffort(ctx, base, l)
+	m1 := base.Clone()
+	m1.Levels[l+1].Order = o.Complete(w)
+	grow := growDimsFor(w, o)
+
+	// Step 0 also assigns the unrolling below the first memory level
+	// (e.g. the DianNao NFU between the on-chip buffers and the MACs).
+	bases := []*mapping.Mapping{m1}
+	if l == 0 && a.Levels[0].Fanout > 1 {
+		bases = sc.unrollAt(m1, 0, nil, &out.prunedUnrolling)
+		effort += len(bases)
 	}
 
-	for oi := range orderings {
-		if poll.Stop() != StopComplete {
-			break
+	// Unrolling is settled before tiling (the paper's default
+	// intra-level order, Table VI row 1): the spatial fanout must claim
+	// its share of the factor budget before the maximal-tile search
+	// consumes it, or the PE array is left underutilized.
+	for _, m2 := range bases {
+		withSpatial := []*mapping.Mapping{m2}
+		if a.Levels[l+1].Fanout > 1 {
+			withSpatial = sc.unrollAt(m2, l+1, grow, &out.prunedUnrolling)
+			effort += len(withSpatial)
 		}
-		o := &orderings[oi]
-		m1 := base.Clone()
-		m1.Levels[l+1].Order = o.Complete(w)
-		grow := growDimsFor(w, o)
-
-		// Step 0 also assigns the unrolling below the first memory level
-		// (e.g. the DianNao NFU between the on-chip buffers and the MACs).
-		bases := []*mapping.Mapping{m1}
-		if l == 0 && a.Levels[0].Fanout > 1 {
-			bases = sc.unrollAt(m1, 0, nil, &prunedUnrolling)
-			effort += len(bases)
-		}
-
-		// Unrolling is settled before tiling (the paper's default
-		// intra-level order, Table VI row 1): the spatial fanout must claim
-		// its share of the factor budget before the maximal-tile search
-		// consumes it, or the PE array is left underutilized.
-		for _, m2 := range bases {
-			withSpatial := []*mapping.Mapping{m2}
-			if a.Levels[l+1].Fanout > 1 {
-				withSpatial = sc.unrollAt(m2, l+1, grow, &prunedUnrolling)
-				effort += len(withSpatial)
-			}
-			for _, m3 := range withSpatial {
-				tiles, tstats := sc.enumerateTiles(ctx, m3, l, grow)
-				effort += tstats.NodesVisited
-				prunedTiling += tstats.NodesVisited - tstats.Survivors
-				for _, tc := range tiles {
-					m4 := m3.Clone()
-					for d, f := range tc {
-						if f > 1 {
-							m4.Levels[l].Temporal[d] = f
-						}
+		for _, m3 := range withSpatial {
+			tiles, tstats := sc.enumerateTiles(ctx, m3, l, grow)
+			effort += tstats.NodesVisited
+			out.prunedTiling += tstats.NodesVisited - tstats.Survivors
+			for _, tc := range tiles {
+				m4 := m3.Clone()
+				for d, f := range tc {
+					if f > 1 {
+						m4.Levels[l].Temporal[d] = f
 					}
-					sc.residualFill(m4, l, grow)
-					out = append(out, m4)
 				}
+				sc.residualFill(m4, l, grow)
+				out.cands = append(out.cands, m4)
 			}
 		}
 	}
-	return out, effort, prunedTiling, prunedUnrolling
+	out.visited = effort + len(out.cands)
+	return out
+}
+
+// strategyEffort is the bottom-up sequencer's per-state effort hook: the
+// non-default intra-level orders enumerate their first stage without the
+// ordering's principle guidance and filter later, so they visit extra nodes
+// for the same final set. The cost is independent of any single ordering, so
+// the driver charges it once per state (folded into the state's first unit).
+func (sc *search) strategyEffort(ctx context.Context, base *mapping.Mapping, l int) int {
+	switch sc.opt.Strategy {
+	case TileUnrollOrder:
+		return sc.unguidedTileEffort(ctx, base, l)
+	case UnrollTileOrder:
+		return sc.unguidedUnrollEffort(base, l) + sc.unguidedTileEffort(ctx, base, l)
+	}
+	return 0
 }
 
 // replayExpansion charges one expansion's candidate-flow deltas — whether

@@ -106,17 +106,20 @@ func (lc *ladderCache) ladder(n, minDiv int) []int {
 }
 
 // expandEntry records one level-expansion's complete outcome: the produced
-// candidates, the visit count charged against the step budget, and the
+// candidates, the visit count charged against the step budget, the
 // enumeration-reject tallies the expansion flushed into the candidate-flow
-// counters. A warm search replays all three, so its counters, space size and
-// candidate set are indistinguishable from a cold run's. The stored mappings
-// are shared across searches and MUST be treated as immutable (the search
-// never mutates a produced candidate — every downstream consumer clones).
+// counters, and whether any of its work units exhausted its visit-budget
+// share. A warm search replays all of them, so its counters, space size,
+// budget-hit flag and candidate set are indistinguishable from a cold run's.
+// The stored mappings are shared across searches and MUST be treated as
+// immutable (the search never mutates a produced candidate — every
+// downstream consumer clones).
 type expandEntry struct {
 	cands           []*mapping.Mapping
 	visited         int
 	prunedTiling    int
 	prunedUnrolling int
+	truncated       bool
 }
 
 // maxExpandCacheCands bounds the candidate mappings an expansion cache may

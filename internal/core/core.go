@@ -31,7 +31,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 	"time"
 
 	"sunstone/internal/anytime"
@@ -182,7 +181,10 @@ type Options struct {
 	// NoPolish disables the greedy local-move refinement applied to the
 	// bottom-up search's best mapping.
 	NoPolish bool
-	// Threads bounds the evaluation goroutines (default GOMAXPROCS).
+	// Threads bounds the worker goroutines used inside one search — the
+	// candidate-expansion, evaluation, and polish fan-outs all share one
+	// pool of this size (default GOMAXPROCS). Results are bit-identical at
+	// every thread count; see TestParallelParity.
 	Threads int
 	// Model is the cost model (default cost.Default).
 	Model cost.Model
@@ -213,10 +215,15 @@ type Options struct {
 // would never finish or would exhaust memory.
 const (
 	maxBeamWidth  = 1 << 20
-	maxThreads    = 4096
 	maxPerStep    = 1 << 20
 	maxAlphaSlack = 1e12
 )
+
+// MaxThreads is the largest Options.Threads value Validate accepts. Exported
+// so callers that accept a thread count from untrusted input — the scheduler
+// service's job-submission `threads` field — can validate against the same
+// bound before building Options.
+const MaxThreads = 4096
 
 // Validate rejects option values that today would be silently defaulted or
 // silently accepted but can never be what the caller meant: NaN or negative
@@ -246,7 +253,7 @@ func (o Options) Validate() error {
 		}
 	}
 	badRange("BeamWidth", o.BeamWidth, maxBeamWidth)
-	badRange("Threads", o.Threads, maxThreads)
+	badRange("Threads", o.Threads, MaxThreads)
 	badRange("TilesPerStep", o.TilesPerStep, maxPerStep)
 	badRange("UnrollsPerStep", o.UnrollsPerStep, maxPerStep)
 	if o.TopDownVisitBudget < 0 {
@@ -437,10 +444,15 @@ type search struct {
 	reg  *obs.Registry
 	ctr  *obs.SearchCounters
 	prog *progressEmitter
+	// best is the shared atomic incumbent score: published lock-free by the
+	// evaluation workers as candidates complete, consumed only at step
+	// barriers to seed the alpha-beta bound (see prune) — deterministic
+	// there, because by the barrier every score of the step has landed.
+	best *bestScore
 }
 
 func newSearch(comp *Compiled, opt Options) *search {
-	sc := &search{opt: opt, comp: comp, sess: comp.sess}
+	sc := &search{opt: opt, comp: comp, sess: comp.sess, best: newBestScore()}
 	sc.evs = make([]*cost.Evaluator, opt.Threads)
 	// Cache hits/misses are charged to per-run counters (as well as the
 	// session's lifetime tally) so Result.Stats partitions per call even
@@ -577,36 +589,23 @@ func feasible(m *mapping.Mapping, from int) bool {
 // evalAll scores the completed forms of the given mappings in parallel and
 // returns them as states sorted by (score, render) for determinism, plus
 // any panics recovered from poisoned evaluations (capped at
-// maxCandidateErrors). Scoring runs on the fast path: a fixed pool of
-// workers — one preallocated scratch Evaluator each — pulls indices off an
-// atomic counter, so the fan-out allocates nothing per candidate beyond the
-// completion clone. Once ctx is done the remaining unevaluated mappings are
-// skipped — they surface as +Inf states the caller's prune discards — so a
-// cancel drains the worker pool within one evaluation per thread.
+// maxCandidateErrors). Scoring runs on the fast path through the shared
+// intra-search pool (runParallel): a fixed set of workers — one preallocated
+// scratch Evaluator each, indexed by worker id — pulls indices off an atomic
+// counter, so the fan-out allocates nothing per candidate beyond the
+// completion clone. Each valid score is published to the search's shared
+// atomic incumbent as it lands, so the alpha-beta bound consumed at the next
+// step barrier is the tightest available. Once ctx is done the remaining
+// unevaluated mappings are skipped — they surface as +Inf states the
+// caller's prune discards — so a cancel drains the worker pool within one
+// evaluation per thread.
 func (sc *search) evalAll(ctx context.Context, ms []*mapping.Mapping, cf completeFn) ([]state, []error) {
 	states := make([]state, len(ms))
 	var mu sync.Mutex
 	var panics []error
-	workers := len(sc.evs)
-	if workers > len(ms) {
-		workers = len(ms)
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for wk := 0; wk < workers; wk++ {
-		wg.Add(1)
-		go func(ev *cost.Evaluator) {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(ms) {
-					return
-				}
-				sc.evalOne(ctx, ev, ms, states, i, cf, &mu, &panics)
-			}
-		}(sc.evs[wk])
-	}
-	wg.Wait()
+	runParallel(len(sc.evs), len(ms), func(wk, i int) {
+		sc.evalOne(ctx, sc.evs[wk], ms, states, i, cf, &mu, &panics)
+	})
 	sortStates(states)
 	return states, panics
 }
@@ -641,6 +640,9 @@ func (sc *search) evalOne(ctx context.Context, ev *cost.Evaluator, ms []*mapping
 		energyPJ:  energyPJ,
 		cycles:    cycles,
 		valid:     valid,
+	}
+	if valid {
+		sc.best.publish(states[i].score)
 	}
 }
 
@@ -735,8 +737,14 @@ func reproMapping(m *mapping.Mapping) string {
 // width discarded (these are post-evaluation cuts — subsets of the
 // evaluated count, not part of the generated = pruned + deduped + evaluated
 // flow identity).
-func prune(states []state, opt Options) (out []state, boundCut, beamCut int) {
-	alpha := math.Inf(1)
+//
+// alphaSeed is the search-wide incumbent score carried in from previous
+// steps (+Inf when none): the bound is the tighter of the seed and this
+// step's own best, so a strong earlier level keeps pruning a weak later
+// one. The best valid state of the step always survives regardless — the
+// beam must never empty just because the whole step trails the incumbent.
+func prune(states []state, opt Options, alphaSeed float64) (out []state, boundCut, beamCut int) {
+	alpha := alphaSeed
 	for _, s := range states {
 		if math.IsInf(s.score, 1) {
 			continue
@@ -750,7 +758,7 @@ func prune(states []state, opt Options) (out []state, boundCut, beamCut int) {
 		if math.IsInf(s.score, 1) {
 			continue
 		}
-		if s.score > alpha*opt.AlphaSlack {
+		if len(out) > 0 && s.score > alpha*opt.AlphaSlack {
 			boundCut++ // alpha-beta: provably far from the incumbent
 			continue
 		}
@@ -764,9 +772,12 @@ func prune(states []state, opt Options) (out []state, boundCut, beamCut int) {
 }
 
 // prunedAndCount is prune plus counter accounting, the form every search
-// loop uses.
+// loop uses. The alpha seed is read from the shared atomic incumbent at the
+// post-evaluation barrier, where its value is a deterministic function of
+// the candidate flow (every score of the step has been published by the time
+// evalAll joins its workers).
 func (sc *search) prunedAndCount(states []state) []state {
-	out, boundCut, beamCut := prune(states, sc.opt)
+	out, boundCut, beamCut := prune(states, sc.opt, sc.best.load())
 	sc.ctr.PrunedBound.Add(uint64(boundCut))
 	sc.ctr.PrunedBeam.Add(uint64(beamCut))
 	return out

@@ -1,0 +1,150 @@
+package core
+
+// This file holds the intra-search worker-pool machinery shared by the three
+// fan-outs of one search — candidate expansion (runStep's (state, ordering)
+// units), evaluation (evalAll), and polish (the perturbation batch). One
+// search never runs more than one fan-out at a time, so a single pool-size
+// knob (Options.Threads) governs all three, and per-worker scratch (the
+// preallocated Evaluators) is indexed by worker id.
+//
+// Determinism is the design constraint: results, SpaceSize and the counter
+// partition must be bit-identical to the serial path at any thread count.
+// The pool therefore only decides *when* a unit runs, never *what* it
+// computes or where its output lands — every unit writes to its own
+// preassigned slot and the driver merges slots in deterministic unit order.
+// Anything order-sensitive (budget shares, counter flushes, memoization,
+// fault-injection ordinals) happens on the driver goroutine before or after
+// the fan-out.
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// runParallel executes units 0..n-1 across at most `threads` workers, each
+// call fn(worker, unit) with worker in [0, min(threads, n)). Units are pulled
+// off an atomic counter (work-stealing: a slow unit never blocks the rest).
+// With threads <= 1 it degenerates to a plain loop on the caller goroutine —
+// the serial path is literally the same code.
+//
+// A panic inside a unit is re-raised on the caller goroutine after every
+// worker has drained (first panic wins): callers that rely on panics
+// propagating — the chaos-injection sites, the resilient retry loop —
+// observe the same panic whether the unit ran inline or on a worker.
+func runParallel(threads, n int, fn func(worker, unit int)) {
+	if n <= 0 {
+		return
+	}
+	if threads > n {
+		threads = n
+	}
+	if threads <= 1 {
+		for i := 0; i < n; i++ {
+			fn(0, i)
+		}
+		return
+	}
+	var (
+		next      atomic.Int64
+		wg        sync.WaitGroup
+		panicOnce sync.Once
+		panicked  atomic.Bool
+		panicVal  any
+	)
+	for wk := 0; wk < threads; wk++ {
+		wg.Add(1)
+		go func(wk int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicOnce.Do(func() {
+						panicVal = r
+						panicked.Store(true)
+					})
+				}
+			}()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(wk, i)
+			}
+		}(wk)
+	}
+	wg.Wait()
+	if panicked.Load() {
+		panic(panicVal)
+	}
+}
+
+// partitionBudget deterministically splits a visit budget across n units:
+// each unit gets total/n, the first total%n units one extra, so the shares
+// sum to total and depend only on (total, n) — never on thread count or
+// execution order. This replaces the serial `remaining -= visited` chain,
+// whose shares depended on how much each earlier unit happened to consume.
+// An unbounded budget (math.MaxInt) stays unbounded for every unit.
+func partitionBudget(total, n int) []int {
+	shares := make([]int, n)
+	if total == math.MaxInt {
+		for i := range shares {
+			shares[i] = math.MaxInt
+		}
+		return shares
+	}
+	base, extra := total/n, total%n
+	for i := range shares {
+		shares[i] = base
+		if i < extra {
+			shares[i]++
+		}
+		if shares[i] < 1 {
+			shares[i] = 1
+		}
+	}
+	return shares
+}
+
+// bestScore is the search-wide atomic incumbent score: the lowest valid
+// completed-candidate objective published so far, shared across the worker
+// pool so every consumer of the alpha-beta bound sees the tightest value
+// available (ROADMAP item 4's bound-sharing hook). Publication is lock-free
+// (CAS-min over the float bits; scores are non-negative so the bit pattern
+// is order-preserving).
+//
+// Determinism: workers only *publish* here, racing freely; the bound is
+// *consumed* only at step barriers (after evalAll has joined), where its
+// value — the minimum over every candidate evaluated so far plus the seed —
+// is a deterministic function of the candidate flow, independent of thread
+// count or interleaving.
+type bestScore struct {
+	bits atomic.Uint64
+}
+
+func newBestScore() *bestScore {
+	b := &bestScore{}
+	b.bits.Store(math.Float64bits(math.Inf(1)))
+	return b
+}
+
+// publish lowers the shared bound to score if it improves it.
+func (b *bestScore) publish(score float64) {
+	if math.IsInf(score, 1) || math.IsNaN(score) {
+		return
+	}
+	for {
+		old := b.bits.Load()
+		if score >= math.Float64frombits(old) {
+			return
+		}
+		if b.bits.CompareAndSwap(old, math.Float64bits(score)) {
+			return
+		}
+	}
+}
+
+// load returns the current shared bound (+Inf until the first publish).
+func (b *bestScore) load() float64 {
+	return math.Float64frombits(b.bits.Load())
+}

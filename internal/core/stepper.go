@@ -30,20 +30,44 @@ type sequencer struct {
 	// stepBudget caps the candidates one step may visit (math.MaxInt when
 	// the direction is unbudgeted). Top-down splits its visit budget evenly
 	// across steps so the enormous DRAM-level branching cannot starve the
-	// lower steps.
+	// lower steps; within a step the budget is pre-partitioned across the
+	// (state, ordering) work units (see expandStep).
 	stepBudget int
-	// polish enables the final greedy refinement (bottom-up only: its last
-	// step's winner is a fully-assigned mapping worth perturbing).
+	// budgeted reports whether stepBudget binds (top-down). It decides
+	// whether the per-state budget share is part of the expansion-memo key
+	// and whether unit truncation is tracked.
+	budgeted bool
+	// polish enables the final refinement (bottom-up only: its last step's
+	// winner is a fully-assigned mapping worth perturbing).
 	polish bool
-	// expand generates a beam state's candidate extensions at a level, under
-	// the remaining step budget, returning the candidates plus the visit
-	// count charged against that budget. Implementations flush their own
-	// enumeration-reject counters.
-	expand func(ctx context.Context, base *mapping.Mapping, lvl int, orderings []order.Ordering, budget int) ([]*mapping.Mapping, int)
+	// stateEffort charges per-state enumeration overhead not tied to any
+	// single ordering — the non-default strategies' unguided first stages.
+	// Nil when the direction has none.
+	stateEffort func(ctx context.Context, base *mapping.Mapping, lvl int) int
+	// expandUnit generates the candidate extensions of one (state, ordering)
+	// work unit at a level, under the unit's pre-partitioned visit budget.
+	// Unit functions must be pure with respect to the search: they may only
+	// read shared state (the base mapping, the compiled artifacts — whose
+	// caches are internally synchronized) and accumulate their reject
+	// tallies locally in the returned unitOut; the driver flushes them once
+	// per state, so the hot enumeration loops never touch an atomic.
+	expandUnit func(ctx context.Context, base *mapping.Mapping, lvl int, o *order.Ordering, budget int) unitOut
 	// completeAt returns the completion used to score level lvl's partial
 	// candidates (bottom-up: greedy fill upward; top-down: remaining extents
 	// into the level below).
 	completeAt func(lvl int) completeFn
+}
+
+// unitOut is one (state, ordering) expansion unit's result: the produced
+// candidates in deterministic enumeration order, the visit count charged
+// against the unit's budget share, the locally-accumulated enumeration-reject
+// tallies, and whether the unit's budget expired before enumeration finished.
+type unitOut struct {
+	cands           []*mapping.Mapping
+	visited         int
+	prunedTiling    int
+	prunedUnrolling int
+	truncated       bool
 }
 
 // sequencer builds the direction's parameterization from the run's options.
@@ -64,7 +88,8 @@ func (sc *search) sequencer() sequencer {
 		return sequencer{
 			levels:     levels,
 			stepBudget: stepBudget,
-			expand:     sc.expandTop,
+			budgeted:   true,
+			expandUnit: sc.expandTopUnit,
 			completeAt: func(lvl int) completeFn { return sc.completeDownAt(lvl - 1) },
 		}
 	}
@@ -73,11 +98,12 @@ func (sc *search) sequencer() sequencer {
 		levels = append(levels, l)
 	}
 	return sequencer{
-		levels:     levels,
-		stepBudget: math.MaxInt,
-		polish:     true,
-		expand:     sc.expandBottom,
-		completeAt: func(int) completeFn { return sc.completeUp },
+		levels:      levels,
+		stepBudget:  math.MaxInt,
+		polish:      true,
+		stateEffort: sc.strategyEffort,
+		expandUnit:  sc.expandBottomUnit,
+		completeAt:  func(int) completeFn { return sc.completeUp },
 	}
 }
 
@@ -139,6 +165,7 @@ func seedIncumbent(sc *search, inc *incumbent, res *Result, seed *mapping.Mappin
 		cycles:    cycles,
 		valid:     valid,
 	}) {
+		sc.best.publish(inc.score)
 		sc.prog.incumbent("seed", -1, inc.score, inc.energyPJ, inc.cycles)
 	}
 }
@@ -207,7 +234,11 @@ func runLevelSearch(ctx context.Context, sc *search) (Result, error) {
 		sc.prog.phase(obs.PhaseStarted, "polish", -1)
 		var evals int
 		var reason StopReason
-		final, energyPJ, cycles, evals, reason = polish(ctx, sc, final, best.score, energyPJ, cycles, orderings)
+		var perrs []error
+		final, energyPJ, cycles, evals, perrs, reason = polish(ctx, sc, final, best.score, energyPJ, cycles, orderings)
+		for _, e := range perrs {
+			res.CandidateErrors = appendCapped(res.CandidateErrors, e)
+		}
 		res.SpaceSize += evals
 		res.Stopped = reason
 		sc.prog.phase(obs.PhaseFinished, "polish", -1)
@@ -240,25 +271,14 @@ func (sc *search) runStep(ctx context.Context, seq *sequencer, lvl int, states [
 		return nil, false, true, out, err
 	}
 	_, esp := obs.StartSpan(lctx, "enumerate")
+	entries := sc.expandStep(ctx, seq, lvl, states, orderings)
 	var produced []*mapping.Mapping
 	visitedTotal := 0
-	remaining := seq.stepBudget
-	for _, st := range states {
-		// Chaos hook: an injected expansion fault panics (expansion has no
-		// error channel); resilient callers convert it into a retry.
-		faults.MustFire(faults.SiteExpand)
-		cands, visited := seq.expand(ctx, st.m, lvl, orderings, remaining)
-		produced = append(produced, cands...)
-		res.SpaceSize += visited
-		visitedTotal += visited
-		remaining -= visited
-		if remaining <= 0 {
-			budgetHit = true
-			break
-		}
-		if anytime.FromContext(ctx) != StopComplete {
-			break // partial batch: score what we have, then stop above
-		}
+	for _, e := range entries {
+		produced = append(produced, e.cands...)
+		res.SpaceSize += e.visited
+		visitedTotal += e.visited
+		budgetHit = budgetHit || e.truncated
 	}
 	esp.Arg("produced", len(produced)).Arg("visited", visitedTotal).End()
 	if len(produced) == 0 {
@@ -291,4 +311,97 @@ func (sc *search) runStep(ctx context.Context, seq *sequencer, lvl int, states [
 		return nil, budgetHit, true, out, err
 	}
 	return next, budgetHit, false, Result{}, nil
+}
+
+// expandStep expands every beam state at level lvl and returns one expansion
+// entry per state, in state order. This is the enumerate phase's parallel
+// driver, built so results are bit-identical to a serial walk at any thread
+// count:
+//
+//   - the step's visit budget is pre-partitioned across states, then each
+//     state's share across its orderings — a pure function of (budget,
+//     #states, #orderings), replacing the serial `remaining -= visited`
+//     chain whose shares depended on execution order;
+//   - each (state, ordering) pair is an independent work unit writing into
+//     its own slot; slots are merged in (state-index, ordering-index) order;
+//   - counter flushes (replayExpansion), memoization, and the expansion
+//     chaos hook all run on the driver goroutine in state order, so counter
+//     deltas and fault-injection ordinals stay deterministic.
+//
+// Memoization keeps its per-state granularity and contract: keys never
+// include the thread count, entries record the complete (all-orderings)
+// outcome, and only uncancelled — complete — expansions are stored.
+func (sc *search) expandStep(ctx context.Context, seq *sequencer, lvl int, states []state, orderings []order.Ordering) []*expandEntry {
+	entries := make([]*expandEntry, len(states))
+	fresh := make([]bool, len(states))
+	keys := make([]string, len(states))
+	shares := partitionBudget(seq.stepBudget, len(states))
+	type unitRef struct{ si, oi int }
+	var units []unitRef
+	for si := range states {
+		// Chaos hook: fired on the driver goroutine in beam order so injected
+		// expansion faults keep their deterministic per-site ordinal sequence
+		// regardless of worker count; the panic propagates to the resilient
+		// retry path exactly as a serial expansion's would. (Worker panics
+		// are re-raised here too — see runParallel.)
+		faults.MustFire(faults.SiteExpand)
+		keyBudget := 0
+		if seq.budgeted {
+			keyBudget = shares[si]
+		}
+		keys[si] = sc.expandKey(lvl, keyBudget, states[si].m)
+		if e := sc.comp.expansions.get(keys[si]); e != nil {
+			entries[si] = e
+			continue
+		}
+		fresh[si] = true
+		for oi := range orderings {
+			units = append(units, unitRef{si, oi})
+		}
+	}
+	if len(units) > 0 {
+		oShares := make([][]int, len(states))
+		for si := range states {
+			if fresh[si] {
+				oShares[si] = partitionBudget(shares[si], len(orderings))
+			}
+		}
+		outs := make([]unitOut, len(units))
+		runParallel(sc.opt.Threads, len(units), func(_, u int) {
+			ur := units[u]
+			o := seq.expandUnit(ctx, states[ur.si].m, lvl, &orderings[ur.oi], oShares[ur.si][ur.oi])
+			if ur.oi == 0 && seq.stateEffort != nil {
+				o.visited += seq.stateEffort(ctx, states[ur.si].m, lvl)
+			}
+			outs[u] = o
+		})
+		for u := range units {
+			ur := units[u]
+			e := entries[ur.si]
+			if e == nil {
+				e = &expandEntry{}
+				entries[ur.si] = e
+			}
+			o := &outs[u]
+			e.cands = append(e.cands, o.cands...)
+			e.visited += o.visited
+			e.prunedTiling += o.prunedTiling
+			e.prunedUnrolling += o.prunedUnrolling
+			e.truncated = e.truncated || o.truncated
+		}
+	}
+	// Flush counters and memoize in state order, after the barrier: a
+	// cancellation mid-fan-out truncates candidate sets, so only complete
+	// expansions may be stored.
+	complete := anytime.FromContext(ctx) == StopComplete
+	for si := range states {
+		if entries[si] == nil {
+			entries[si] = &expandEntry{}
+		}
+		sc.replayExpansion(entries[si])
+		if fresh[si] && complete {
+			sc.comp.expansions.put(keys[si], entries[si])
+		}
+	}
+	return entries
 }

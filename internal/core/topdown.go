@@ -21,37 +21,20 @@ import (
 	"sunstone/internal/unroll"
 )
 
-// expandTop is the sequencer's expand hook for the top-down direction:
-// expandTopLevel plus the flow accounting the shared stepper expects. Every
-// visited node is either a materialized candidate (evaluated downstream) or
-// a tiling reject; unrolling rejects are tallied separately. The counters
-// are flushed once per beam state (via replayExpansion) — the enumeration
-// recursion can visit millions of nodes, so it must never touch an atomic
-// per node.
+// expandTopUnit is the sequencer's per-(state, ordering) expansion unit for
+// the top-down direction. Every visited node is either a materialized
+// candidate (evaluated downstream) or a tiling reject; unrolling rejects are
+// tallied separately. All tallies are accumulated locally in the returned
+// unitOut and flushed once per beam state by the driver (via
+// replayExpansion) — the enumeration recursion can visit millions of nodes,
+// so it must never touch an atomic per node.
 //
-// Like bottom-up, the expansion is memoized in the compiled problem: the
-// outcome is deterministic given (state, level, options, remaining budget) —
-// the budget binds the top-down enumeration, so it is part of the key, and
-// identical repeat runs walk the same deterministic budget sequence.
-func (sc *search) expandTop(ctx context.Context, base *mapping.Mapping, m int, orderings []order.Ordering, budget int) ([]*mapping.Mapping, int) {
-	key := sc.expandKey(m, budget, base)
-	if e := sc.comp.expansions.get(key); e != nil {
-		sc.replayExpansion(e)
-		return e.cands, e.visited
-	}
-	cands, visited, prunedUnroll := sc.expandTopLevel(ctx, base, m, orderings, budget)
-	e := &expandEntry{
-		cands:           cands,
-		visited:         visited,
-		prunedTiling:    visited - len(cands),
-		prunedUnrolling: prunedUnroll,
-	}
-	sc.replayExpansion(e)
-	if anytime.FromContext(ctx) == StopComplete {
-		sc.comp.expansions.put(key, e)
-	}
-	return e.cands, e.visited
-}
+// The budget is this unit's pre-partitioned share of the step's visit
+// budget (see expandStep): unlike the historical serial walk, where one
+// greedy ordering could starve its siblings through the shared `remaining`
+// counter, every unit's share is fixed up front, which is what makes the
+// outcome independent of execution order and thread count. The unit reports
+// truncated when its share expired before the enumeration finished.
 
 // completeDownAt returns the top-down scoring completion for candidates
 // whose remaining factors land in the level-lvl tile (lower levels stay 1).
@@ -73,94 +56,87 @@ func (sc *search) completeDownAt(lvl int) completeFn {
 	}
 }
 
-// expandTopLevel enumerates (ordering, spatial, temporal-factor) choices for
-// level m of partial mapping base. The returned visit count includes
-// capacity-rejected combinations (they were examined); prunedUnroll counts
-// the unrolling-enumeration rejects. Enumeration stops when the remaining
-// visit budget is exhausted or the context is canceled (polled every 1024
-// visits — the recursion itself is the hot loop here).
-func (sc *search) expandTopLevel(ctx context.Context, base *mapping.Mapping, m int, orderings []order.Ordering, budget int) ([]*mapping.Mapping, int, int) {
+func (sc *search) expandTopUnit(ctx context.Context, base *mapping.Mapping, m int, o *order.Ordering, budget int) unitOut {
+	var out unitOut
 	w := base.Workload
 	a := base.Arch
 	visited := 0
-	prunedUnroll := 0
-	var out []*mapping.Mapping
 	poll := &anytime.Poller{Ctx: ctx, Every: 1024}
+	if poll.Stop() != StopComplete {
+		return out
+	}
 
 	dims := w.Order
-	for oi := range orderings {
-		if poll.Stop() != StopComplete {
-			break
-		}
-		o := &orderings[oi]
-		m1 := base.Clone()
-		m1.Levels[m].Order = o.Complete(w)
+	m1 := base.Clone()
+	m1.Levels[m].Order = o.Complete(w)
 
-		spatials := []*mapping.Mapping{m1}
-		if a.Levels[m].Fanout > 1 {
-			spatials = sc.topDownUnroll(m1, m, &prunedUnroll)
-		}
-		for _, m2 := range spatials {
-			// Budget for T(m): the remainder above level m, net of the
-			// spatial factors just assigned at m.
-			quota := remainingExtents(m2, m)
-			for d := range quota {
-				if s := m2.Levels[m].S(d); s > 1 {
-					quota[d] = ceilDiv(quota[d], s)
-				}
-			}
-			// Descending ladders: large top-level factors leave small
-			// remainders below, so the feasible region (remainder fits
-			// the next level) is reached before any visit budget expires.
-			ladders := make([][]int, len(dims))
-			for i, d := range dims {
-				l := sc.comp.ladders.ladder(quota[d], 4)
-				rev := make([]int, len(l))
-				for j, v := range l {
-					rev[len(l)-1-j] = v
-				}
-				ladders[i] = rev
-			}
-			cur := make(map[tensor.Dim]int, len(dims))
-			var rec func(i int)
-			rec = func(i int) {
-				if visited >= budget || poll.Stop() != StopComplete {
-					return
-				}
-				if i == len(dims) {
-					visited++
-					// Full capacity check before paying for a clone.
-					if !partialRemainderCanFit(m2, m, cur, nil, quota) {
-						return
-					}
-					cand := m2.Clone()
-					for d, f := range cur {
-						if f > 1 {
-							cand.Levels[m].Temporal[d] = f
-						}
-					}
-					out = append(out, cand)
-					return
-				}
-				d := dims[i]
-				for _, f := range ladders[i] {
-					cur[d] = f
-					// Sound subtree pruning: with unassigned dims at their
-					// largest factors (smallest remainders), if the partial
-					// remainder already overflows level m-1, no completion
-					// can fit.
-					if !partialRemainderCanFit(m2, m, cur, dims[i+1:], quota) {
-						visited++
-						continue
-					}
-					rec(i + 1)
-				}
-				delete(cur, d)
-			}
-			rec(0)
-		}
+	spatials := []*mapping.Mapping{m1}
+	if a.Levels[m].Fanout > 1 {
+		spatials = sc.topDownUnroll(m1, m, &out.prunedUnrolling)
 	}
-	return out, visited, prunedUnroll
+	for _, m2 := range spatials {
+		// Budget for T(m): the remainder above level m, net of the
+		// spatial factors just assigned at m.
+		quota := remainingExtents(m2, m)
+		for d := range quota {
+			if s := m2.Levels[m].S(d); s > 1 {
+				quota[d] = ceilDiv(quota[d], s)
+			}
+		}
+		// Descending ladders: large top-level factors leave small
+		// remainders below, so the feasible region (remainder fits
+		// the next level) is reached before any visit budget expires.
+		ladders := make([][]int, len(dims))
+		for i, d := range dims {
+			l := sc.comp.ladders.ladder(quota[d], 4)
+			rev := make([]int, len(l))
+			for j, v := range l {
+				rev[len(l)-1-j] = v
+			}
+			ladders[i] = rev
+		}
+		cur := make(map[tensor.Dim]int, len(dims))
+		var rec func(i int)
+		rec = func(i int) {
+			if visited >= budget || poll.Stop() != StopComplete {
+				return
+			}
+			if i == len(dims) {
+				visited++
+				// Full capacity check before paying for a clone.
+				if !partialRemainderCanFit(m2, m, cur, nil, quota) {
+					return
+				}
+				cand := m2.Clone()
+				for d, f := range cur {
+					if f > 1 {
+						cand.Levels[m].Temporal[d] = f
+					}
+				}
+				out.cands = append(out.cands, cand)
+				return
+			}
+			d := dims[i]
+			for _, f := range ladders[i] {
+				cur[d] = f
+				// Sound subtree pruning: with unassigned dims at their
+				// largest factors (smallest remainders), if the partial
+				// remainder already overflows level m-1, no completion
+				// can fit.
+				if !partialRemainderCanFit(m2, m, cur, dims[i+1:], quota) {
+					visited++
+					continue
+				}
+				rec(i + 1)
+			}
+			delete(cur, d)
+		}
+		rec(0)
+	}
+	out.visited = visited
+	out.prunedTiling = visited - len(out.cands)
+	out.truncated = visited >= budget
+	return out
 }
 
 // topDownUnroll enumerates spatial unrollings at level m without principle

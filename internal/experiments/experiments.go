@@ -49,6 +49,17 @@ type Config struct {
 	// and any fallback used land in the ToolRun and the runs CSV. Nil is the
 	// plain single-attempt search the committed numbers use.
 	Resilience *core.RetryPolicy
+	// Threads sets every search's intra-search worker-pool size
+	// (Options.Threads). Zero means all cores. Results are identical at
+	// any value — only wall-clock changes — so the committed numbers do
+	// not depend on it.
+	Threads int
+}
+
+// options applies the Config-wide search knobs to one experiment's Options.
+func (c Config) options(o core.Options) core.Options {
+	o.Threads = c.Threads
+	return o
 }
 
 // ctx returns the configured base context.
@@ -148,7 +159,7 @@ func stoppedLabel(r anytime.StopReason) string {
 // figure-wide Engine, so a workload appearing in several cells (or shared
 // with a baseline via UseSessions) compiles its problem artifacts once.
 func runSunstone(cfg Config, eng *core.Engine, w *tensor.Workload, a *arch.Arch) ToolRun {
-	opt := core.Options{Timeout: cfg.LayerTimeout}
+	opt := cfg.options(core.Options{Timeout: cfg.LayerTimeout})
 	var res core.Result
 	var err error
 	if cfg.Resilience != nil {

@@ -59,6 +59,11 @@ type SubmitOptions struct {
 	BeamWidth int `json:"beam_width,omitempty"`
 	// NoPolish disables the final greedy refinement.
 	NoPolish bool `json:"no_polish,omitempty"`
+	// Threads requests a search worker-pool size. 0 keeps the server's
+	// per-job fair share (GOMAXPROCS divided across Workers); a positive
+	// value is honored up to that share, so one tenant cannot
+	// oversubscribe the box. Results are identical at any value.
+	Threads int `json:"threads,omitempty"`
 }
 
 // SubmitRequest is the POST /v1/jobs body. Exactly one workload form —
@@ -168,6 +173,13 @@ func (r *SubmitRequest) build() (*tensor.Workload, *arch.Arch, core.Options, err
 		}
 		opt.BeamWidth = o.BeamWidth
 		opt.NoPolish = o.NoPolish
+		if o.Threads < 0 {
+			return nil, nil, opt, fmt.Errorf("threads %d must be non-negative", o.Threads)
+		}
+		if o.Threads > core.MaxThreads {
+			return nil, nil, opt, fmt.Errorf("threads %d exceeds the maximum %d", o.Threads, core.MaxThreads)
+		}
+		opt.Threads = o.Threads
 	}
 	if r.TimeoutMS < 0 {
 		return nil, nil, opt, fmt.Errorf("timeout_ms %d must be non-negative", r.TimeoutMS)

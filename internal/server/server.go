@@ -559,11 +559,7 @@ func (s *Server) runJob(j *job) {
 	defer stopWatchdog()
 
 	opt := j.opt
-	if opt.Threads == 0 {
-		if opt.Threads = runtime.GOMAXPROCS(0) / s.cfg.Workers; opt.Threads < 1 {
-			opt.Threads = 1
-		}
-	}
+	opt.Threads = s.jobThreads(opt.Threads)
 	if rem := time.Until(j.deadline); rem > 0 {
 		opt.Timeout = rem
 	}
@@ -590,6 +586,21 @@ func (s *Server) runJob(j *job) {
 		res, err = s.eng.OptimizeResilient(jctx, j.w, j.a, opt, s.retry)
 	}()
 	s.finalize(j, res, err)
+}
+
+// jobThreads resolves a job's search worker-pool size. Each job's fair
+// share is GOMAXPROCS divided across the Workers slots (floored at 1), so
+// the pool never oversubscribes the box. A submission may request fewer
+// threads than its share; a larger (or zero) request gets the full share.
+func (s *Server) jobThreads(requested int) int {
+	share := runtime.GOMAXPROCS(0) / s.cfg.Workers
+	if share < 1 {
+		share = 1
+	}
+	if requested > 0 && requested < share {
+		return requested
+	}
+	return share
 }
 
 // watch starts the per-job watchdog: cancel the search when it goes silent

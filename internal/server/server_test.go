@@ -156,6 +156,8 @@ func TestSubmitValidation(t *testing.T) {
 		{"unknown objective", `{"conv":{"K":1,"C":1,"P":1,"Q":1,"R":1,"S":1},"options":{"objective":"speed"}}`},
 		{"unknown direction", `{"conv":{"K":1,"C":1,"P":1,"Q":1,"R":1,"S":1},"options":{"direction":"sideways"}}`},
 		{"negative timeout", `{"conv":{"K":1,"C":1,"P":1,"Q":1,"R":1,"S":1},"timeout_ms":-5}`},
+		{"negative threads", `{"conv":{"K":1,"C":1,"P":1,"Q":1,"R":1,"S":1},"options":{"threads":-1}}`},
+		{"threads above maximum", `{"conv":{"K":1,"C":1,"P":1,"Q":1,"R":1,"S":1},"options":{"threads":5000}}`},
 		{"unknown field", `{"conv":{"K":1,"C":1,"P":1,"Q":1,"R":1,"S":1},"wrokload":"typo"}`},
 		{"not json", `not json at all`},
 	}
@@ -172,6 +174,32 @@ func TestSubmitValidation(t *testing.T) {
 	}
 	if got := s.Stats().Counters["srv.jobs.admitted"]; got != 0 {
 		t.Errorf("validation failures admitted %d jobs", got)
+	}
+}
+
+// TestSubmitThreads pins the per-job thread contract: a bounded threads
+// request is accepted and runs to done, and the effective pool size honors
+// a smaller request while capping larger (or zero) ones at the per-job fair
+// share — one tenant cannot oversubscribe the box.
+func TestSubmitThreads(t *testing.T) {
+	s := newTestServer(t, Config{Workers: 2})
+	st := submit(t, s, `{"arch":"tiny","conv":{"K":1,"C":1,"P":1,"Q":1,"R":1,"S":1},"options":{"threads":2}}`)
+	if fin := waitTerminal(t, s, st.ID); fin.State != JobDone {
+		t.Fatalf("state %s, want done (error %q)", fin.State, fin.Error)
+	}
+
+	share := runtime.GOMAXPROCS(0) / 2
+	if share < 1 {
+		share = 1
+	}
+	if got := s.jobThreads(0); got != share {
+		t.Errorf("jobThreads(0) = %d, want fair share %d", got, share)
+	}
+	if got := s.jobThreads(1); got != 1 {
+		t.Errorf("jobThreads(1) = %d, want 1", got)
+	}
+	if got := s.jobThreads(core.MaxThreads); got != share {
+		t.Errorf("jobThreads(%d) = %d, want capped at share %d", core.MaxThreads, got, share)
 	}
 }
 
