@@ -2,20 +2,21 @@ GO ?= go
 
 # bench knobs: override to regenerate a different PR's trajectory, e.g.
 #   make bench BENCH_PATTERN='BenchmarkOptimize' BENCH_OUT=/tmp/b.json
-BENCH_PATTERN ?= BenchmarkOptimize|BenchmarkEvaluate|BenchmarkEngineReuse
-BENCH_BEFORE ?= benchdata/pr2_before.txt
-BENCH_AFTER ?= benchdata/pr4_after.txt
-BENCH_OUT ?= BENCH_PR4.json
+BENCH_PATTERN ?= BenchmarkOptimize|BenchmarkEvaluate|BenchmarkEngineReuse|BenchmarkAnalyticalLayer
+BENCH_BEFORE ?= benchdata/pr8_before.txt
+BENCH_AFTER ?= benchdata/pr8_after.txt
+BENCH_OUT ?= BENCH_PR8.json
 
-.PHONY: check vet fmt-check guard build test race fuzz fuzz-smoke bench bench-smoke trace-smoke chaos-smoke server-smoke parallel-smoke
+.PHONY: check vet fmt-check guard build test race fuzz fuzz-smoke bench bench-smoke trace-smoke chaos-smoke server-smoke parallel-smoke seed-smoke
 
 # check is the full pre-commit gate: static analysis, formatting, the
 # unified-stepper guard, build, the whole test suite, the race detector over
 # the concurrent search paths, a thread-count parity smoke of the parallel
-# beam expansion, a telemetry smoke test of the trace exporter, a seeded
-# chaos smoke of the resilient scheduling path, and an end-to-end smoke of
-# the sunstoned scheduler service (submit, poll, drain under SIGTERM).
-check: vet fmt-check guard build test race parallel-smoke trace-smoke chaos-smoke server-smoke
+# beam expansion, an EDP-parity smoke of the analytical seeding layer, a
+# telemetry smoke test of the trace exporter, a seeded chaos smoke of the
+# resilient scheduling path, and an end-to-end smoke of the sunstoned
+# scheduler service (submit, poll, drain under SIGTERM).
+check: vet fmt-check guard build test race parallel-smoke seed-smoke trace-smoke chaos-smoke server-smoke
 
 vet:
 	$(GO) vet ./...
@@ -54,6 +55,13 @@ race:
 # goroutine interleaving differences cannot change a mapping.
 parallel-smoke:
 	$(GO) test -race -run 'TestParallelParity/tiny' -cpu 1,4 -count 1 ./internal/core/
+
+# seed-smoke pins the analytical layer's safety contract on small presets:
+# with seeding + bound pruning on (the default) the search must land on an
+# equal-or-better EDP than the disabled search while evaluating at least 30%
+# fewer candidates, and the disabled path must stay bit-identical run to run.
+seed-smoke:
+	$(GO) test -run 'TestAnalyticalSeedEDPParity|TestAnalyticalOnEqualOrBetter|TestAnalyticalOffDeterministic' -count 1 ./internal/core/
 
 # bench reruns the search/evaluation/Engine-reuse benchmarks and refreshes
 # $(BENCH_OUT), the machine-readable before/after trajectory: the committed

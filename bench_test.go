@@ -185,6 +185,39 @@ func BenchmarkOptimizeConvSimba(b *testing.B) {
 	}
 }
 
+// BenchmarkAnalyticalLayer measures the analytical seeding + bound layer on
+// the headline Simba conv search: the on/off ns/op ratio is the wall-clock
+// win, and the evaluated/op metric pins the candidate-evaluation reduction
+// (the PR 8 acceptance bar: ≥30% fewer with the layer on, at equal-or-better
+// EDP — the EDP metric is reported on both arms for the parity check).
+func BenchmarkAnalyticalLayer(b *testing.B) {
+	w := sunstone.Conv2D("conv", 4, 64, 64, 28, 28, 3, 3, 1, 1)
+	a := sunstone.Simba()
+	for _, arm := range []struct {
+		name string
+		an   sunstone.AnalyticalOptions
+	}{
+		{"on", sunstone.AnalyticalOptions{Seed: true, Bounds: true}},
+		{"off", sunstone.AnalyticalOptions{}},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var evaluated uint64
+			var edp float64
+			for i := 0; i < b.N; i++ {
+				an := arm.an
+				res, err := sunstone.Optimize(w, a, sunstone.Options{Analytical: &an})
+				if err != nil {
+					b.Fatal(err)
+				}
+				evaluated += res.Stats.Evaluated
+				edp = res.Report.EDP
+			}
+			b.ReportMetric(float64(evaluated)/float64(b.N), "evaluated/op")
+			b.ReportMetric(edp, "EDP")
+		})
+	}
+}
+
 // BenchmarkOptimizeMTTKRP measures a non-DNN kernel search.
 func BenchmarkOptimizeMTTKRP(b *testing.B) {
 	w := sunstone.MTTKRP("mttkrp_nell2", 12092, 9184, 28818, 32)

@@ -41,6 +41,8 @@ var (
 	topDown   = flag.Bool("top-down", false, "optimize top-down instead of bottom-up (Table VI)")
 	objective = flag.String("objective", "edp", "figure of merit: edp | energy | delay | ed2p")
 	beam      = flag.Int("beam", 0, "beam width (0 = default)")
+	seedOn    = flag.Bool("seed", true, "install the closed-form analytical seed mapping as the initial incumbent")
+	boundsOn  = flag.Bool("bounds", true, "prune candidates whose admissible lower bound already exceeds the incumbent")
 	threads   = flag.Int("threads", 0, "worker goroutines per search — expansion, evaluation and polish fan-outs (0 = all cores); results are identical at any value")
 	compare   = flag.Bool("compare", false, "also run the baseline mappers on the same problem")
 	showBreak = flag.Bool("breakdown", false, "print the per-component energy breakdown")
@@ -238,7 +240,10 @@ func main() {
 		fatal(err)
 	}
 
-	opt := sunstone.Options{BeamWidth: *beam, Threads: *threads, Timeout: *timeout, Progress: progressTicker()}
+	opt := sunstone.Options{
+		BeamWidth: *beam, Threads: *threads, Timeout: *timeout, Progress: progressTicker(),
+		Analytical: &sunstone.AnalyticalOptions{Seed: *seedOn, Bounds: *boundsOn},
+	}
 	if *topDown {
 		opt.Direction = sunstone.TopDown
 	}
@@ -271,9 +276,13 @@ func main() {
 		res.Report.EDP, res.Report.EnergyPJ, res.Report.Cycles,
 		res.Elapsed, res.SpaceSize, res.OrderingsConsidered, effectiveThreads())
 	st := res.Stats
-	fmt.Printf("flow     %d generated = %d pruned (%d order, %d tile, %d unroll) + %d deduped + %d evaluated + %d skipped\n",
+	fmt.Printf("flow     %d generated = %d pruned (%d order, %d tile, %d unroll, %d analytic) + %d deduped + %d evaluated + %d skipped\n",
 		st.Generated, st.Pruned(), st.PrunedOrdering, st.PrunedTiling, st.PrunedUnrolling,
-		st.Deduped, st.Evaluated, st.Skipped)
+		st.BoundPruned, st.Deduped, st.Evaluated, st.Skipped)
+	if res.SeedEDP > 0 {
+		fmt.Printf("seed     EDP %.4e analytic one-shot (%.2fx final)\n",
+			res.SeedEDP, res.SeedEDP/res.Report.EDP)
+	}
 	if total := st.EvalCacheHits + st.EvalCacheMisses; total > 0 {
 		fmt.Printf("cache    %.1f%% hit rate (%d/%d); beam cut %d, bound cut %d\n",
 			100*float64(st.EvalCacheHits)/float64(total), st.EvalCacheHits, total, st.PrunedBeam, st.PrunedBound)
@@ -371,7 +380,10 @@ func runAllLayers(eng *sunstone.Engine) {
 		fatal(fmt.Errorf("-all-layers needs -net resnet18|inception|alexnet|vgg16"))
 	}
 	nopt := sunstone.NetworkOptions{
-		Options:         sunstone.Options{Threads: *threads, Timeout: *timeout, Progress: progressTicker()},
+		Options: sunstone.Options{
+			Threads: *threads, Timeout: *timeout, Progress: progressTicker(),
+			Analytical: &sunstone.AnalyticalOptions{Seed: *seedOn, Bounds: *boundsOn},
+		},
 		ContinueOnError: *contErr,
 		Resilience:      resiliencePolicy(),
 	}

@@ -44,9 +44,21 @@ type EngineStats = core.EngineStats
 // hits, LRU evictions, and the current entry count.
 func (e *Engine) Stats() EngineStats { return e.core.Stats() }
 
+// Solve runs the Sunstone optimizer on a Problem under ctx through the
+// Engine's compilation cache, with the same anytime contract as the
+// package-level SolveContext. This is the canonical Engine entry point;
+// the cache key is derived from the Problem's content (workload, arch,
+// cost model), never from pointer identity.
+func (e *Engine) Solve(ctx context.Context, p Problem, opt Options) (Result, error) {
+	return e.core.Solve(ctx, p, opt)
+}
+
 // Optimize runs the Sunstone optimizer through the Engine's compilation
 // cache. It is OptimizeContext with a background context; Options.Timeout
 // still bounds the wall-clock.
+//
+// Deprecated-style note: Engine.Solve with a Problem is the canonical entry
+// point; this wrapper remains for positional-argument callers.
 func (e *Engine) Optimize(w *Workload, a *Arch, opt Options) (Result, error) {
 	return e.core.Optimize(w, a, opt)
 }
@@ -54,6 +66,9 @@ func (e *Engine) Optimize(w *Workload, a *Arch, opt Options) (Result, error) {
 // OptimizeContext runs the Sunstone optimizer under ctx through the Engine's
 // compilation cache, with the same anytime contract as the package-level
 // OptimizeContext.
+//
+// Deprecated-style note: Engine.Solve with a Problem is the canonical entry
+// point; this wrapper remains for positional-argument callers.
 func (e *Engine) OptimizeContext(ctx context.Context, w *Workload, a *Arch, opt Options) (Result, error) {
 	return e.core.OptimizeContext(ctx, w, a, opt)
 }

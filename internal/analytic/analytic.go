@@ -1,0 +1,224 @@
+// Package analytic computes closed-form seed mappings — the GOMA-style
+// one-shot layer of the search. Instead of enumerating, it derives one good
+// valid mapping per (workload, arch) directly from the problem's geometry:
+// the ordering that temporally reuses the most operands, a greedy spatial
+// fill of every fanout level, and a capacity-balanced temporal factor split
+// across the buffer hierarchy (each level made as large as its buffers
+// allow, bottom-up, so the expensive upper levels see as little traffic as
+// possible).
+//
+// The optimizer evaluates the seed and installs it as the initial alpha-beta
+// incumbent before enumeration starts: a tight early bound prunes most of
+// the search space the trivial everything-at-DRAM incumbent would have let
+// through. The seed is never required to be optimal — only valid and cheap —
+// and a failed seed degrades to the unseeded search, never an error.
+package analytic
+
+import (
+	"fmt"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/factor"
+	"sunstone/internal/mapping"
+	"sunstone/internal/order"
+	"sunstone/internal/tensor"
+)
+
+// Seed derives the closed-form seed mapping of w onto a, choosing its loop
+// ordering from ords (the pruned ordering-trie survivors; an empty slice
+// falls back to the canonical dimension order). The result is deterministic
+// — same inputs, same mapping, regardless of map iteration or thread count —
+// and guaranteed to pass mapping.Validate, or an error is returned.
+func Seed(w *tensor.Workload, a *arch.Arch, ords []order.Ordering) (*mapping.Mapping, error) {
+	full, reused := pickOrdering(w, ords)
+	top := len(a.Levels) - 1
+	if top < 0 {
+		return nil, fmt.Errorf("analytic seed: arch has no levels")
+	}
+
+	m := mapping.New(w, a)
+	for l := range m.Levels {
+		m.Levels[l].Order = append([]tensor.Dim(nil), full...)
+	}
+	// Start from the trivial all-at-top placement and keep the top level's
+	// temporal factors pinned to the remaining quota throughout, so every
+	// intermediate mapping covers the problem and Validate can arbitrate
+	// each greedy move below.
+	setTopResidual(m, top)
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("analytic seed: trivial placement invalid: %w", err)
+	}
+
+	isRed := map[tensor.Dim]bool{}
+	for _, d := range w.ReductionDims() {
+		isRed[d] = true
+	}
+	// Spatial preference: the unrolling principle's dims first — indexing
+	// dimensions of the operands the chosen ordering fully reuses — then
+	// every other dimension in canonical order.
+	prefSpatial := preferredDims(w, reused)
+
+	// Phase 1: spatial fill, bottom-up. Claim as much of each level's
+	// fanout as the problem's factors and the capacity of the levels above
+	// allow; every move is trial-validated and reverted on failure.
+	for l := 0; l <= top; l++ {
+		if a.Levels[l].Fanout <= 1 {
+			continue
+		}
+		fillSpatial(m, l, top, prefSpatial, isRed)
+	}
+
+	// Phase 2: capacity-balanced temporal split, bottom-up. Each level
+	// below the top absorbs prime factors round-robin across the ordering's
+	// inner-first dimensions until its buffers are full — the balanced
+	// split by capacity that makes upper-level traffic minimal.
+	for l := 0; l < top; l++ {
+		fillTemporal(m, l, top, full)
+	}
+
+	if err := m.Validate(); err != nil {
+		return nil, fmt.Errorf("analytic seed: %w", err)
+	}
+	return m, nil
+}
+
+// pickOrdering selects the trie ordering that fully reuses the most
+// operands (ties broken by the ordering's canonical render, so the choice is
+// deterministic) and returns its completed inner-first dimension order plus
+// the reused tensor names.
+func pickOrdering(w *tensor.Workload, ords []order.Ordering) ([]tensor.Dim, []string) {
+	if len(ords) == 0 {
+		o := order.Ordering{}
+		return o.Complete(w), nil
+	}
+	best := 0
+	for i := 1; i < len(ords); i++ {
+		if len(ords[i].FullyReused) > len(ords[best].FullyReused) ||
+			(len(ords[i].FullyReused) == len(ords[best].FullyReused) &&
+				ords[i].String() < ords[best].String()) {
+			best = i
+		}
+	}
+	return ords[best].Complete(w), ords[best].FullyReused
+}
+
+// preferredDims orders the workload's dimensions for spatial unrolling:
+// indexing dimensions of the fully-reused operands first, the rest after,
+// both in canonical w.Order order.
+func preferredDims(w *tensor.Workload, reused []string) []tensor.Dim {
+	pref := map[tensor.Dim]bool{}
+	for _, name := range reused {
+		if t := w.Tensor(name); t != nil {
+			for _, d := range t.IndexingDims() {
+				pref[d] = true
+			}
+		}
+	}
+	out := make([]tensor.Dim, 0, len(w.Order))
+	for _, d := range w.Order {
+		if pref[d] {
+			out = append(out, d)
+		}
+	}
+	for _, d := range w.Order {
+		if !pref[d] {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// residual is the factor quota dim d still has to place above the levels
+// below the top: ceil(bound / extent-below-top).
+func residual(m *mapping.Mapping, d tensor.Dim, top int) int {
+	below := 1
+	if top > 0 {
+		below = m.Extent(d, top-1)
+	}
+	return ceilDiv(m.Workload.Dims[d], below)
+}
+
+// setTopResidual pins the top level's temporal factors to each dimension's
+// remaining quota, keeping coverage exact after any move below.
+func setTopResidual(m *mapping.Mapping, top int) {
+	for _, d := range m.Workload.Order {
+		m.Levels[top].Temporal[d] = residual(m, d, top)
+	}
+}
+
+// fillSpatial greedily moves prime factors of each dimension's residual into
+// level l's spatial map while the fanout, spatial-reduction legality, and
+// every buffer capacity still hold. Dims are visited in preference order;
+// per dim, primes ascend, and the first prime that no longer fits ends that
+// dim (larger primes cannot fit either).
+func fillSpatial(m *mapping.Mapping, l, top int, dims []tensor.Dim, isRed map[tensor.Dim]bool) {
+	al := &m.Arch.Levels[l]
+	for _, d := range dims {
+		if isRed[d] && !al.AllowSpatialReduction {
+			continue
+		}
+		for {
+			q := residual(m, d, top)
+			if q <= 1 {
+				break
+			}
+			p := factor.Primes(q)[0]
+			if m.Levels[l].SpatialProduct()*p > al.Fanout {
+				break
+			}
+			if !tryGrow(m, top, m.Levels[l].Spatial, d, p) {
+				break
+			}
+		}
+	}
+}
+
+// fillTemporal absorbs prime factors into level l's temporal map,
+// round-robin across the inner-first dimension order, until no dimension can
+// grow without overflowing a buffer between l and the top. Round-robin (one
+// prime per dim per pass) is what balances the split: no dimension hogs the
+// level's capacity just because it comes first.
+func fillTemporal(m *mapping.Mapping, l, top int, dims []tensor.Dim) {
+	dead := map[tensor.Dim]bool{}
+	for len(dead) < len(dims) {
+		progress := false
+		for _, d := range dims {
+			if dead[d] {
+				continue
+			}
+			q := residual(m, d, top)
+			if q <= 1 {
+				dead[d] = true
+				continue
+			}
+			if !tryGrow(m, top, m.Levels[l].Temporal, d, factor.Primes(q)[0]) {
+				dead[d] = true
+				continue
+			}
+			progress = true
+		}
+		if !progress {
+			break
+		}
+	}
+}
+
+// tryGrow multiplies factors[d] by p, re-pins the top residual, and
+// validates the whole mapping; on any violation the move is reverted.
+func tryGrow(m *mapping.Mapping, top int, factors map[tensor.Dim]int, d tensor.Dim, p int) bool {
+	old := factors[d]
+	if old == 0 {
+		old = 1
+	}
+	oldTop := m.Levels[top].Temporal[d]
+	factors[d] = old * p
+	m.Levels[top].Temporal[d] = residual(m, d, top)
+	if m.Validate() == nil {
+		return true
+	}
+	factors[d] = old
+	m.Levels[top].Temporal[d] = oldTop
+	return false
+}
+
+func ceilDiv(a, b int) int { return (a + b - 1) / b }

@@ -13,6 +13,7 @@ import (
 	"sunstone/internal/cost"
 	"sunstone/internal/exec"
 	"sunstone/internal/mapping"
+	"sunstone/internal/obs"
 )
 
 func TestOptionsValidate(t *testing.T) {
@@ -118,12 +119,18 @@ func TestOptimizeTimeoutDeadline(t *testing.T) {
 func TestOptimizeCancelMidSearch(t *testing.T) {
 	w := conv2D(t, 4, 64, 64, 28, 28, 3, 3)
 	ctx, cancel := context.WithCancel(context.Background())
-	go func() {
-		time.Sleep(5 * time.Millisecond)
-		cancel()
-	}()
+	defer cancel()
+	// Cancel from the synchronous progress stream once the search is a few
+	// phases in: deterministic mid-search timing on any machine, unlike a
+	// sleeping goroutine racing a search that keeps getting faster.
+	var events atomic.Int64
+	opt := Options{Progress: func(obs.ProgressEvent) {
+		if events.Add(1) == 4 {
+			cancel()
+		}
+	}}
 	start := time.Now()
-	res, err := OptimizeContext(ctx, w, arch.Simba(), Options{})
+	res, err := OptimizeContext(ctx, w, arch.Simba(), opt)
 	if el := time.Since(start); el > 500*time.Millisecond {
 		t.Errorf("canceled search took %v after the signal, want well under 500ms", el)
 	}

@@ -156,6 +156,23 @@ func (o Objective) scoreScalars(edp, energyPJ, cycles float64, valid bool) float
 	}
 }
 
+// scoreFloor maps an admissible (energy, cycles) cost floor to a floor on
+// the objective value: every Objective is monotone non-decreasing in both
+// components, so a per-component floor yields a floor on the score. This is
+// what lets cost.Session.LowerBound prune on any objective, not just EDP.
+func (o Objective) scoreFloor(energyPJ, cycles float64) float64 {
+	switch o {
+	case MinEnergy:
+		return energyPJ
+	case MinDelay:
+		return cycles
+	case MinED2P:
+		return energyPJ * cycles * cycles
+	default:
+		return energyPJ * cycles
+	}
+}
+
 // Options configures the optimizer.
 type Options struct {
 	Direction Direction
@@ -208,6 +225,33 @@ type Options struct {
 	// panic is recorded in Result.CandidateErrors, and the search itself
 	// continues unharmed.
 	Progress obs.ProgressFunc
+	// Analytical configures the closed-form seeding and bound-tightening
+	// layer. Nil means "use the defaults" (both on, like every other zero
+	// field); pass an explicit &AnalyticalOptions{} to turn both off and
+	// recover the pre-seeding search behavior exactly.
+	Analytical *AnalyticalOptions
+}
+
+// AnalyticalOptions groups the knobs of the analytical layer: the one-shot
+// GOMA-style seed mapping installed as the alpha-beta incumbent before
+// enumeration starts, and the admissible per-candidate lower bound that cuts
+// subtrees whose cost floor already exceeds the incumbent. Both default to
+// on (see DefaultOptions); both are sound — the seed only tightens the
+// incumbent the search already maintains, and the bound only discards
+// candidates that provably cannot beat it — so disabling them changes how
+// much work the search does, never which mapping it returns.
+type AnalyticalOptions struct {
+	// Seed computes, validates, and fully evaluates a closed-form seed
+	// mapping before enumeration starts, installing it as the initial
+	// alpha-beta incumbent. A seed that fails to build or validate degrades
+	// to the pre-seeding behavior (recorded in Result.CandidateErrors),
+	// never a hard failure.
+	Seed bool
+	// Bounds consults the compile-time admissible lower bound
+	// (cost.Session.LowerBound) on every materialized candidate before
+	// evaluation, discarding those whose floor already exceeds the
+	// incumbent. Cuts are counted in SearchStats.BoundPruned.
+	Bounds bool
 }
 
 // Maximum sane values for Options.Validate: beyond these the caller almost
@@ -292,6 +336,7 @@ func DefaultOptions() Options {
 		Threads:            runtime.GOMAXPROCS(0),
 		Model:              cost.Default,
 		TopDownVisitBudget: 4_000_000,
+		Analytical:         &AnalyticalOptions{Seed: true, Bounds: true},
 	}
 }
 
@@ -323,6 +368,9 @@ func (o Options) withDefaults() Options {
 	}
 	if o.TopDownVisitBudget <= 0 {
 		o.TopDownVisitBudget = def.TopDownVisitBudget
+	}
+	if o.Analytical == nil {
+		o.Analytical = def.Analytical
 	}
 	return o
 }
@@ -364,6 +412,11 @@ type Result struct {
 	// FallbackUsed names the fallback mapper that produced Mapping when the
 	// resilient path degraded ("" = the primary Sunstone search).
 	FallbackUsed string
+	// SeedEDP is the EDP of the analytical seed mapping installed as the
+	// initial alpha-beta incumbent (0 when seeding was disabled or the seed
+	// failed to produce a valid mapping). Comparing it against Report.EDP
+	// shows how much the enumeration improved on the closed-form guess.
+	SeedEDP float64
 }
 
 // maxCandidateErrors caps Result.CandidateErrors so a systematically
@@ -373,8 +426,11 @@ const maxCandidateErrors = 8
 
 // Optimize searches for the best mapping of w onto a. It is
 // OptimizeContext with a background context; Options.Timeout still applies.
+//
+// Deprecated-style note: Solve with a Problem is the canonical entry point;
+// this wrapper remains for positional-argument callers.
 func Optimize(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
-	return OptimizeContext(context.Background(), w, a, opt)
+	return SolveContext(context.Background(), Problem{Workload: w, Arch: a}, opt)
 }
 
 // OptimizeContext searches for the best mapping of w onto a under ctx.
@@ -383,16 +439,11 @@ func Optimize(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
 // within one polling interval and returns the best completed mapping seen so
 // far with Result.Stopped set — a nil error as long as at least one valid
 // mapping was completed before the signal.
+//
+// Deprecated-style note: SolveContext with a Problem is the canonical entry
+// point; this wrapper remains for positional-argument callers.
 func OptimizeContext(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
-	if err := opt.Validate(); err != nil {
-		return Result{}, err
-	}
-	opt = opt.withDefaults()
-	comp, err := Compile(w, a, opt.Model)
-	if err != nil {
-		return Result{}, err
-	}
-	return optimizeCompiled(ctx, comp, opt)
+	return SolveContext(ctx, Problem{Workload: w, Arch: a}, opt)
 }
 
 // optimizeCompiled runs one search over a compiled problem. opt must already

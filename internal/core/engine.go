@@ -3,14 +3,12 @@ package core
 import (
 	"container/list"
 	"context"
-	"crypto/sha256"
 	"sync"
 
 	"sunstone/internal/anytime"
 	"sunstone/internal/arch"
 	"sunstone/internal/cost"
 	"sunstone/internal/obs"
-	"sunstone/internal/serde"
 	"sunstone/internal/tensor"
 )
 
@@ -107,25 +105,20 @@ func (e *Engine) Stats() EngineStats {
 }
 
 // Optimize is OptimizeContext with a background context.
+//
+// Deprecated-style note: Engine.Solve with a Problem is the canonical entry
+// point; this wrapper remains for positional-argument callers.
 func (e *Engine) Optimize(w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
-	return e.OptimizeContext(context.Background(), w, a, opt)
+	return e.Solve(context.Background(), Problem{Workload: w, Arch: a}, opt)
 }
 
-// OptimizeContext runs the same anytime search as the package-level
-// OptimizeContext, but reuses (or populates) the Engine's compiled artifacts
-// for the problem. Results are identical to a cold call — the search replays
-// the compiled enumeration into its own counters and spans — only faster,
+// OptimizeContext is a thin wrapper over Engine.Solve for positional
+// (workload, arch) callers; Solve with a Problem is the canonical entry
+// point. Results are identical to a cold call — the search replays the
+// compiled enumeration into its own counters and spans — only faster,
 // because the per-problem precomputation and the evaluation memo carry over.
 func (e *Engine) OptimizeContext(ctx context.Context, w *tensor.Workload, a *arch.Arch, opt Options) (Result, error) {
-	if err := opt.Validate(); err != nil {
-		return Result{}, err
-	}
-	opt = opt.withDefaults()
-	comp, err := e.compiled(w, a, opt.Model)
-	if err != nil {
-		return Result{}, err
-	}
-	return optimizeCompiled(ctx, comp, opt)
+	return e.Solve(ctx, Problem{Workload: w, Arch: a}, opt)
 }
 
 // Session returns the compiled cost session for (model, w, a), compiling
@@ -133,7 +126,7 @@ func (e *Engine) OptimizeContext(ctx context.Context, w *tensor.Workload, a *arc
 // Baselines use this (via baselines.SessionSource) to score against the same
 // warm tables and memo the main search uses.
 func (e *Engine) Session(model cost.Model, w *tensor.Workload, a *arch.Arch) *cost.Session {
-	comp, err := e.compiled(w, a, model)
+	comp, err := e.compiled(Problem{Workload: w, Arch: a, Model: model})
 	if err != nil {
 		return nil
 	}
@@ -144,19 +137,16 @@ func (e *Engine) Session(model cost.Model, w *tensor.Workload, a *arch.Arch) *co
 // first sight. Problems outside the cacheable domain — a model with a fault
 // probe, or inputs that fail to serialize — compile fresh per call, exactly
 // like the package-level path.
-func (e *Engine) compiled(w *tensor.Workload, a *arch.Arch, model cost.Model) (*Compiled, error) {
+func (e *Engine) compiled(p Problem) (*Compiled, error) {
 	// Validate before keying: encoding assumes structurally sound inputs,
 	// and the invalid-input errors must match the per-call path's.
-	if err := w.Validate(); err != nil {
+	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	if err := a.Validate(); err != nil {
-		return nil, err
-	}
-	key, cacheable := problemKey(w, a, model)
+	key, cacheable := p.Key()
 	if !cacheable {
 		e.compiles.Inc()
-		return Compile(w, a, model)
+		return p.Compile()
 	}
 	sh := &e.shards[key[0]%engineShards]
 	sh.mu.Lock()
@@ -192,7 +182,7 @@ func (e *Engine) compiled(w *tensor.Workload, a *arch.Arch, model cost.Model) (*
 			}
 		}()
 		e.compiles.Inc()
-		ent.comp, ent.err = Compile(w, a, model)
+		ent.comp, ent.err = p.Compile()
 	})
 	if ent.err != nil {
 		e.dropFailed(sh, key, ent)
@@ -213,33 +203,4 @@ func (e *Engine) dropFailed(sh *engineShard, key string, ent *engineEntry) {
 		delete(sh.entries, key)
 	}
 	sh.mu.Unlock()
-}
-
-// problemKey content-addresses a (workload, arch, model) problem via its
-// canonical JSON serialization (map keys sort deterministically under
-// encoding/json). A model carrying a fault-injection Probe is uncacheable:
-// the probe is opaque state the key cannot capture, and probe semantics
-// ("fires on every evaluation") forbid serving memoized results anyway.
-func problemKey(w *tensor.Workload, a *arch.Arch, model cost.Model) (string, bool) {
-	if model.Probe != nil {
-		return "", false
-	}
-	wj, err := serde.EncodeWorkload(w)
-	if err != nil {
-		return "", false
-	}
-	aj, err := serde.EncodeArch(a)
-	if err != nil {
-		return "", false
-	}
-	h := sha256.New()
-	h.Write(wj)
-	h.Write([]byte{0})
-	h.Write(aj)
-	if model.SlidingReuse {
-		h.Write([]byte{1})
-	} else {
-		h.Write([]byte{2})
-	}
-	return string(h.Sum(nil)), true
 }

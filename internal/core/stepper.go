@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"math"
 
+	"sunstone/internal/analytic"
 	"sunstone/internal/anytime"
 	"sunstone/internal/faults"
 	"sunstone/internal/mapping"
@@ -170,6 +171,52 @@ func seedIncumbent(sc *search, inc *incumbent, res *Result, seed *mapping.Mappin
 	}
 }
 
+// analytical resolves the run's analytical-layer knobs nil-safely: internal
+// callers that bypass withDefaults (unit tests driving the stepper directly)
+// read a disabled layer rather than dereferencing nil.
+func (sc *search) analytical() AnalyticalOptions {
+	if sc.opt.Analytical == nil {
+		return AnalyticalOptions{}
+	}
+	return *sc.opt.Analytical
+}
+
+// seedAnalytic computes the closed-form analytic seed mapping (GOMA-style:
+// reuse-maximizing ordering, greedy spatial fill, capacity-balanced temporal
+// split — see internal/analytic), evaluates it, and installs it as the
+// alpha-beta incumbent before enumeration starts. It runs on the driver
+// goroutine before any worker exists, so the published incumbent is part of
+// the search's deterministic prologue at every thread count. A seed that
+// fails to build or evaluates invalid degrades to the unseeded search — the
+// failure is recorded as a candidate error, never raised.
+func (sc *search) seedAnalytic(inc *incumbent, res *Result) {
+	seed, err := analytic.Seed(sc.comp.w, sc.comp.a, sc.comp.orderings)
+	if err != nil {
+		res.CandidateErrors = appendCapped(res.CandidateErrors, err)
+		return
+	}
+	sc.ctr.Generated.Inc()
+	sc.ctr.Evaluated.Inc()
+	edp, energyPJ, cycles, valid, err := sc.safeEvalFast(sc.evs[0], seed)
+	if err != nil {
+		res.CandidateErrors = appendCapped(res.CandidateErrors, err)
+		return
+	}
+	if valid {
+		res.SeedEDP = edp
+	}
+	if inc.observe(state{
+		completed: seed,
+		score:     sc.opt.Objective.scoreScalars(edp, energyPJ, cycles, valid),
+		energyPJ:  energyPJ,
+		cycles:    cycles,
+		valid:     valid,
+	}) {
+		sc.best.publish(inc.score)
+		sc.prog.incumbent("analytic seed", -1, inc.score, inc.energyPJ, inc.cycles)
+	}
+}
+
 // appendCapped appends err to errs unless the cap is reached.
 func appendCapped(errs []error, err error) []error {
 	if len(errs) >= maxCandidateErrors {
@@ -210,6 +257,9 @@ func runLevelSearch(ctx context.Context, sc *search) (Result, error) {
 
 	var inc incumbent
 	seedIncumbent(sc, &inc, &res, states[0].m)
+	if sc.analytical().Seed {
+		sc.seedAnalytic(&inc, &res)
+	}
 
 	budgetHit := false
 	for _, lvl := range seq.levels {
@@ -227,6 +277,17 @@ func runLevelSearch(ctx context.Context, sc *search) (Result, error) {
 		// Evaluation of the winner was skipped or poisoned; fall back to
 		// the incumbent.
 		return inc.finish(sc, res, anytime.FromContext(ctx))
+	}
+	if an := sc.analytical(); (an.Seed || an.Bounds) && inc.m != nil && inc.score < best.score {
+		// The analytic layer can legitimately leave the final beam behind
+		// the incumbent: the seed may beat everything enumeration found, and
+		// a bound cut keeps subtrees out of the last step's beam. Promote
+		// the incumbent to the winner (it is a full completed mapping) so
+		// enabling the layer can speed the search up but never degrade its
+		// answer. Gated on the layer so the disabled path stays bit-identical
+		// to the historical search.
+		best = state{m: inc.m, completed: inc.m, score: inc.score, energyPJ: inc.energyPJ, cycles: inc.cycles, valid: true}
+		final = inc.m
 	}
 	energyPJ, cycles := best.energyPJ, best.cycles
 	if seq.polish && !sc.opt.NoPolish {
@@ -288,6 +349,7 @@ func (sc *search) runStep(ctx context.Context, seq *sequencer, lvl int, states [
 		}
 		return nil, budgetHit, true, *res, fmt.Errorf("%s: no feasible candidates at level %d (%s)", sc.opt.Direction, lvl, a.Levels[lvl].Name)
 	}
+	produced = sc.boundPrune(produced, lvl)
 	produced = sc.dedupe(produced)
 	vctx, vsp := obs.StartSpan(lctx, "evaluate")
 	scored, panics := sc.evalAll(vctx, produced, seq.completeAt(lvl))
@@ -311,6 +373,85 @@ func (sc *search) runStep(ctx context.Context, seq *sequencer, lvl int, states [
 		return nil, budgetHit, true, out, err
 	}
 	return next, budgetHit, false, Result{}, nil
+}
+
+// boundPrune cuts materialized candidates whose admissible analytic lower
+// bound (cost.Session.LowerBound, precomputed at compile time) already
+// exceeds the incumbent, before the evaluation fan-out pays for them. The
+// bound is a floor over every valid completion of the candidate, so a cut
+// subtree provably cannot beat — or even tie — the incumbent it was compared
+// against; the cut changes how much the search evaluates, never what it
+// returns.
+//
+// Placement matters for two invariants. It runs on the driver at the step
+// barrier, where sc.best.load() is a deterministic function of the candidate
+// flow (every prior score has been published), keeping results bit-identical
+// at any thread count. And it runs *outside* the expansion memo
+// (expandStep), because memo entries are replayed across searches with
+// different incumbents — an incumbent-dependent cut inside expansion would
+// poison the cache. When the incumbent would cut every candidate, the one
+// with the lowest bound is kept so the beam never empties on a prune that is
+// about effort, not feasibility.
+func (sc *search) boundPrune(ms []*mapping.Mapping, lvl int) []*mapping.Mapping {
+	if !sc.analytical().Bounds || len(ms) < 2 {
+		return ms
+	}
+	best := sc.best.load()
+	if math.IsInf(best, 1) {
+		return ms
+	}
+	out := ms[:0]
+	cut := 0
+	var keep *mapping.Mapping // lowest-bound cut candidate, resurrected if all fall
+	keepBound := math.Inf(1)
+	for _, m := range ms {
+		eLB, cLB := sc.sess.LowerBound(sc.maxSpatialAt(m, lvl))
+		b := sc.opt.Objective.scoreFloor(eLB, cLB)
+		if b > best {
+			cut++
+			if b < keepBound {
+				keep, keepBound = m, b
+			}
+			continue
+		}
+		out = append(out, m)
+	}
+	if len(out) == 0 {
+		// Nothing written into the shared backing array yet, so keep is intact.
+		out = append(out, keep)
+		cut--
+	}
+	sc.ctr.BoundPruned.Add(uint64(cut))
+	return out
+}
+
+// maxSpatialAt bounds the total spatial parallelism any completion of
+// partial candidate m can reach at step lvl: levels the direction has
+// already assigned contribute their actual spatial product (final — later
+// steps never revisit them), unassigned levels contribute their full fanout.
+// Bottom-up at step lvl has unrolled levels 0..lvl+1; top-down at step lvl
+// has assigned lvl..top.
+func (sc *search) maxSpatialAt(m *mapping.Mapping, lvl int) float64 {
+	a := sc.comp.a
+	ms := 1.0
+	if sc.opt.Direction == TopDown {
+		for l := range a.Levels {
+			if l >= lvl {
+				ms *= float64(m.Levels[l].SpatialProduct())
+			} else {
+				ms *= float64(a.Levels[l].Fanout)
+			}
+		}
+		return ms
+	}
+	for l := range a.Levels {
+		if l <= lvl+1 {
+			ms *= float64(m.Levels[l].SpatialProduct())
+		} else {
+			ms *= float64(a.Levels[l].Fanout)
+		}
+	}
+	return ms
 }
 
 // expandStep expands every beam state at level lvl and returns one expansion

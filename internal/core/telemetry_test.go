@@ -50,8 +50,27 @@ func TestCounterIdentity(t *testing.T) {
 					t.Errorf("post-evaluation cuts (%d bound + %d beam) exceed evaluations (%d)",
 						s.PrunedBound, s.PrunedBeam, s.Evaluated)
 				}
+				if sum := s.PrunedOrdering + s.PrunedTiling + s.PrunedUnrolling + s.BoundPruned; sum != s.Pruned() {
+					t.Errorf("Pruned() = %d does not partition into its components (%d)", s.Pruned(), sum)
+				}
 				if s.EvalCacheHits+s.EvalCacheMisses == 0 {
 					t.Error("memo-cache counters did not move")
+				}
+				// With the analytical layer off, the bound bucket must stay
+				// empty and the identity must still close.
+				off, err := Optimize(w, tc.a, Options{Direction: dir, Analytical: &AnalyticalOptions{}})
+				if err != nil {
+					t.Fatal(err)
+				}
+				so := off.Stats
+				if so.BoundPruned != 0 {
+					t.Errorf("analytical layer off but BoundPruned = %d", so.BoundPruned)
+				}
+				if off.SeedEDP != 0 {
+					t.Errorf("analytical layer off but SeedEDP = %g", off.SeedEDP)
+				}
+				if got, want := so.Pruned()+so.Deduped+so.Evaluated+so.Skipped, so.Generated; got != want {
+					t.Errorf("flow identity broken with analytics off: %d != generated %d", got, want)
 				}
 			})
 		}

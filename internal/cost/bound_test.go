@@ -1,0 +1,143 @@
+package cost
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/factor"
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
+	"sunstone/internal/workloads"
+)
+
+// randomValidMappingOn builds a random complete valid mapping of w onto a:
+// start from the trivial all-at-top placement (always valid) and push prime
+// factors into random lower temporal/spatial slots, trial-validating each
+// move. Unlike randomValidMapping it never fails — the trivial placement is
+// the worst-case return.
+func randomValidMappingOn(rng *rand.Rand, w *tensor.Workload, a *arch.Arch) *mapping.Mapping {
+	m := mapping.New(w, a)
+	top := len(a.Levels) - 1
+	for _, d := range w.Order {
+		m.Levels[top].Temporal[d] = w.Dims[d]
+	}
+	order := append([]tensor.Dim(nil), w.Order...)
+	rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+	for l := range m.Levels {
+		m.Levels[l].Order = order
+	}
+	if m.Validate() != nil {
+		return nil // trivial placement must be valid; bail loudly in the caller
+	}
+	for _, d := range w.Order {
+		for _, p := range factor.Primes(w.Dims[d]) {
+			if rng.Intn(3) == 0 {
+				continue // leave this prime at the top
+			}
+			l := rng.Intn(top + 1)
+			spatial := rng.Intn(2) == 0 && a.Levels[l].Fanout > 1 &&
+				m.Levels[l].SpatialProduct()*p <= a.Levels[l].Fanout
+			var slot map[tensor.Dim]int
+			if spatial {
+				slot = m.Levels[l].Spatial
+			} else {
+				slot = m.Levels[l].Temporal
+			}
+			oldSlot, oldTop := slot[d], m.Levels[top].Temporal[d]
+			if oldSlot == 0 {
+				oldSlot = 1
+			}
+			slot[d] = oldSlot * p
+			if q := oldTop / p; q >= 1 && l != top {
+				m.Levels[top].Temporal[d] = q
+			}
+			if m.Validate() != nil {
+				slot[d] = oldSlot
+				if slot[d] == 1 {
+					delete(slot, d)
+				}
+				m.Levels[top].Temporal[d] = oldTop
+			}
+		}
+	}
+	return m
+}
+
+// boundArches are the presets the admissibility property is checked on: the
+// paper's three evaluation machines plus the tiny spatial test arch.
+func boundArches() map[string]*arch.Arch {
+	return map[string]*arch.Arch{
+		"conventional": arch.Conventional(),
+		"simba":        arch.Simba(),
+		"diannao":      arch.DianNao(),
+		"tinyspatial":  arch.TinySpatial(4096, 1<<18, 8),
+	}
+}
+
+// TestLowerBoundAdmissibleProperty: for random valid mappings on every
+// preset, Session.LowerBound never exceeds the full evaluation in either
+// component — neither at the mapping's own spatial parallelism nor at the
+// problem-wide maximum. This is the property the search's bound pruning
+// relies on: a candidate whose bound beats the incumbent can be discarded
+// without ever being evaluated.
+func TestLowerBoundAdmissibleProperty(t *testing.T) {
+	w := workloads.Conv2D("conv", 2, 8, 8, 14, 14, 3, 3, 1, 1)
+	for name, a := range boundArches() {
+		t.Run(name, func(t *testing.T) {
+			sess := Default.NewSession(w, a)
+			ev := sess.NewEvaluator()
+			f := func(seed int64) bool {
+				rng := rand.New(rand.NewSource(seed))
+				m := randomValidMappingOn(rng, w, a)
+				if m == nil {
+					t.Fatal("trivial all-at-top placement invalid")
+				}
+				_, energyPJ, cycles, valid := ev.EvaluateEDP(m)
+				if !valid {
+					return true // capacity-invalid samples carry no admissibility claim
+				}
+				sp := 1.0
+				for l := range m.Levels {
+					sp *= float64(m.Levels[l].SpatialProduct())
+				}
+				for _, ms := range []float64{sp, 0} {
+					lbE, lbC := sess.LowerBound(ms)
+					if lbE > energyPJ {
+						t.Logf("seed %d ms %g: bound energy %g above actual %g", seed, ms, lbE, energyPJ)
+						return false
+					}
+					if lbC > cycles {
+						t.Logf("seed %d ms %g: bound cycles %g above actual %g", seed, ms, lbC, cycles)
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+				t.Error(err)
+			}
+		})
+	}
+}
+
+// TestLowerBoundMonotoneInSpatial: less parallelism can only raise the cycle
+// floor, and the energy floor is independent of it.
+func TestLowerBoundMonotoneInSpatial(t *testing.T) {
+	w := workloads.Conv2D("conv", 2, 8, 8, 14, 14, 3, 3, 1, 1)
+	for name, a := range boundArches() {
+		sess := Default.NewSession(w, a)
+		eFull, cFull := sess.LowerBound(0)
+		eHalf, cHalf := sess.LowerBound(2)
+		if eFull != eHalf {
+			t.Errorf("%s: energy floor moved with maxSpatial: %g vs %g", name, eFull, eHalf)
+		}
+		if cHalf < cFull {
+			t.Errorf("%s: cycle floor dropped when parallelism shrank: %g vs %g", name, cHalf, cFull)
+		}
+		if eFull <= 0 || cFull <= 0 {
+			t.Errorf("%s: degenerate floor (%g, %g)", name, eFull, cFull)
+		}
+	}
+}

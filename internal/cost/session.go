@@ -127,6 +127,14 @@ type Session struct {
 	sumOrder []int // component indices in sorted-name order (EnergyPJ sum)
 	slots    []slotPlan
 
+	// Admissible lower-bound tables (see LowerBound), built once by
+	// buildLowerBound from compulsory traffic and peak-throughput
+	// occupancy. They depend only on the problem, never on a mapping.
+	lbMacsU      float64 // unpadded MAC count (Π problem bounds)
+	lbEnergyPJ   float64 // energy floor: MACs + compulsory buffer traffic
+	lbXferCycles float64 // cycle floor from bandwidth on compulsory traffic
+	lbMaxSpatial float64 // Π fanouts — the most parallelism any mapping has
+
 	shards       [cacheShards]cacheShard
 	hits, misses obs.Counter
 }
@@ -296,7 +304,184 @@ func (mo Model) NewSession(w *tensor.Workload, a *arch.Arch) *Session {
 	for i := range s.shards {
 		s.shards[i].m = make(map[Key]cacheEntry)
 	}
+	s.buildLowerBound()
 	return s
+}
+
+// lbSlack shaves a relative epsilon off the lower-bound tables so that
+// floating-point summation-order differences between the bound and the real
+// evaluation can never push the bound above a true cost. The admissibility
+// argument is exact in real arithmetic; the slack only absorbs ulp-level
+// rounding and is far below anything the search could act on.
+const lbSlack = 1 - 1e-9
+
+// buildLowerBound precomputes the admissible cost floor consulted by
+// LowerBound. Every term is a provable under-approximation of what compute()
+// charges for ANY valid mapping of the problem:
+//
+//   - MAC energy: compute() charges PaddedMACs × macPJ; the unpadded product
+//     of problem bounds (macsU) never exceeds PaddedMACs.
+//   - Datapath flows: compute() moves macs/mergeWidth words at the innermost
+//     keeper. mergeWidth is a product of spatial factors, capped by the
+//     fanout product of the levels at or below the keeper — and, for a
+//     tensor whose non-indexing dimensions are all reduction dimensions
+//     (the usual single-output case), only AllowSpatialReduction levels can
+//     contribute, because noSR levels force reduction spatial factors to 1.
+//   - Keeper-pair flows: every distinct element of a tensor must cross each
+//     keeper pair at least once (sliding-window reuse removes only repeat
+//     fetches), so child-side traffic is at least the unpadded footprint
+//     fpFull, and parent-side reads at least fpFull divided by the maximal
+//     multicast width between the two levels. Output partial-sum round
+//     trips are bounded below by zero.
+//   - NoC and spatial-reduce energy are non-negative extras: floor zero.
+//   - Cycles: compute cycles are at least macsU / (total spatial), and each
+//     resolved slot needs its compulsory traffic through its bandwidth at
+//     the maximal instance count (fanout product strictly above the level).
+func (s *Session) buildLowerBound() {
+	top := s.nLevels - 1
+	if top < 0 {
+		return
+	}
+
+	macsU := 1.0
+	for _, b := range s.bounds {
+		macsU *= float64(b)
+	}
+
+	isRed := make([]bool, len(s.dims))
+	for _, ri := range s.redDims {
+		isRed[ri] = true
+	}
+
+	// fanPrefix[l]: max spatial product over levels [0..l]; fanPrefixSR[l]:
+	// the same counting only AllowSpatialReduction levels.
+	fanPrefix := make([]float64, s.nLevels)
+	fanPrefixSR := make([]float64, s.nLevels)
+	accP, accSR := 1.0, 1.0
+	for l := 0; l < s.nLevels; l++ {
+		accP *= float64(s.fanout[l])
+		if !s.noSR[l] {
+			accSR *= float64(s.fanout[l])
+		}
+		fanPrefix[l] = accP
+		fanPrefixSR[l] = accSR
+	}
+	s.lbMaxSpatial = fanPrefix[top]
+
+	// instMax[l]: maximal instance count of a level-l slot — the fanout
+	// product strictly above l (cycles()'s e.inst with every fanout used).
+	instMax := make([]float64, s.nLevels)
+	acc := 1.0
+	for l := top; l >= 0; l-- {
+		instMax[l] = acc
+		acc *= float64(s.fanout[l])
+	}
+
+	readsLB := make([]float64, len(s.slots))
+	writesLB := make([]float64, len(s.slots))
+	energy := macsU * s.macPJ
+
+	for ti := range s.tensors {
+		tp := &s.tensors[ti]
+
+		// fpFull: footprint over the unpadded problem bounds — the distinct
+		// elements every flow of this tensor must move at least once.
+		fp := 1.0
+		for ai := range tp.axes {
+			ex := 1
+			for _, t := range tp.axes[ai].terms {
+				ex += t.stride * (s.bounds[t.dim] - 1)
+			}
+			fp *= float64(ex)
+		}
+
+		// srCapped: every non-indexing dim is a reduction dim, so the
+		// tensor's merge width can only grow at SR-allowing levels.
+		srCapped := true
+		for i := range s.dims {
+			if !tp.indexing[i] && !isRed[i] {
+				srCapped = false
+				break
+			}
+		}
+
+		for fi := range tp.flows {
+			fl := &tp.flows[fi]
+			if fl.child < 0 {
+				// Datapath flow at the innermost keeper.
+				mergeCap := fanPrefix[fl.parent]
+				if srCapped {
+					mergeCap = fanPrefixSR[fl.parent]
+				}
+				v := macsU / mergeCap
+				if tp.output {
+					// psum re-reads equal the writes in account().
+					readsLB[fl.pSlot] += v
+					writesLB[fl.pSlot] += v
+					energy += v * (fl.pReadPJ + fl.pWritePJ)
+				} else {
+					readsLB[fl.pSlot] += v
+					energy += v * fl.pReadPJ
+				}
+				continue
+			}
+			// Keeper-pair flow (child, parent): mc is the maximal multicast
+			// (input) width between the levels.
+			mc := fanPrefix[fl.parent] / fanPrefix[fl.child]
+			if tp.output {
+				// Writeback: ≥ fpFull words written to the parent, each
+				// drained through the child at least once.
+				writesLB[fl.pSlot] += fp
+				readsLB[fl.cSlot] += fp
+				energy += fp * (fl.pWritePJ + fl.cReadPJ)
+			} else {
+				// Fill: ≥ fpFull words into the child, sourced by at least
+				// fpFull/mc parent reads.
+				readsLB[fl.pSlot] += fp / mc
+				writesLB[fl.cSlot] += fp
+				energy += fp/mc*fl.pReadPJ + fp*fl.cWritePJ
+			}
+		}
+	}
+
+	worst := 0.0
+	for si := range s.slots {
+		sp := &s.slots[si]
+		if !sp.resolved {
+			continue
+		}
+		var t float64
+		if sp.readBW > 0 {
+			t += readsLB[si] / (sp.readBW * instMax[sp.lvl])
+		}
+		if sp.writeBW > 0 {
+			t += writesLB[si] / (sp.writeBW * instMax[sp.lvl])
+		}
+		if t > worst {
+			worst = t
+		}
+	}
+
+	s.lbMacsU = macsU * lbSlack
+	s.lbEnergyPJ = energy * lbSlack
+	s.lbXferCycles = worst * lbSlack
+}
+
+// LowerBound returns an admissible floor on (EnergyPJ, Cycles) for any valid
+// completion of a mapping whose total spatial parallelism cannot exceed
+// maxSpatial: no valid mapping of the Session's problem — however it tiles,
+// orders, or unrolls — evaluates below these numbers in either component.
+// Pass maxSpatial <= 0 (or anything above the fanout product) for the
+// problem-wide bound.
+func (s *Session) LowerBound(maxSpatial float64) (energyPJ, cycles float64) {
+	if maxSpatial <= 0 || maxSpatial > s.lbMaxSpatial {
+		maxSpatial = s.lbMaxSpatial
+	}
+	cycles = s.lbMacsU / maxSpatial
+	if s.lbXferCycles > cycles {
+		cycles = s.lbXferCycles
+	}
+	return s.lbEnergyPJ, cycles
 }
 
 // insertionSortStrings avoids importing sort for one tiny build-time sort.

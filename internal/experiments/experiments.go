@@ -54,11 +54,19 @@ type Config struct {
 	// any value — only wall-clock changes — so the committed numbers do
 	// not depend on it.
 	Threads int
+	// Analytical, when non-nil, overrides the analytical-layer toggles
+	// (Options.Analytical) on every Sunstone cell: seed incumbent and
+	// admissible bound pruning. Nil keeps the library default (both on).
+	Analytical *core.AnalyticalOptions
 }
 
 // options applies the Config-wide search knobs to one experiment's Options.
 func (c Config) options(o core.Options) core.Options {
 	o.Threads = c.Threads
+	if c.Analytical != nil {
+		an := *c.Analytical
+		o.Analytical = &an
+	}
 	return o
 }
 
@@ -143,6 +151,11 @@ type ToolRun struct {
 	// when the primary search degraded. See Config.Resilience.
 	Attempts int
 	Fallback string
+	// BoundPruned counts candidates the admissible analytical lower bound
+	// cut before evaluation; SeedEDP is the closed-form seed mapping's EDP
+	// (0 when seeding was off or the seed failed). Sunstone cells only.
+	BoundPruned uint64
+	SeedEDP     float64
 }
 
 // stoppedLabel renders a StopReason for ToolRun.Stopped: empty when the
@@ -181,6 +194,8 @@ func runSunstone(cfg Config, eng *core.Engine, w *tensor.Workload, a *arch.Arch)
 	tr.Stopped = stoppedLabel(res.Stopped)
 	tr.Attempts = len(res.Attempts)
 	tr.Fallback = res.FallbackUsed
+	tr.BoundPruned = res.Stats.BoundPruned
+	tr.SeedEDP = res.SeedEDP
 	return tr
 }
 
@@ -436,19 +451,21 @@ func sortedKeys(m map[string]float64) []string {
 }
 
 // RunsCSV renders tool runs as CSV (workload,tool,valid,edp,energy_pj,
-// cycles,seconds,stopped,attempts,fallback,reason) for plotting the figures
-// externally. The stopped column is empty for naturally-completed runs and
-// otherwise holds the StopReason string of an anytime early return; attempts
-// is 0 and fallback empty unless the run went through the resilient path
-// (Config.Resilience).
+// cycles,seconds,stopped,attempts,fallback,bound_pruned,seed_edp,reason) for
+// plotting the figures externally. The stopped column is empty for
+// naturally-completed runs and otherwise holds the StopReason string of an
+// anytime early return; attempts is 0 and fallback empty unless the run went
+// through the resilient path (Config.Resilience); bound_pruned and seed_edp
+// report the analytical layer's work on Sunstone cells (0 for baselines and
+// when the layer is off).
 func RunsCSV(runs []ToolRun) string {
 	var b strings.Builder
-	b.WriteString("workload,tool,valid,edp,energy_pj,cycles,seconds,stopped,attempts,fallback,reason\n")
+	b.WriteString("workload,tool,valid,edp,energy_pj,cycles,seconds,stopped,attempts,fallback,bound_pruned,seed_edp,reason\n")
 	for _, r := range runs {
 		reason := strings.ReplaceAll(r.Reason, ",", ";")
-		fmt.Fprintf(&b, "%s,%s,%t,%g,%g,%g,%.3f,%s,%d,%s,%s\n",
+		fmt.Fprintf(&b, "%s,%s,%t,%g,%g,%g,%.3f,%s,%d,%s,%d,%g,%s\n",
 			r.Workload, r.Tool, r.Valid, r.EDP, r.EnergyPJ, r.Cycles, r.Seconds, r.Stopped,
-			r.Attempts, r.Fallback, reason)
+			r.Attempts, r.Fallback, r.BoundPruned, r.SeedEDP, reason)
 	}
 	return b.String()
 }

@@ -195,7 +195,7 @@ func TestDataflowSpread(t *testing.T) {
 func TestRunsCSV(t *testing.T) {
 	runs := []ToolRun{
 		{Tool: "Sunstone", Workload: "l1", Valid: true, EDP: 1e15, EnergyPJ: 2e9, Cycles: 5e5, Seconds: 0.5,
-			Attempts: 4, Fallback: "innermost-fit"},
+			Attempts: 4, Fallback: "innermost-fit", BoundPruned: 37, SeedEDP: 2e15},
 		{Tool: "dMaze-fast", Workload: "l1", Valid: false, Reason: "asymmetric, unsupported"},
 	}
 	s := RunsCSV(runs)
@@ -209,8 +209,14 @@ func TestRunsCSV(t *testing.T) {
 	if !strings.Contains(lines[0], ",attempts,fallback,") {
 		t.Errorf("header missing resilience columns: %q", lines[0])
 	}
+	if !strings.Contains(lines[0], ",bound_pruned,seed_edp,") {
+		t.Errorf("header missing analytical columns: %q", lines[0])
+	}
 	if !strings.Contains(lines[1], ",4,innermost-fit,") {
 		t.Errorf("resilient run lost its attempts/fallback cells: %q", lines[1])
+	}
+	if !strings.Contains(lines[1], ",37,2e+15,") {
+		t.Errorf("analytical cells missing: %q", lines[1])
 	}
 	if !strings.Contains(lines[2], ",0,,") {
 		t.Errorf("plain run should carry empty resilience cells: %q", lines[2])

@@ -129,6 +129,7 @@ const (
 	CtrPrunedUnrolling = "pruned.unrolling"
 	CtrPrunedBound     = "pruned.bound"
 	CtrPrunedBeam      = "pruned.beam"
+	CtrBoundPruned     = "pruned.analytic"
 	CtrCacheHits       = "eval.cache.hits"
 	CtrCacheMisses     = "eval.cache.misses"
 )
@@ -171,17 +172,20 @@ const (
 // ordering-trie rejects, PrunedTiling for tiling-tree and factor-enumeration
 // rejects, PrunedUnrolling for unrolling-rule and fanout-feasibility
 // rejects), removed as a duplicate of an already-queued candidate (Deduped),
-// scored by the cost model (Evaluated), or dropped unevaluated by a
-// cancellation drain (Skipped). Generated counts every one of them, so
+// cut before scoring because its admissible analytic lower bound already
+// exceeds the incumbent (BoundPruned), scored by the cost model (Evaluated),
+// or dropped unevaluated by a cancellation drain (Skipped). Generated counts
+// every one of them, so
 //
-//	Generated = PrunedOrdering + PrunedTiling + PrunedUnrolling
+//	Generated = PrunedOrdering + PrunedTiling + PrunedUnrolling + BoundPruned
 //	          + Deduped + Evaluated + Skipped
 //
 // holds at every instant of a search (and Skipped is zero for a run that
-// was never canceled). PrunedBound and PrunedBeam classify the *post*-
-// evaluation beam selection — candidates cut by the alpha-beta bound or the
-// beam-width truncation; they are subsets of Evaluated and deliberately
-// outside the identity above.
+// was never canceled; BoundPruned is zero when Options.Analytical bounds are
+// off). PrunedBound and PrunedBeam classify the *post*-evaluation beam
+// selection — candidates cut by the alpha-beta bound or the beam-width
+// truncation; they are subsets of Evaluated and deliberately outside the
+// identity above.
 type SearchCounters struct {
 	Generated       *Counter
 	Evaluated       *Counter
@@ -190,6 +194,7 @@ type SearchCounters struct {
 	PrunedOrdering  *Counter
 	PrunedTiling    *Counter
 	PrunedUnrolling *Counter
+	BoundPruned     *Counter
 	PrunedBound     *Counter
 	PrunedBeam      *Counter
 }
@@ -205,6 +210,7 @@ func NewSearchCounters(r *Registry) *SearchCounters {
 		PrunedOrdering:  r.Counter(CtrPrunedOrdering),
 		PrunedTiling:    r.Counter(CtrPrunedTiling),
 		PrunedUnrolling: r.Counter(CtrPrunedUnrolling),
+		BoundPruned:     r.Counter(CtrBoundPruned),
 		PrunedBound:     r.Counter(CtrPrunedBound),
 		PrunedBeam:      r.Counter(CtrPrunedBeam),
 	}
@@ -233,6 +239,12 @@ type SearchStats struct {
 	PrunedOrdering  uint64
 	PrunedTiling    uint64
 	PrunedUnrolling uint64
+	// BoundPruned counts materialized candidates cut *before* evaluation
+	// because their admissible analytic lower bound (compulsory traffic +
+	// peak-throughput occupancy) already exceeded the incumbent. Part of
+	// the Generated identity via Pruned(); zero when analytic bounds are
+	// disabled.
+	BoundPruned uint64
 	// PrunedBound / PrunedBeam count evaluated candidates cut from the beam
 	// by the alpha-beta bound and by beam-width truncation. They are
 	// subsets of Evaluated, not part of the Generated identity.
@@ -244,11 +256,11 @@ type SearchStats struct {
 	EvalCacheMisses uint64
 }
 
-// Pruned is the pre-materialization prune total:
-// PrunedOrdering + PrunedTiling + PrunedUnrolling. Together with Deduped,
-// Evaluated and Skipped it partitions Generated.
+// Pruned is the pre-evaluation prune total: PrunedOrdering + PrunedTiling +
+// PrunedUnrolling + BoundPruned. Together with Deduped, Evaluated and
+// Skipped it partitions Generated.
 func (s SearchStats) Pruned() uint64 {
-	return s.PrunedOrdering + s.PrunedTiling + s.PrunedUnrolling
+	return s.PrunedOrdering + s.PrunedTiling + s.PrunedUnrolling + s.BoundPruned
 }
 
 // SnapshotSearch reads the canonical counters out of r into a SearchStats.
@@ -271,6 +283,7 @@ func SnapshotSearch(r *Registry) SearchStats {
 		PrunedOrdering:  get(CtrPrunedOrdering),
 		PrunedTiling:    get(CtrPrunedTiling),
 		PrunedUnrolling: get(CtrPrunedUnrolling),
+		BoundPruned:     get(CtrBoundPruned),
 		PrunedBound:     get(CtrPrunedBound),
 		PrunedBeam:      get(CtrPrunedBeam),
 		EvalCacheHits:   get(CtrCacheHits),

@@ -64,6 +64,12 @@ type SubmitOptions struct {
 	// value is honored up to that share, so one tenant cannot
 	// oversubscribe the box. Results are identical at any value.
 	Threads int `json:"threads,omitempty"`
+	// AnalyticalSeed / AnalyticalBounds toggle the closed-form analytical
+	// layer: the one-shot seed incumbent and the admissible lower-bound
+	// pruning. Unset (null) keeps the library default (both on); explicit
+	// false opts that half out.
+	AnalyticalSeed   *bool `json:"analytical_seed,omitempty"`
+	AnalyticalBounds *bool `json:"analytical_bounds,omitempty"`
 }
 
 // SubmitRequest is the POST /v1/jobs body. Exactly one workload form —
@@ -180,6 +186,16 @@ func (r *SubmitRequest) build() (*tensor.Workload, *arch.Arch, core.Options, err
 			return nil, nil, opt, fmt.Errorf("threads %d exceeds the maximum %d", o.Threads, core.MaxThreads)
 		}
 		opt.Threads = o.Threads
+		if o.AnalyticalSeed != nil || o.AnalyticalBounds != nil {
+			an := core.AnalyticalOptions{Seed: true, Bounds: true}
+			if o.AnalyticalSeed != nil {
+				an.Seed = *o.AnalyticalSeed
+			}
+			if o.AnalyticalBounds != nil {
+				an.Bounds = *o.AnalyticalBounds
+			}
+			opt.Analytical = &an
+		}
 	}
 	if r.TimeoutMS < 0 {
 		return nil, nil, opt, fmt.Errorf("timeout_ms %d must be non-negative", r.TimeoutMS)

@@ -19,8 +19,14 @@
 // Quick start:
 //
 //	w := sunstone.Conv2D("layer", 16, 64, 64, 56, 56, 3, 3, 1, 1)
-//	res, err := sunstone.Optimize(w, sunstone.Simba(), sunstone.Options{})
+//	p := sunstone.Problem{Workload: w, Arch: sunstone.Simba()}
+//	res, err := sunstone.Solve(p, sunstone.Options{})
 //	fmt.Println(res.Mapping, res.Report.EDP)
+//
+// Problem bundles everything that identifies one scheduling problem —
+// workload, architecture, and (optionally) a non-default cost model — and
+// Solve/SolveContext/Engine.Solve all take it. The positional
+// Optimize(w, a, opt) wrappers remain and behave identically.
 //
 // # Anytime optimization: cancellation, deadlines, graceful degradation
 //
@@ -105,6 +111,15 @@ type (
 	Report = cost.Report
 	// Options configures the optimizer.
 	Options = core.Options
+	// AnalyticalOptions configures the closed-form analytical layer
+	// (Options.Analytical): the one-shot seed incumbent and the admissible
+	// lower-bound pruning. Both default on; an explicit zero
+	// &AnalyticalOptions{} disables both.
+	AnalyticalOptions = core.AnalyticalOptions
+	// Problem bundles a workload, an architecture, and an optional
+	// non-default cost model into one value identifying a scheduling
+	// problem — the canonical input of Solve and Engine.Solve.
+	Problem = core.Problem
 	// Result is the outcome of an optimization run.
 	Result = core.Result
 	// BaselineResult is the outcome of a prior-art mapper run.
@@ -257,8 +272,26 @@ func WithTrace(ctx context.Context, t *Trace) context.Context {
 	return obs.WithTrace(ctx, t)
 }
 
+// Solve runs the Sunstone optimizer on a Problem. It is SolveContext with a
+// background context; Options.Timeout still bounds the wall-clock.
+func Solve(p Problem, opt Options) (Result, error) {
+	return core.Solve(p, opt)
+}
+
+// SolveContext runs the Sunstone optimizer on a Problem under ctx as an
+// anytime algorithm: on cancellation or deadline it returns the best mapping
+// completed so far with Result.Stopped set (see the package comment). This is
+// the canonical entry point; Optimize/OptimizeContext are positional-argument
+// wrappers over it.
+func SolveContext(ctx context.Context, p Problem, opt Options) (Result, error) {
+	return core.SolveContext(ctx, p, opt)
+}
+
 // Optimize runs the Sunstone optimizer. It is OptimizeContext with a
 // background context; Options.Timeout still bounds the wall-clock.
+//
+// Deprecated-style note: Solve with a Problem is the canonical entry point;
+// this wrapper remains for positional-argument callers and is not going away.
 func Optimize(w *Workload, a *Arch, opt Options) (Result, error) {
 	return core.Optimize(w, a, opt)
 }
@@ -266,6 +299,9 @@ func Optimize(w *Workload, a *Arch, opt Options) (Result, error) {
 // OptimizeContext runs the Sunstone optimizer under ctx as an anytime
 // algorithm: on cancellation or deadline it returns the best mapping
 // completed so far with Result.Stopped set (see the package comment).
+//
+// Deprecated-style note: SolveContext with a Problem is the canonical entry
+// point; this wrapper remains for positional-argument callers.
 func OptimizeContext(ctx context.Context, w *Workload, a *Arch, opt Options) (Result, error) {
 	return core.OptimizeContext(ctx, w, a, opt)
 }
