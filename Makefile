@@ -2,21 +2,22 @@ GO ?= go
 
 # bench knobs: override to regenerate a different PR's trajectory, e.g.
 #   make bench BENCH_PATTERN='BenchmarkOptimize' BENCH_OUT=/tmp/b.json
-BENCH_PATTERN ?= BenchmarkOptimize|BenchmarkEvaluate|BenchmarkEngineReuse|BenchmarkAnalyticalLayer
-BENCH_BEFORE ?= benchdata/pr8_before.txt
-BENCH_AFTER ?= benchdata/pr8_after.txt
-BENCH_OUT ?= BENCH_PR8.json
+BENCH_PATTERN ?= BenchmarkOptimize|BenchmarkEvaluate|BenchmarkEngineReuse|BenchmarkAnalyticalLayer|BenchmarkNetworkFused
+BENCH_BEFORE ?= benchdata/pr9_before.txt
+BENCH_AFTER ?= benchdata/pr9_after.txt
+BENCH_OUT ?= BENCH_PR9.json
 
-.PHONY: check vet fmt-check guard build test race fuzz fuzz-smoke bench bench-smoke trace-smoke chaos-smoke server-smoke parallel-smoke seed-smoke
+.PHONY: check vet fmt-check guard build test race fuzz fuzz-smoke bench bench-smoke trace-smoke chaos-smoke server-smoke parallel-smoke seed-smoke fuse-smoke
 
 # check is the full pre-commit gate: static analysis, formatting, the
 # unified-stepper guard, build, the whole test suite, the race detector over
 # the concurrent search paths, a thread-count parity smoke of the parallel
 # beam expansion, an EDP-parity smoke of the analytical seeding layer, a
-# telemetry smoke test of the trace exporter, a seeded chaos smoke of the
-# resilient scheduling path, and an end-to-end smoke of the sunstoned
-# scheduler service (submit, poll, drain under SIGTERM).
-check: vet fmt-check guard build test race parallel-smoke seed-smoke trace-smoke chaos-smoke server-smoke
+# fused-vs-unfused smoke of the fusion-aware network scheduler, a telemetry
+# smoke test of the trace exporter, a seeded chaos smoke of the resilient
+# scheduling path, and an end-to-end smoke of the sunstoned scheduler
+# service (submit, poll, drain under SIGTERM).
+check: vet fmt-check guard build test race parallel-smoke seed-smoke fuse-smoke trace-smoke chaos-smoke server-smoke
 
 vet:
 	$(GO) vet ./...
@@ -62,6 +63,16 @@ parallel-smoke:
 # fewer candidates, and the disabled path must stay bit-identical run to run.
 seed-smoke:
 	$(GO) test -run 'TestAnalyticalSeedEDPParity|TestAnalyticalOnEqualOrBetter|TestAnalyticalOffDeterministic' -count 1 ./internal/core/
+
+# fuse-smoke pins the fusion-aware network scheduler's acceptance contract:
+# the fused schedule never scores worse EDP than the per-layer baseline
+# solved in the same run, the chosen groups tile the chain, and turning
+# fusion off (max group 1) is bit-identical to the per-layer scheduler —
+# plus the strict-improvement case on the transformer chain in
+# internal/core.
+fuse-smoke:
+	$(GO) test -run 'TestFuseSmoke' -count 1 .
+	$(GO) test -run 'TestFusedBeatsUnfused|TestFusedMaxGroupOneIsUnfused' -count 1 ./internal/core/
 
 # bench reruns the search/evaluation/Engine-reuse benchmarks and refreshes
 # $(BENCH_OUT), the machine-readable before/after trajectory: the committed

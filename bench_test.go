@@ -218,6 +218,39 @@ func BenchmarkAnalyticalLayer(b *testing.B) {
 	}
 }
 
+// BenchmarkNetworkFused schedules the transformer GEMM chain whole-network
+// in both modes — per-layer (max group 1) and fusion-aware — and reports
+// the network EDP each lands on: the fused/unfused gap is the PR 9
+// acceptance bar (fused strictly lower on this preset), committed in
+// BENCH_PR9.json.
+func BenchmarkNetworkFused(b *testing.B) {
+	net := sunstone.TransformerChain(64, 64, 256)
+	a := sunstone.Conventional()
+	opt := sunstone.NetworkOptions{Options: sunstone.Options{
+		BeamWidth: 4, TilesPerStep: 8, UnrollsPerStep: 1,
+	}}
+	for _, arm := range []struct {
+		name     string
+		maxGroup int
+	}{
+		{"unfused", 1},
+		{"fused", 0},
+	} {
+		b.Run(arm.name, func(b *testing.B) {
+			var edp float64
+			for i := 0; i < b.N; i++ {
+				sched, err := sunstone.ScheduleNetworkFused(context.Background(), net, a, opt,
+					sunstone.FusionOptions{MaxGroup: arm.maxGroup})
+				if err != nil {
+					b.Fatal(err)
+				}
+				edp = sched.EDP
+			}
+			b.ReportMetric(edp, "EDP")
+		})
+	}
+}
+
 // BenchmarkOptimizeMTTKRP measures a non-DNN kernel search.
 func BenchmarkOptimizeMTTKRP(b *testing.B) {
 	w := sunstone.MTTKRP("mttkrp_nell2", 12092, 9184, 28818, 32)

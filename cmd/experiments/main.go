@@ -6,7 +6,7 @@
 //	experiments -exp all            # everything, full budgets (minutes)
 //	experiments -exp fig8 -quick    # one figure, CI-speed budgets
 //
-// Experiments: table1, table3, fig6, fig7, fig8, table6, fig9, all.
+// Experiments: table1, table3, fig6, fig7, fig8, table6, fig9, fusion, all.
 package main
 
 import (
@@ -22,7 +22,7 @@ import (
 )
 
 var (
-	exp      = flag.String("exp", "all", "experiment: table1 | table3 | fig6 | fig7 | fig8 | table6 | fig9 | spread | all")
+	exp      = flag.String("exp", "all", "experiment: table1 | table3 | fig6 | fig7 | fig8 | table6 | fig9 | spread | fusion | all")
 	quick    = flag.Bool("quick", false, "shrink layer sets and search budgets")
 	seed     = flag.Int64("seed", 1, "seed for randomized baselines")
 	csv      = flag.Bool("csv", false, "emit fig6/fig7/fig8 rows as CSV instead of text")
@@ -97,6 +97,14 @@ func main() {
 		figure("Fig. 8 — ResNet-18 inference (batch 16), Simba-like accelerator", experiments.Fig8(cfg))
 	})
 	run("table6", func() { fmt.Print(experiments.RenderTable6(experiments.Table6(cfg))) })
+	run("fusion", func() {
+		runs := experiments.Fusion(cfg)
+		if *csv {
+			fmt.Print(experiments.RunsCSV(runs))
+			return
+		}
+		fmt.Print(experiments.RenderFusion(runs))
+	})
 	run("spread", func() { fmt.Print(experiments.RenderSpread(experiments.DataflowSpread(cfg))) })
 	run("fig9", func() {
 		r, err := experiments.Fig9(cfg)
@@ -108,7 +116,7 @@ func main() {
 	})
 
 	switch *exp {
-	case "table1", "table3", "fig6", "fig7", "fig8", "table6", "fig9", "spread", "all":
+	case "table1", "table3", "fig6", "fig7", "fig8", "table6", "fig9", "spread", "fusion", "all":
 	default:
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)

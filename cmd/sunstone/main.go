@@ -8,6 +8,8 @@
 //	sunstone -arch conventional -workload conv -dims N=16,K=64,C=64,P=56,Q=56,R=3,S=3
 //	sunstone -arch conventional -net inception -layer 1x7_deep -weight-update
 //	sunstone -arch simba -net resnet18 -layer conv3_1 -compare
+//	sunstone -arch conventional -net resnet18 -all-layers -fuse
+//	sunstone -arch conventional -net transformer -all-layers -fuse
 package main
 
 import (
@@ -28,9 +30,11 @@ var (
 	archName  = flag.String("arch", "conventional", "architecture: conventional | simba | diannao | tiny")
 	workload  = flag.String("workload", "", "kernel: conv | mttkrp | ttmc | sddmm | mmc | tcl | fc")
 	dataset   = flag.String("dataset", "nell2", "dataset for mttkrp/ttmc: nell2 | netflix | poisson1; for sddmm: bcsstk17 | cant")
-	net       = flag.String("net", "", "layer table: resnet18 | inception | alexnet | vgg16")
+	net       = flag.String("net", "", "layer table: resnet18 | inception | alexnet | vgg16 | transformer (-all-layers only)")
 	layer     = flag.String("layer", "", "layer name from -net (empty = list layers)")
 	allLayers = flag.Bool("all-layers", false, "schedule every layer of -net and print network totals")
+	fuse      = flag.Bool("fuse", false, "with -all-layers: fusion-aware scheduling — fusible layer groups keep their intermediates resident on-chip, and the best fusion cut by total EDP is reported against the unfused baseline")
+	maxGroup  = flag.Int("max-group", 0, "with -fuse: longest fused group in chain positions (0 = default 4)")
 	batch     = flag.Int("batch", 16, "batch size for -net layers")
 	wu        = flag.Bool("weight-update", false, "use the weight-update (training) form of the layer")
 	dims      = flag.String("dims", "", "explicit conv dims, e.g. N=16,K=64,C=64,P=56,Q=56,R=3,S=3")
@@ -367,6 +371,7 @@ func runAllLayers(eng *sunstone.Engine) {
 	}
 	var table []sunstone.ConvShape
 	var repeats []int
+	var irNet *sunstone.Network
 	switch *net {
 	case "resnet18":
 		table, repeats = sunstone.ResNet18Layers, sunstone.ResNet18Repeats()
@@ -376,8 +381,12 @@ func runAllLayers(eng *sunstone.Engine) {
 		table = sunstone.AlexNetLayers
 	case "vgg16":
 		table = sunstone.VGG16Layers
+	case "transformer":
+		// The GEMM-chain preset is IR-native (no ConvShape table); -batch
+		// does not apply — the chain is one transformer block's projections.
+		irNet = sunstone.TransformerChain(512, 512, 2048)
 	default:
-		fatal(fmt.Errorf("-all-layers needs -net resnet18|inception|alexnet|vgg16"))
+		fatal(fmt.Errorf("-all-layers needs -net resnet18|inception|alexnet|vgg16|transformer"))
 	}
 	nopt := sunstone.NetworkOptions{
 		Options: sunstone.Options{
@@ -388,7 +397,21 @@ func runAllLayers(eng *sunstone.Engine) {
 		Resilience:      resiliencePolicy(),
 	}
 	ctx, flushTrace := searchContext()
-	sched, err := eng.ScheduleNetworkContext(ctx, *net, table, *batch, repeats, a, nopt)
+	var sched sunstone.NetworkSchedule
+	switch {
+	case *fuse:
+		if irNet == nil {
+			irNet, err = sunstone.FromConvShapes(*net, table, *batch, repeats)
+			if err != nil {
+				fatal(err)
+			}
+		}
+		sched, err = eng.ScheduleNetworkFused(ctx, irNet, a, nopt, sunstone.FusionOptions{MaxGroup: *maxGroup})
+	case irNet != nil:
+		sched, err = eng.ScheduleNetworkIR(ctx, irNet, a, nopt)
+	default:
+		sched, err = eng.ScheduleNetworkContext(ctx, *net, table, *batch, repeats, a, nopt)
+	}
 	fmt.Printf("%-12s %-3s %-12s %-12s %s\n", "layer", "x", "EDP", "energy pJ", "cycles")
 	for _, l := range sched.Layers {
 		if l.Err != nil {
@@ -406,6 +429,19 @@ func runAllLayers(eng *sunstone.Engine) {
 		}
 		fmt.Printf("%-12s %-3d %-12.3e %-12.3e %.0f%s\n",
 			l.Layer, l.Repeats, l.Result.Report.EDP, l.Result.Report.EnergyPJ, l.Result.Report.Cycles, note)
+	}
+	if sched.Fused {
+		fmt.Printf("\nfusion cut (%d groups):\n", len(sched.Groups))
+		for _, g := range sched.Groups {
+			kind := "unfused"
+			if g.End-g.Start > 1 {
+				kind = "fused @" + a.Levels[g.PinLevel].Name
+			}
+			fmt.Printf("  [%2d,%2d) %-10s %-40s %.3e pJ  %.3e cycles\n",
+				g.Start, g.End, kind, strings.Join(g.Layers, "+"), g.EnergyPJ, g.Cycles)
+		}
+		fmt.Printf("unfused EDP %.4e -> fused EDP %.4e (%.2fx better)\n",
+			sched.UnfusedEDP, sched.EDP, sched.UnfusedEDP/sched.EDP)
 	}
 	fmt.Printf("\nnetwork totals: %.4e pJ, %.3e cycles, EDP %.4e (scheduled in %v",
 		sched.TotalEnergyPJ, sched.TotalCycles, sched.EDP, sched.Elapsed.Round(1e6))

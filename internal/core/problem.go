@@ -78,6 +78,14 @@ func (p Problem) Key() (key string, ok bool) {
 	} else {
 		h.Write([]byte{2})
 	}
+	// Residency changes the flow structure, so resident problems must never
+	// share a compiled entry with the DRAM-backed ones. Pins hash in
+	// canonical order; levels fit a byte for any realistic hierarchy.
+	for _, pin := range p.Model.Resident.CanonicalPins() {
+		h.Write([]byte{3, byte(pin.Level)})
+		h.Write([]byte(pin.Tensor))
+		h.Write([]byte{0})
+	}
 	return string(h.Sum(nil)), true
 }
 

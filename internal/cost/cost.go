@@ -55,6 +55,78 @@ type Model struct {
 	// Probe, if set, is called at the start of every Evaluate (fault
 	// injection for robustness tests; nil in production).
 	Probe Probe
+	// Resident, when non-nil, marks tensors as resident at an on-chip
+	// storage level for fused cross-layer execution: every keeper-pair flow
+	// above a pin is cut from that tensor's chain, so no traffic, energy,
+	// or bandwidth time is ever charged past the pinned buffer — the fused
+	// group's intermediate is handed over in place instead of round-tripping
+	// DRAM. Nil (the default) is the ordinary fully-DRAM-backed model.
+	Resident *Residency
+}
+
+// Pin marks one tensor as resident at one storage level: the tensor's flow
+// chain is truncated there, charging zero traffic above Level.
+type Pin struct {
+	// Tensor is the workload tensor name (e.g. "ofmap").
+	Tensor string
+	// Level is the storage level index the tensor stays resident at.
+	Level int
+}
+
+// Residency configures cross-layer buffer residency for fused execution.
+// The cost model only cuts the flows above each pin; reserving buffer
+// capacity for the resident footprint is the fusion scheduler's job — it
+// carves the reserved bytes out of the pinned buffer in a derived Arch
+// before solving (see internal/core's fused network scheduler).
+type Residency struct {
+	Pins []Pin
+}
+
+// CanonicalPins returns the pins sorted by (Tensor, Level) — the
+// deterministic order cache keys and serializers rely on. A nil receiver
+// returns nil.
+func (r *Residency) CanonicalPins() []Pin {
+	if r == nil || len(r.Pins) == 0 {
+		return nil
+	}
+	out := append([]Pin(nil), r.Pins...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Tensor != out[j].Tensor {
+			return out[i].Tensor < out[j].Tensor
+		}
+		return out[i].Level < out[j].Level
+	})
+	return out
+}
+
+// residentKeepers truncates a tensor's keeper-level chain at its residency
+// pin, if any: keeper levels above the pin are dropped, so no keeper-pair
+// flow — and therefore no traffic, energy, or transfer time — is charged
+// past the pinned buffer. The innermost keeper always survives (the datapath
+// must be fed from somewhere), so a pin below it degrades to pinning at the
+// innermost keeper. Both evaluation
+// paths (Flows here, NewSession's flow plans) apply this identically, which
+// is what keeps them bit-for-bit interchangeable under residency.
+func (mo Model) residentKeepers(name string, keepers []int) []int {
+	if mo.Resident == nil {
+		return keepers
+	}
+	for _, p := range mo.Resident.Pins {
+		if p.Tensor != name {
+			continue
+		}
+		n := 0
+		for _, l := range keepers {
+			if l <= p.Level {
+				n++
+			}
+		}
+		if n < 1 {
+			n = 1
+		}
+		keepers = keepers[:n]
+	}
+	return keepers
 }
 
 // Default is the model configuration used throughout the experiments.
@@ -161,6 +233,7 @@ func (mo Model) Flows(m *mapping.Mapping, t *tensor.Tensor) []Flow {
 			keepers = append(keepers, l)
 		}
 	}
+	keepers = mo.residentKeepers(t.Name, keepers)
 	var flows []Flow
 	// Compute <- innermost keeper.
 	flows = append(flows, mo.computeFlow(m, t, keepers[0]))

@@ -266,6 +266,10 @@ func (mo Model) NewSession(w *tensor.Workload, a *arch.Arch) *Session {
 				keepers = append(keepers, l)
 			}
 		}
+		// Residency truncation mirrors Flows exactly; buildLowerBound walks
+		// these flow plans, so the lower bound inherits the truncation and
+		// stays admissible for the resident problem.
+		keepers = mo.residentKeepers(t.Name, keepers)
 		mkFlow := func(child, parent int) flowPlan {
 			pbuf := a.Levels[parent].BufferFor(t.Name)
 			fl := flowPlan{

@@ -156,6 +156,12 @@ type ToolRun struct {
 	// (0 when seeding was off or the seed failed). Sunstone cells only.
 	BoundPruned uint64
 	SeedEDP     float64
+	// Group renders a network-level run's chosen fusion cut — groups
+	// joined by '|', members within a group by '+' — and FusedEDP the
+	// fused schedule's whole-network EDP (the unfused baseline lands in
+	// EDP on the matching Sunstone row). Fusion-experiment cells only.
+	Group    string
+	FusedEDP float64
 }
 
 // stoppedLabel renders a StopReason for ToolRun.Stopped: empty when the
@@ -451,21 +457,23 @@ func sortedKeys(m map[string]float64) []string {
 }
 
 // RunsCSV renders tool runs as CSV (workload,tool,valid,edp,energy_pj,
-// cycles,seconds,stopped,attempts,fallback,bound_pruned,seed_edp,reason) for
-// plotting the figures externally. The stopped column is empty for
-// naturally-completed runs and otherwise holds the StopReason string of an
-// anytime early return; attempts is 0 and fallback empty unless the run went
-// through the resilient path (Config.Resilience); bound_pruned and seed_edp
-// report the analytical layer's work on Sunstone cells (0 for baselines and
-// when the layer is off).
+// cycles,seconds,stopped,attempts,fallback,bound_pruned,seed_edp,group,
+// fused_edp,reason) for plotting the figures externally. The stopped column
+// is empty for naturally-completed runs and otherwise holds the StopReason
+// string of an anytime early return; attempts is 0 and fallback empty unless
+// the run went through the resilient path (Config.Resilience); bound_pruned
+// and seed_edp report the analytical layer's work on Sunstone cells (0 for
+// baselines and when the layer is off); group and fused_edp carry the fusion
+// experiment's chosen cut and whole-network fused EDP (empty/0 on per-layer
+// cells).
 func RunsCSV(runs []ToolRun) string {
 	var b strings.Builder
-	b.WriteString("workload,tool,valid,edp,energy_pj,cycles,seconds,stopped,attempts,fallback,bound_pruned,seed_edp,reason\n")
+	b.WriteString("workload,tool,valid,edp,energy_pj,cycles,seconds,stopped,attempts,fallback,bound_pruned,seed_edp,group,fused_edp,reason\n")
 	for _, r := range runs {
 		reason := strings.ReplaceAll(r.Reason, ",", ";")
-		fmt.Fprintf(&b, "%s,%s,%t,%g,%g,%g,%.3f,%s,%d,%s,%d,%g,%s\n",
+		fmt.Fprintf(&b, "%s,%s,%t,%g,%g,%g,%.3f,%s,%d,%s,%d,%g,%s,%g,%s\n",
 			r.Workload, r.Tool, r.Valid, r.EDP, r.EnergyPJ, r.Cycles, r.Seconds, r.Stopped,
-			r.Attempts, r.Fallback, r.BoundPruned, r.SeedEDP, reason)
+			r.Attempts, r.Fallback, r.BoundPruned, r.SeedEDP, r.Group, r.FusedEDP, reason)
 	}
 	return b.String()
 }

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestFusionShape asserts the fusion experiment's core claim on quick
+// budgets: every cell produces a paired (unfused, fused) row, the fused EDP
+// is never worse than the unfused baseline, and the rendered cut tiles the
+// chain (pipes count groups, pluses count fused members).
+func TestFusionShape(t *testing.T) {
+	runs := Fusion(quick())
+	if len(runs) == 0 || len(runs)%2 != 0 {
+		t.Fatalf("runs = %d, want paired rows", len(runs))
+	}
+	unfused := map[string]ToolRun{}
+	for _, r := range runs {
+		if r.Tool == "Sunstone" {
+			unfused[r.Workload] = r
+		}
+	}
+	fusedSomewhere := false
+	for _, r := range runs {
+		if r.Tool != "Sunstone-fused" {
+			continue
+		}
+		if !r.Valid {
+			t.Fatalf("%s failed: %s", r.Workload, r.Reason)
+		}
+		base, ok := unfused[r.Workload]
+		if !ok || !base.Valid {
+			t.Fatalf("%s has no unfused baseline row", r.Workload)
+		}
+		if r.EDP > base.EDP {
+			t.Errorf("%s: fused EDP %g worse than unfused %g", r.Workload, r.EDP, base.EDP)
+		}
+		if r.FusedEDP != r.EDP {
+			t.Errorf("%s: FusedEDP %g != EDP %g", r.Workload, r.FusedEDP, r.EDP)
+		}
+		if r.Group == "" {
+			t.Errorf("%s: missing the rendered cut", r.Workload)
+		}
+		if strings.Contains(r.Group, "+") {
+			fusedSomewhere = true
+		}
+	}
+	if !fusedSomewhere {
+		t.Error("no cell chose a fused group; the experiment shows nothing")
+	}
+	out := RenderFusion(runs)
+	if !strings.Contains(out, "transformer@") || !strings.Contains(out, "cut:") {
+		t.Errorf("render missing cells:\n%s", out)
+	}
+	t.Log("\n" + out)
+
+	csv := RunsCSV(runs)
+	if !strings.Contains(csv, ",group,fused_edp,") {
+		t.Errorf("csv header missing fusion columns: %q", strings.SplitN(csv, "\n", 2)[0])
+	}
+}

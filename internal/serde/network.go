@@ -1,0 +1,107 @@
+package serde
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+)
+
+// NetworkScheduleJSON is the serialized summary of a network schedule:
+// per-layer totals plus, for fusion-aware schedules, the chosen group
+// structure. Mappings are not embedded — encode them individually with
+// EncodeMapping; the schedule file is the summary artifact experiment
+// tooling diffs and archives.
+type NetworkScheduleJSON struct {
+	// Format identifies the file-format revision ("sunstone/v1"). Encoders
+	// always stamp it; decoders also accept the legacy headerless form — a
+	// bare JSON array of layer entries — which reads as an unfused
+	// layer-per-entry schedule.
+	Format        string             `json:"format,omitempty"`
+	Network       string             `json:"network"`
+	Fused         bool               `json:"fused,omitempty"`
+	TotalEnergyPJ float64            `json:"total_energy_pj"`
+	TotalCycles   float64            `json:"total_cycles"`
+	EDP           float64            `json:"edp"`
+	UnfusedEDP    float64            `json:"unfused_edp,omitempty"`
+	Failed        int                `json:"failed,omitempty"`
+	Layers        []NetworkLayerJSON `json:"layers"`
+	Groups        []NetworkGroupJSON `json:"groups,omitempty"`
+}
+
+// NetworkLayerJSON is one layer entry of a serialized network schedule.
+type NetworkLayerJSON struct {
+	Layer    string  `json:"layer"`
+	Repeats  int     `json:"repeats,omitempty"`
+	EnergyPJ float64 `json:"energy_pj"`
+	Cycles   float64 `json:"cycles"`
+	EDP      float64 `json:"edp"`
+	Error    string  `json:"error,omitempty"`
+}
+
+// NetworkGroupJSON is one fused segment of a serialized fusion-aware
+// schedule: the chain positions [start, end) whose intermediates stayed
+// resident at pin_level.
+type NetworkGroupJSON struct {
+	Layers   []string `json:"layers"`
+	Start    int      `json:"start"`
+	End      int      `json:"end"`
+	PinLevel int      `json:"pin_level"`
+	EnergyPJ float64  `json:"energy_pj"`
+	Cycles   float64  `json:"cycles"`
+}
+
+// EncodeNetworkSchedule renders s as indented JSON, always stamped with the
+// current format.
+func EncodeNetworkSchedule(s *NetworkScheduleJSON) ([]byte, error) {
+	out := *s
+	out.Format = FormatV1
+	return json.MarshalIndent(&out, "", "  ")
+}
+
+// DecodeNetworkSchedule parses a network-schedule summary. A stamped (or
+// unstamped pre-versioning) object decodes in full, including any fused
+// group structure; the legacy headerless form — a bare JSON array of layer
+// entries — decodes as an unfused layer-per-entry schedule with the totals
+// recomputed from its layers. Unknown format stamps are rejected.
+func DecodeNetworkSchedule(data []byte) (*NetworkScheduleJSON, error) {
+	trimmed := bytes.TrimLeft(data, " \t\r\n")
+	if len(trimmed) > 0 && trimmed[0] == '[' {
+		var layers []NetworkLayerJSON
+		if err := json.Unmarshal(data, &layers); err != nil {
+			return nil, fmt.Errorf("network schedule JSON: %w", err)
+		}
+		s := &NetworkScheduleJSON{Layers: layers}
+		for _, l := range layers {
+			if l.Error != "" {
+				s.Failed++
+				continue
+			}
+			rep := float64(l.Repeats)
+			if l.Repeats == 0 {
+				rep = 1
+			}
+			s.TotalEnergyPJ += l.EnergyPJ * rep
+			s.TotalCycles += l.Cycles * rep
+		}
+		s.EDP = s.TotalEnergyPJ * s.TotalCycles
+		return s, nil
+	}
+	var s NetworkScheduleJSON
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("network schedule JSON: %w", err)
+	}
+	switch s.Format {
+	case FormatV1:
+	case "": // pre-versioning file; read as v1 (deprecated)
+	default:
+		return nil, fmt.Errorf("network schedule JSON: unknown format %q (this build reads %q)",
+			s.Format, FormatV1)
+	}
+	for _, g := range s.Groups {
+		if g.Start < 0 || g.End <= g.Start || len(g.Layers) != g.End-g.Start {
+			return nil, fmt.Errorf("network schedule JSON: group [%d,%d) names %d layers",
+				g.Start, g.End, len(g.Layers))
+		}
+	}
+	return &s, nil
+}

@@ -11,6 +11,7 @@ import (
 
 	"sunstone/internal/arch"
 	"sunstone/internal/core"
+	"sunstone/internal/network"
 	"sunstone/internal/obs"
 	"sunstone/internal/serde"
 	"sunstone/internal/tensor"
@@ -48,6 +49,28 @@ type ConvSpec struct {
 	StrideH, StrideW    int `json:",omitempty"`
 }
 
+// NetworkSpec is the network form of a submission: a whole layer chain
+// scheduled in one job, optionally fusion-aware. Exactly one of Preset or
+// Layers names the chain.
+type NetworkSpec struct {
+	// Preset: resnet18 (Batch applies, default 1) | transformer (the
+	// fixed seq 512, d_model 512, d_ff 2048 block; Batch does not apply).
+	Preset string `json:"preset,omitempty"`
+	// Layers is an inline conv chain (scheduled in order; adjacent layers
+	// whose geometries chain get producer->consumer edges).
+	Layers []ConvSpec `json:"layers,omitempty"`
+	Batch  int        `json:"batch,omitempty"`
+	// Fused turns on fusion-aware scheduling: the search may pin a fused
+	// group's intermediate tensors on chip and picks the fusion cut with
+	// the lowest network EDP. Off, the job is the plain per-layer
+	// schedule (still one job, still per-group reporting — all
+	// singletons).
+	Fused bool `json:"fused,omitempty"`
+	// MaxGroup caps fused group length (0 = library default); only
+	// meaningful with Fused set.
+	MaxGroup int `json:"max_group,omitempty"`
+}
+
 // SubmitOptions is the optimizer-knob subset a submission may set; zero
 // fields keep the server defaults (which are the library defaults).
 type SubmitOptions struct {
@@ -73,8 +96,9 @@ type SubmitOptions struct {
 }
 
 // SubmitRequest is the POST /v1/jobs body. Exactly one workload form —
-// workload (serde JSON), describe (the paper's textual syntax), or conv —
-// must be set; arch is a preset name or arch_json a serde document.
+// workload (serde JSON), describe (the paper's textual syntax), conv, or
+// network — must be set; arch is a preset name or arch_json a serde
+// document.
 type SubmitRequest struct {
 	// Tenant attributes the job for admission control ("" = "default").
 	Tenant string `json:"tenant,omitempty"`
@@ -82,6 +106,7 @@ type SubmitRequest struct {
 	Workload json.RawMessage `json:"workload,omitempty"`
 	Describe string          `json:"describe,omitempty"`
 	Conv     *ConvSpec       `json:"conv,omitempty"`
+	Network  *NetworkSpec    `json:"network,omitempty"`
 
 	// Arch names a preset: conventional | simba | diannao | tiny.
 	Arch     string          `json:"arch,omitempty"`
@@ -96,12 +121,15 @@ type SubmitRequest struct {
 	TimeoutMS int64 `json:"timeout_ms,omitempty"`
 }
 
-// build materializes the request into a problem. All validation errors are
-// client errors (HTTP 400).
-func (r *SubmitRequest) build() (*tensor.Workload, *arch.Arch, core.Options, error) {
+// build materializes the request into a problem: a single workload or, for
+// the network form, a layer chain plus its fusion knobs. All validation
+// errors are client errors (HTTP 400).
+func (r *SubmitRequest) build() (*tensor.Workload, *network.Network, *arch.Arch, core.Options, core.FusionOptions, error) {
 	var opt core.Options
+	var fopt core.FusionOptions
 	forms := 0
 	var w *tensor.Workload
+	var net *network.Network
 	var err error
 	if len(r.Workload) > 0 {
 		forms++
@@ -124,34 +152,38 @@ func (r *SubmitRequest) build() (*tensor.Workload, *arch.Arch, core.Options, err
 			c.StrideW = 1
 		}
 		if c.K <= 0 || c.C <= 0 || c.P <= 0 || c.Q <= 0 || c.R <= 0 || c.S <= 0 {
-			return nil, nil, opt, errors.New("conv: every one of K, C, P, Q, R, S must be positive")
+			return nil, nil, nil, opt, fopt, errors.New("conv: every one of K, C, P, Q, R, S must be positive")
 		}
 		w = workloads.Conv2D("conv", c.N, c.K, c.C, c.P, c.Q, c.R, c.S, c.StrideH, c.StrideW)
 	}
+	if r.Network != nil {
+		forms++
+		net, fopt, err = r.Network.build()
+	}
 	if forms == 0 {
-		return nil, nil, opt, errors.New("no workload: set exactly one of workload, describe, or conv")
+		return nil, nil, nil, opt, fopt, errors.New("no workload: set exactly one of workload, describe, conv, or network")
 	}
 	if forms > 1 {
-		return nil, nil, opt, errors.New("ambiguous workload: set exactly one of workload, describe, or conv")
+		return nil, nil, nil, opt, fopt, errors.New("ambiguous workload: set exactly one of workload, describe, conv, or network")
 	}
 	if err != nil {
-		return nil, nil, opt, fmt.Errorf("workload: %w", err)
+		return nil, nil, nil, opt, fopt, fmt.Errorf("workload: %w", err)
 	}
 
 	var a *arch.Arch
 	switch {
 	case len(r.ArchJSON) > 0:
 		if r.Arch != "" {
-			return nil, nil, opt, errors.New("set arch or arch_json, not both")
+			return nil, nil, nil, opt, fopt, errors.New("set arch or arch_json, not both")
 		}
 		a, err = serde.DecodeArch(r.ArchJSON)
 		if err != nil {
-			return nil, nil, opt, fmt.Errorf("arch_json: %w", err)
+			return nil, nil, nil, opt, fopt, fmt.Errorf("arch_json: %w", err)
 		}
 	default:
 		a, err = pickArchPreset(r.Arch)
 		if err != nil {
-			return nil, nil, opt, err
+			return nil, nil, nil, opt, fopt, err
 		}
 	}
 
@@ -165,25 +197,25 @@ func (r *SubmitRequest) build() (*tensor.Workload, *arch.Arch, core.Options, err
 		case "ed2p":
 			opt.Objective = core.MinED2P
 		default:
-			return nil, nil, opt, fmt.Errorf("unknown objective %q (edp|energy|delay|ed2p)", o.Objective)
+			return nil, nil, nil, opt, fopt, fmt.Errorf("unknown objective %q (edp|energy|delay|ed2p)", o.Objective)
 		}
 		switch strings.ToLower(o.Direction) {
 		case "", "bottom-up":
 		case "top-down":
 			opt.Direction = core.TopDown
 		default:
-			return nil, nil, opt, fmt.Errorf("unknown direction %q (bottom-up|top-down)", o.Direction)
+			return nil, nil, nil, opt, fopt, fmt.Errorf("unknown direction %q (bottom-up|top-down)", o.Direction)
 		}
 		if o.BeamWidth < 0 {
-			return nil, nil, opt, fmt.Errorf("beam_width %d must be non-negative", o.BeamWidth)
+			return nil, nil, nil, opt, fopt, fmt.Errorf("beam_width %d must be non-negative", o.BeamWidth)
 		}
 		opt.BeamWidth = o.BeamWidth
 		opt.NoPolish = o.NoPolish
 		if o.Threads < 0 {
-			return nil, nil, opt, fmt.Errorf("threads %d must be non-negative", o.Threads)
+			return nil, nil, nil, opt, fopt, fmt.Errorf("threads %d must be non-negative", o.Threads)
 		}
 		if o.Threads > core.MaxThreads {
-			return nil, nil, opt, fmt.Errorf("threads %d exceeds the maximum %d", o.Threads, core.MaxThreads)
+			return nil, nil, nil, opt, fopt, fmt.Errorf("threads %d exceeds the maximum %d", o.Threads, core.MaxThreads)
 		}
 		opt.Threads = o.Threads
 		if o.AnalyticalSeed != nil || o.AnalyticalBounds != nil {
@@ -198,9 +230,82 @@ func (r *SubmitRequest) build() (*tensor.Workload, *arch.Arch, core.Options, err
 		}
 	}
 	if r.TimeoutMS < 0 {
-		return nil, nil, opt, fmt.Errorf("timeout_ms %d must be non-negative", r.TimeoutMS)
+		return nil, nil, nil, opt, fopt, fmt.Errorf("timeout_ms %d must be non-negative", r.TimeoutMS)
 	}
-	return w, a, opt, nil
+	if net != nil && opt.Objective != core.MinEDP {
+		return nil, nil, nil, opt, fopt, errors.New("network jobs pick their fusion cut by edp; set objective edp (or leave it unset)")
+	}
+	return w, net, a, opt, fopt, nil
+}
+
+// build materializes the network form into the chain IR plus its fusion
+// knobs. A Fused submission schedules with the library-default group cap
+// unless MaxGroup narrows it; an unfused one pins MaxGroup to 1, which is
+// exactly the per-layer baseline.
+func (n *NetworkSpec) build() (*network.Network, core.FusionOptions, error) {
+	var fopt core.FusionOptions
+	if (n.Preset == "") == (len(n.Layers) == 0) {
+		return nil, fopt, errors.New("network: set exactly one of preset or layers")
+	}
+	if n.MaxGroup < 0 {
+		return nil, fopt, fmt.Errorf("network: max_group %d must be non-negative", n.MaxGroup)
+	}
+	if !n.Fused && n.MaxGroup > 1 {
+		return nil, fopt, errors.New("network: max_group needs fused set")
+	}
+	batch := n.Batch
+	if batch < 0 {
+		return nil, fopt, fmt.Errorf("network: batch %d must be non-negative", batch)
+	}
+	if batch == 0 {
+		batch = 1
+	}
+
+	var net *network.Network
+	var err error
+	switch strings.ToLower(n.Preset) {
+	case "":
+		shapes := make([]workloads.ConvShape, len(n.Layers))
+		for i, c := range n.Layers {
+			if c.N != 0 {
+				return nil, fopt, errors.New("network: layer batch comes from the network batch field, not N")
+			}
+			if c.StrideH <= 0 {
+				c.StrideH = 1
+			}
+			if c.StrideW <= 0 {
+				c.StrideW = 1
+			}
+			if c.K <= 0 || c.C <= 0 || c.P <= 0 || c.Q <= 0 || c.R <= 0 || c.S <= 0 {
+				return nil, fopt, fmt.Errorf("network: layer %d: every one of K, C, P, Q, R, S must be positive", i)
+			}
+			shapes[i] = workloads.ConvShape{
+				Name: fmt.Sprintf("conv%d", i),
+				K:    c.K, C: c.C, P: c.P, Q: c.Q, R: c.R, S: c.S,
+				StrideH: c.StrideH, StrideW: c.StrideW,
+			}
+		}
+		net, err = network.FromConvShapes("network", shapes, batch, nil)
+	case "resnet18":
+		net, err = network.FromConvShapes("resnet18", workloads.ResNet18, batch, workloads.ResNet18Repeats())
+	case "transformer":
+		if n.Batch != 0 {
+			return nil, fopt, errors.New("network: batch does not apply to the transformer preset")
+		}
+		net = network.TransformerChain(512, 512, 2048)
+	default:
+		return nil, fopt, fmt.Errorf("network: unknown preset %q (resnet18|transformer)", n.Preset)
+	}
+	if err != nil {
+		return nil, fopt, fmt.Errorf("network: %w", err)
+	}
+
+	if n.Fused {
+		fopt.MaxGroup = n.MaxGroup // 0 keeps the library default
+	} else {
+		fopt.MaxGroup = 1 // all-singleton cut: the per-layer baseline
+	}
+	return net, fopt, nil
 }
 
 // pickArchPreset resolves an architecture preset name ("" = conventional).
@@ -247,6 +352,15 @@ type JobStatus struct {
 	// Mapping is the serde-encoded best mapping (sunstone/v1 JSON).
 	Mapping json.RawMessage `json:"mapping,omitempty"`
 
+	// Network fields, set on network-form jobs only. Fused echoes the
+	// submission's knob; UnfusedEDP is the all-singleton baseline solved
+	// in the same run; Groups is the chosen fusion cut, one entry per
+	// group in chain order (singletons report pin_level -1).
+	Network    string                   `json:"network,omitempty"`
+	Fused      bool                     `json:"fused,omitempty"`
+	UnfusedEDP float64                  `json:"unfused_edp,omitempty"`
+	Groups     []serde.NetworkGroupJSON `json:"groups,omitempty"`
+
 	Error string            `json:"error,omitempty"`
 	Cause core.FailureCause `json:"cause,omitempty"`
 	// WatchdogFired records that the per-job watchdog canceled a stalled
@@ -275,7 +389,10 @@ type Event struct {
 type job struct {
 	id       string
 	tenant   string
-	w        *tensor.Workload
+	w        *tensor.Workload // nil on network-form jobs
+	net      *network.Network // nil on single-workload jobs
+	fused    bool             // the network submission's fused knob
+	fopt     core.FusionOptions
 	a        *arch.Arch
 	opt      core.Options
 	deadline time.Time
@@ -286,6 +403,7 @@ type job struct {
 	started   time.Time
 	finished  time.Time
 	res       core.Result
+	nres      *core.NetworkResult // network-form jobs only
 	err       error
 	cause     core.FailureCause
 	mapping   []byte
@@ -307,6 +425,15 @@ func newJob(id, tenant string, w *tensor.Workload, a *arch.Arch, opt core.Option
 	}
 }
 
+// name is the display workload name: the single workload's, or the layer
+// chain's on network-form jobs.
+func (j *job) name() string {
+	if j.net != nil {
+		return j.net.Name
+	}
+	return j.w.Name
+}
+
 // beat records a sign of life for the watchdog.
 func (j *job) beat() { j.lastBeat.Store(time.Now().UnixNano()) }
 
@@ -321,9 +448,13 @@ func (j *job) status() JobStatus {
 	defer j.mu.Unlock()
 	st := JobStatus{
 		ID: j.id, Tenant: j.tenant, State: j.state,
-		Workload: j.w.Name, Arch: j.a.Name,
+		Workload: j.name(), Arch: j.a.Name,
 		SubmittedMS: j.submitted.UnixMilli(),
 		DeadlineMS:  j.deadline.UnixMilli(),
+	}
+	if j.net != nil {
+		st.Network = j.net.Name
+		st.Fused = j.fused
 	}
 	if !j.started.IsZero() {
 		st.StartedMS = j.started.UnixMilli()
@@ -337,7 +468,21 @@ func (j *job) status() JobStatus {
 			st.EnergyPJ = j.res.Report.EnergyPJ
 			st.Cycles = j.res.Report.Cycles
 		}
-		st.Stopped = j.res.Stopped.String()
+		if j.nres != nil {
+			st.EDP = j.nres.EDP
+			st.EnergyPJ = j.nres.TotalEnergyPJ
+			st.Cycles = j.nres.TotalCycles
+			st.UnfusedEDP = j.nres.UnfusedEDP
+			st.Stopped = j.nres.Stopped.String()
+			for _, g := range j.nres.Groups {
+				st.Groups = append(st.Groups, serde.NetworkGroupJSON{
+					Layers: g.Layers, Start: g.Start, End: g.End,
+					PinLevel: g.PinLevel, EnergyPJ: g.EnergyPJ, Cycles: g.Cycles,
+				})
+			}
+		} else {
+			st.Stopped = j.res.Stopped.String()
+		}
 		st.Attempts = len(j.res.Attempts)
 		st.FallbackUsed = j.res.FallbackUsed
 		st.Mapping = j.mapping

@@ -325,7 +325,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	wl, a, opt, err := req.build()
+	wl, netw, a, opt, fopt, err := req.build()
 	if err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
@@ -352,6 +352,11 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	id := fmt.Sprintf("j%06d", s.seq.Add(1))
 	j := newJob(id, tenant, wl, a, opt, now.Add(timeout), now)
+	if netw != nil {
+		j.net = netw
+		j.fused = req.Network.Fused
+		j.fopt = fopt
+	}
 
 	s.mu.Lock()
 	if s.draining {
@@ -549,7 +554,7 @@ func (s *Server) runJob(j *job) {
 
 	if s.cfg.Trace != nil {
 		sp := s.cfg.Trace.StartRoot("job "+j.id).
-			Arg("tenant", j.tenant).Arg("workload", j.w.Name)
+			Arg("tenant", j.tenant).Arg("workload", j.name())
 		defer sp.End()
 		jctx = obs.WithSpan(jctx, sp)
 	}
@@ -583,6 +588,29 @@ func (s *Server) runJob(j *job) {
 				s.metrics.panics.Inc()
 			}
 		}()
+		if j.net != nil {
+			// Network-form job: one fusion-aware (or, with max_group 1,
+			// plain per-layer) schedule of the whole chain. Member
+			// searches run through the same resilient path as single
+			// jobs.
+			fopt := j.fopt
+			if fopt.Resilience == nil {
+				fopt.Resilience = &s.retry
+			}
+			var nr core.NetworkResult
+			nr, err = s.eng.SolveNetworkFused(jctx, j.net, j.a, opt, fopt)
+			if err == nil {
+				j.mu.Lock()
+				j.nres = &nr
+				j.mu.Unlock()
+				for _, g := range nr.Groups {
+					for _, m := range g.Members {
+						s.metrics.addSearch(m.Stats)
+					}
+				}
+			}
+			return
+		}
 		res, err = s.eng.OptimizeResilient(jctx, j.w, j.a, opt, s.retry)
 	}()
 	s.finalize(j, res, err)

@@ -38,6 +38,24 @@ var ResNet18 = []ConvShape{
 	{Name: "conv5_x", K: 512, C: 512, P: 7, Q: 7, R: 3, S: 3, StrideH: 1, StrideW: 1},
 }
 
+// ResNet18Repeats gives the occurrence count of each ResNet18 shape in the
+// full 18-layer network (the per-shape table lists distinct shapes once).
+func ResNet18Repeats() []int {
+	return []int{
+		1, // conv1
+		4, // conv2_x
+		1, // conv3_1
+		1, // conv3_ds
+		3, // conv3_x
+		1, // conv4_1
+		1, // conv4_ds
+		3, // conv4_x
+		1, // conv5_1
+		1, // conv5_ds
+		3, // conv5_x
+	}
+}
+
 // InceptionV3 lists representative convolution layers of Inception-v3
 // (Szegedy et al., CVPR 2016), including the asymmetric 1x7/7x1 ("deep"
 // 17x17 grid) and 3x1/1x3 (8x8 grid) factorized convolutions that Fig. 7

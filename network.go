@@ -3,7 +3,6 @@ package sunstone
 import (
 	"context"
 	"errors"
-	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -11,8 +10,44 @@ import (
 
 	"sunstone/internal/anytime"
 	"sunstone/internal/core"
+	"sunstone/internal/network"
 	"sunstone/internal/obs"
+	"sunstone/internal/workloads"
 )
+
+// Fusion IR surface (internal/network): the typed Network of Layer nodes
+// with explicit producer→consumer tensor Edges that both network schedulers
+// consume. The legacy (network, shapes, repeats) entry points below are thin
+// adapters that build this IR.
+type (
+	// Network is an ordered chain of layers with the edges along which
+	// fusion is legal.
+	Network = network.Network
+	// Layer is one node of a Network: a workload plus its consecutive
+	// occurrence count.
+	Layer = network.Layer
+	// Edge is one producer→consumer tensor handoff between chain neighbors.
+	Edge = network.Edge
+	// Position is one executed layer occurrence in chain order.
+	Position = network.Position
+	// FusionOptions configures the fused network scheduler on top of the
+	// per-member search Options.
+	FusionOptions = core.FusionOptions
+)
+
+// IR constructors.
+var (
+	// TransformerChain is the MHA-flavored GEMM→GEMM chain preset: the four
+	// back-to-back projections of one transformer block, fully fusible.
+	TransformerChain = network.TransformerChain
+)
+
+// FromConvShapes builds the conv-chain IR behind the legacy (network,
+// shapes, repeats) signature; see internal/network for the edge-construction
+// rules (channel chaining plus the pooling-geometry cut).
+func FromConvShapes(name string, shapes []ConvShape, batch int, repeats []int) (*Network, error) {
+	return network.FromConvShapes(name, shapes, batch, repeats)
+}
 
 // LayerSchedule is one layer's outcome within a network schedule.
 type LayerSchedule struct {
@@ -22,6 +57,18 @@ type LayerSchedule struct {
 	// Err is this layer's failure, if any (nil for a mapped layer). Failed
 	// layers carry no mapping and are excluded from the network totals.
 	Err error
+}
+
+// GroupSchedule is one fused segment of a fusion-aware network schedule: the
+// contiguous chain positions [Start, End) whose intermediate tensors stayed
+// resident on-chip at PinLevel. Singleton groups (End-Start == 1) are
+// unfused layer occurrences with PinLevel -1.
+type GroupSchedule struct {
+	Layers     []string
+	Start, End int
+	PinLevel   int
+	EnergyPJ   float64
+	Cycles     float64
 }
 
 // NetworkSchedule aggregates a whole network's mapping results.
@@ -37,6 +84,13 @@ type NetworkSchedule struct {
 	// totals cover only the layers that succeeded.
 	Failed  int
 	Elapsed time.Duration
+	// Fused marks a schedule produced by the fusion-aware scheduler: Layers
+	// then holds one entry per executed chain position (repeats expanded,
+	// Repeats 1 each), Groups records the chosen fusion cut, and UnfusedEDP
+	// the all-singleton baseline from the same run.
+	Fused      bool
+	Groups     []GroupSchedule
+	UnfusedEDP float64
 }
 
 // NetworkOptions configures ScheduleNetworkContext: the per-layer optimizer
@@ -123,11 +177,62 @@ func (e *Engine) ScheduleNetwork(network string, shapes []ConvShape, batch int, 
 }
 
 // ScheduleNetworkContext maps every layer of a network onto the architecture
-// under ctx, routing every layer's search through the Engine's compilation
-// cache (repeated shapes compile once; an already-warm Engine recompiles
-// nothing). The per-layer searches run concurrently and inherit ctx (plus
-// Options.Timeout, which bounds each layer's search individually), so
-// canceling ctx degrades every in-flight layer to its best-so-far mapping.
+// under ctx. It is a thin adapter over the fusion IR: the (network, shapes,
+// batch, repeats) tuple builds a Network via FromConvShapes, which
+// ScheduleNetworkIR then schedules layer by layer — identical results to the
+// pre-IR pipeline, including the error policy and repeats weighting.
+func (e *Engine) ScheduleNetworkContext(ctx context.Context, network string, shapes []ConvShape, batch int, repeats []int, a *Arch, opt NetworkOptions) (NetworkSchedule, error) {
+	net, prefail, err := convNetworkIR(network, shapes, batch, repeats)
+	if err != nil {
+		return NetworkSchedule{}, err
+	}
+	return e.scheduleNetworkIR(ctx, net, a, opt, prefail)
+}
+
+// convNetworkIR builds the conv-chain IR with the legacy per-layer panic
+// containment: a pathological shape whose workload construction panics
+// (tensor.MustNew) must fail as *that layer's* scheduling error — siblings
+// still run — not abort the whole call. Such shapes are swapped for a
+// trivial placeholder so the IR still carries one layer per shape, and the
+// contained panic is returned as the layer's pre-existing failure.
+func convNetworkIR(name string, shapes []ConvShape, batch int, repeats []int) (*Network, []error, error) {
+	var prefail []error
+	probed := shapes
+	for i := range shapes {
+		err := func(i int) (err error) {
+			defer func() {
+				if pe := anytime.PanicErrorFrom(recover(), "schedule layer "+shapes[i].Name, nil); pe != nil {
+					err = pe
+				}
+			}()
+			shapes[i].Inference(batch)
+			return nil
+		}(i)
+		if err == nil {
+			continue
+		}
+		if prefail == nil {
+			prefail = make([]error, len(shapes))
+			probed = append([]ConvShape(nil), shapes...)
+		}
+		prefail[i] = err
+		probed[i] = ConvShape{Name: shapes[i].Name, K: 1, C: 1, P: 1, Q: 1, R: 1, S: 1, StrideH: 1, StrideW: 1}
+	}
+	net, err := network.FromConvShapes(name, probed, batch, repeats)
+	if err != nil {
+		return nil, nil, err
+	}
+	return net, prefail, nil
+}
+
+// ScheduleNetworkIR maps every layer of an IR network onto the architecture
+// under ctx, one independent search per layer (no fusion), routing every
+// search through the Engine's compilation cache (repeated shapes compile
+// once; an already-warm Engine recompiles nothing). The per-layer searches
+// run concurrently and inherit ctx (plus Options.Timeout, which bounds each
+// layer's search individually), so canceling ctx degrades every in-flight
+// layer to its best-so-far mapping. Each layer contributes one LayerSchedule
+// whose totals are weighted by its Repeats.
 //
 // Error policy: a failed layer never aborts the others mid-flight without
 // trace. By default the first failure cancels the sibling searches
@@ -137,16 +242,24 @@ func (e *Engine) ScheduleNetwork(network string, shapes []ConvShape, batch int, 
 // returned error is the errors.Join of all per-layer failures, and a panic
 // in one layer's search (e.g. a poisoned cost-model evaluation) is isolated
 // to that layer as an *anytime.PanicError instead of crashing the process.
-func (e *Engine) ScheduleNetworkContext(ctx context.Context, network string, shapes []ConvShape, batch int, repeats []int, a *Arch, opt NetworkOptions) (NetworkSchedule, error) {
-	if repeats != nil && len(repeats) != len(shapes) {
-		return NetworkSchedule{}, fmt.Errorf("repeats has %d entries for %d shapes", len(repeats), len(shapes))
+func (e *Engine) ScheduleNetworkIR(ctx context.Context, net *Network, a *Arch, opt NetworkOptions) (NetworkSchedule, error) {
+	return e.scheduleNetworkIR(ctx, net, a, opt, nil)
+}
+
+// scheduleNetworkIR is ScheduleNetworkIR plus the legacy adapter's pre-failed
+// layers: a non-nil prefail[i] fails layer i through the ordinary per-layer
+// error path (classification, fail-fast cancellation) without running a
+// search for it.
+func (e *Engine) scheduleNetworkIR(ctx context.Context, net *Network, a *Arch, opt NetworkOptions, prefail []error) (NetworkSchedule, error) {
+	if net == nil {
+		return NetworkSchedule{}, errors.New("schedule network: nil network")
 	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	start := time.Now()
-	out := NetworkSchedule{Network: network, Layers: make([]LayerSchedule, len(shapes))}
-	errs := make([]error, len(shapes))
+	out := NetworkSchedule{Network: net.Name, Layers: make([]LayerSchedule, len(net.Layers))}
+	errs := make([]error, len(net.Layers))
 
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
@@ -168,44 +281,44 @@ func (e *Engine) ScheduleNetworkContext(ctx context.Context, network string, sha
 
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-	for i := range shapes {
+	for i := range net.Layers {
 		wg.Add(1)
 		sem <- struct{}{}
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
-			out.Layers[i].Layer = shapes[i].Name
+			l := &net.Layers[i]
+			out.Layers[i].Layer = l.Name
 			defer func() {
-				if e := anytime.PanicErrorFrom(recover(), "schedule layer "+shapes[i].Name, nil); e != nil {
-					failLayer(i, shapes[i].Name, e)
+				if e := anytime.PanicErrorFrom(recover(), "schedule layer "+l.Name, nil); e != nil {
+					failLayer(i, l.Name, e)
 				}
 			}()
-			w := shapes[i].Inference(batch)
+			if prefail != nil && prefail[i] != nil {
+				failLayer(i, l.Name, prefail[i])
+				return
+			}
 			// Each layer's search gets its own root span — its own thread
 			// row in the exported trace — because layers run concurrently
 			// and would otherwise render as one overlapped track.
 			lctx := ctx
 			if tr := obs.TraceOf(ctx); tr != nil {
-				lsp := tr.StartRoot("layer " + shapes[i].Name)
+				lsp := tr.StartRoot("layer " + l.Name)
 				defer lsp.End()
 				lctx = obs.WithSpan(ctx, lsp)
 			}
 			var res Result
 			var err error
 			if opt.Resilience != nil {
-				res, err = e.core.OptimizeResilient(lctx, w, a, opt.Options, *opt.Resilience)
+				res, err = e.core.OptimizeResilient(lctx, l.Workload, a, opt.Options, *opt.Resilience)
 			} else {
-				res, err = e.OptimizeContext(lctx, w, a, opt.Options)
+				res, err = e.OptimizeContext(lctx, l.Workload, a, opt.Options)
 			}
 			if err != nil {
-				failLayer(i, shapes[i].Name, err)
+				failLayer(i, l.Name, err)
 				return
 			}
-			rep := 1
-			if repeats != nil {
-				rep = repeats[i]
-			}
-			out.Layers[i] = LayerSchedule{Layer: shapes[i].Name, Result: res, Repeats: rep}
+			out.Layers[i] = LayerSchedule{Layer: l.Name, Result: res, Repeats: l.Repeats}
 		}(i)
 	}
 	wg.Wait()
@@ -224,20 +337,60 @@ func (e *Engine) ScheduleNetworkContext(ctx context.Context, network string, sha
 	return out, errors.Join(errs...)
 }
 
+// ScheduleNetworkFused is (*Engine).ScheduleNetworkFused on a transient
+// Engine.
+func ScheduleNetworkFused(ctx context.Context, net *Network, a *Arch, opt NetworkOptions, fuse FusionOptions) (NetworkSchedule, error) {
+	return NewEngine().ScheduleNetworkFused(ctx, net, a, opt, fuse)
+}
+
+// ScheduleNetworkFused schedules the network with fusion-aware cuts
+// (internal/core's fused solver): contiguous chain segments connected by IR
+// edges may execute as one group whose intermediate tensors stay resident
+// on-chip instead of round-tripping DRAM, and an exact DP over the cut
+// space picks the grouping with the lowest total EDP. The all-singleton cut
+// is always a candidate, so the fused schedule never scores worse than the
+// unfused baseline (returned alongside in UnfusedEDP).
+//
+// The returned schedule expands layer repeats: Layers holds one entry per
+// executed chain position with Repeats 1, and Groups records the chosen
+// fusion cut over those positions. fuse.Resilience defaults to
+// opt.Resilience, so a caller's existing retry policy covers the fused
+// member searches too. Scheduling is fail-fast on the singleton baseline
+// (its failures are joined per-layer errors); a failed fused member merely
+// discards the groups that needed it.
+func (e *Engine) ScheduleNetworkFused(ctx context.Context, net *Network, a *Arch, opt NetworkOptions, fuse FusionOptions) (NetworkSchedule, error) {
+	if fuse.Resilience == nil {
+		fuse.Resilience = opt.Resilience
+	}
+	res, err := e.core.SolveNetworkFused(ctx, net, a, opt.Options, fuse)
+	if err != nil {
+		return NetworkSchedule{}, err
+	}
+	out := NetworkSchedule{
+		Network:       res.Network,
+		Fused:         true,
+		TotalEnergyPJ: res.TotalEnergyPJ,
+		TotalCycles:   res.TotalCycles,
+		EDP:           res.EDP,
+		UnfusedEDP:    res.UnfusedEDP,
+		Elapsed:       res.Elapsed,
+	}
+	for _, g := range res.Groups {
+		out.Groups = append(out.Groups, GroupSchedule{
+			Layers:   append([]string(nil), g.Layers...),
+			Start:    g.Start,
+			End:      g.End,
+			PinLevel: g.PinLevel,
+			EnergyPJ: g.EnergyPJ,
+			Cycles:   g.Cycles,
+		})
+		for i, m := range g.Members {
+			out.Layers = append(out.Layers, LayerSchedule{Layer: g.Layers[i], Result: m, Repeats: 1})
+		}
+	}
+	return out, nil
+}
+
 // ResNet18Repeats gives the occurrence count of each ResNet18Layers shape in
 // the full 18-layer network (the per-shape tables list distinct shapes once).
-func ResNet18Repeats() []int {
-	return []int{
-		1, // conv1
-		4, // conv2_x
-		1, // conv3_1
-		1, // conv3_ds
-		3, // conv3_x
-		1, // conv4_1
-		1, // conv4_ds
-		3, // conv4_x
-		1, // conv5_1
-		1, // conv5_ds
-		3, // conv5_x
-	}
-}
+func ResNet18Repeats() []int { return workloads.ResNet18Repeats() }
