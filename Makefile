@@ -7,7 +7,7 @@ BENCH_BEFORE ?= benchdata/pr9_before.txt
 BENCH_AFTER ?= benchdata/pr9_after.txt
 BENCH_OUT ?= BENCH_PR9.json
 
-.PHONY: check vet fmt-check guard build test race fuzz fuzz-smoke bench bench-smoke trace-smoke chaos-smoke server-smoke parallel-smoke seed-smoke fuse-smoke
+.PHONY: check vet fmt-check guard build test race fuzz fuzz-smoke bench bench-smoke trace-smoke chaos-smoke server-smoke crash-smoke parallel-smoke seed-smoke fuse-smoke
 
 # check is the full pre-commit gate: static analysis, formatting, the
 # unified-stepper guard, build, the whole test suite, the race detector over
@@ -15,9 +15,10 @@ BENCH_OUT ?= BENCH_PR9.json
 # beam expansion, an EDP-parity smoke of the analytical seeding layer, a
 # fused-vs-unfused smoke of the fusion-aware network scheduler, a telemetry
 # smoke test of the trace exporter, a seeded chaos smoke of the resilient
-# scheduling path, and an end-to-end smoke of the sunstoned scheduler
-# service (submit, poll, drain under SIGTERM).
-check: vet fmt-check guard build test race parallel-smoke seed-smoke fuse-smoke trace-smoke chaos-smoke server-smoke
+# scheduling path, an end-to-end smoke of the sunstoned scheduler service
+# (submit, poll, drain under SIGTERM), and a kill-mid-search crash-recovery
+# smoke of the write-ahead journal.
+check: vet fmt-check guard build test race parallel-smoke seed-smoke fuse-smoke trace-smoke chaos-smoke server-smoke crash-smoke
 
 vet:
 	$(GO) vet ./...
@@ -47,7 +48,7 @@ test:
 # concurrency test in the root package — under the race detector. Scoped to
 # the packages that spawn goroutines so the instrumented run stays fast.
 race:
-	$(GO) test -race ./internal/core/ ./internal/cost/ ./internal/faults/ ./internal/server/ ./internal/baselines/timeloop/ ./internal/baselines/innermost/
+	$(GO) test -race ./internal/core/ ./internal/cost/ ./internal/faults/ ./internal/server/ ./internal/journal/ ./internal/baselines/timeloop/ ./internal/baselines/innermost/
 	$(GO) test -race -short .
 
 # parallel-smoke pins the determinism contract of intra-search parallelism
@@ -98,18 +99,22 @@ trace-smoke:
 	$(GO) run ./cmd/tracecheck /tmp/sunstone-trace-smoke.json \
 		optimize level orderings enumerate evaluate polish
 
-# fuzz runs each fuzz target briefly (parser and JSON decoders).
+# fuzz runs each fuzz target briefly (parser, JSON decoders, and the
+# write-ahead journal's segment replay).
 fuzz:
 	$(GO) test -fuzz=FuzzParse -fuzztime=10s ./internal/tensor/
 	$(GO) test -fuzz=FuzzDecodeWorkload -fuzztime=10s ./internal/serde/
 	$(GO) test -fuzz=FuzzDecodeArch -fuzztime=10s ./internal/serde/
 	$(GO) test -fuzz=FuzzDecodeMapping -fuzztime=10s ./internal/serde/
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=10s ./internal/journal/
 
-# fuzz-smoke runs the serde fuzz targets for a handful of seconds each — a
-# CI-speed guard that the corpora still pass and the harness still builds.
+# fuzz-smoke runs the serde and journal fuzz targets for a handful of
+# seconds each — a CI-speed guard that the corpora still pass and the
+# harness still builds.
 fuzz-smoke:
 	$(GO) test -fuzz=FuzzDecodeArch -fuzztime=3s ./internal/serde/
 	$(GO) test -fuzz=FuzzDecodeMapping -fuzztime=3s ./internal/serde/
+	$(GO) test -fuzz=FuzzJournalReplay -fuzztime=3s ./internal/journal/
 
 # chaos-smoke runs the seeded chaos guarantee (30% uniform fault injection
 # over resilient network schedules; reduced run count via -short) plus the
@@ -123,3 +128,12 @@ chaos-smoke:
 # terminal event carries a best-so-far mapping and the process exits 0.
 server-smoke:
 	$(GO) test -run 'TestServerSmoke' -count 1 ./cmd/sunstoned/
+
+# crash-smoke is the durability acceptance gate against the real binary:
+# run sunstoned with -data-dir, submit a long job, SIGKILL the process
+# after a best-so-far checkpoint reaches the journal, restart it on the
+# same directory, and assert the job is re-admitted, finishes done with an
+# audit-passing mapping no worse than its checkpoint, and survives a third
+# restart as a stable terminal record.
+crash-smoke:
+	$(GO) test -run 'TestCrashRecoverySmoke' -count 1 ./cmd/sunstoned/

@@ -5,6 +5,13 @@
 //	sunstoned -addr :7070
 //	sunstoned -addr :7070 -tenant-rate 2 -tenant-burst 8 -queue-depth 64
 //	sunstoned -addr 127.0.0.1:0 -debug-addr 127.0.0.1:0   # ephemeral ports
+//	sunstoned -addr :7070 -data-dir /var/lib/sunstoned    # durable jobs
+//
+// With -data-dir set, every accepted submission is written to an
+// append-only journal before the 202 is returned, running searches
+// checkpoint their best-so-far mapping, and a restart (even after SIGKILL)
+// replays the journal: finished jobs serve their recorded results,
+// unfinished jobs are re-admitted and resume from their checkpoints.
 //
 // Job API (see DESIGN.md "Scheduler service & overload protection"):
 //
@@ -52,6 +59,11 @@ var (
 	drainBudget  = flag.Duration("drain-timeout", 30*time.Second, "hard bound on the whole drain at shutdown")
 	engineCache  = flag.Int("engine-cache", 0, "compile-cache capacity in problem shapes (0 = default 256)")
 	faultSpec    = flag.String("fault-spec", "", "arm deterministic fault injection for chaos testing, e.g. 'evaluate:panic:0.3,seed=42'")
+	dataDir      = flag.String("data-dir", "", "write-ahead journal directory; enables durable jobs + crash recovery (default off: in-memory only)")
+	fsyncPolicy  = flag.String("fsync", "", "journal fsync policy: always | interval | never (default interval; submits and results always sync)")
+	fsyncEvery   = flag.Duration("fsync-every", 0, "background sync period under -fsync interval (0 = 100ms)")
+	segmentBytes = flag.Int64("segment-bytes", 0, "journal segment rotation threshold (0 = 4MiB)")
+	ckptEvery    = flag.Duration("checkpoint-every", 0, "min interval between best-so-far checkpoints per job (0 = 1s)")
 )
 
 func main() {
@@ -73,17 +85,41 @@ func run() error {
 		log.Printf("fault injection armed (%s)", *faultSpec)
 	}
 
+	var jr *sunstone.Journal
+	if *dataDir != "" {
+		var err error
+		jr, err = sunstone.OpenJournal(sunstone.JournalOptions{
+			Dir:          *dataDir,
+			SegmentBytes: *segmentBytes,
+			Fsync:        *fsyncPolicy,
+			FsyncEvery:   *fsyncEvery,
+		})
+		if err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+		st := jr.Stats()
+		log.Printf("journal open at %s (%d records replayed, %d truncated, %d quarantined)",
+			*dataDir, st.Replayed, st.CorruptTruncated, st.CorruptQuarantined)
+	}
+
 	eng := sunstone.NewEngineSize(*engineCache)
 	srv := eng.NewServer(sunstone.ServerConfig{
-		Workers:        *workers,
-		QueueDepth:     *queueDepth,
-		TenantRate:     *tenantRate,
-		TenantBurst:    *tenantBurst,
-		DefaultTimeout: *defTimeout,
-		MaxTimeout:     *maxTimeout,
-		StallTimeout:   *stallTimeout,
-		DrainGrace:     *drainGrace,
+		Workers:         *workers,
+		QueueDepth:      *queueDepth,
+		TenantRate:      *tenantRate,
+		TenantBurst:     *tenantBurst,
+		DefaultTimeout:  *defTimeout,
+		MaxTimeout:      *maxTimeout,
+		StallTimeout:    *stallTimeout,
+		DrainGrace:      *drainGrace,
+		Journal:         jr,
+		CheckpointEvery: *ckptEvery,
 	})
+	if jr != nil {
+		if n := srv.Stats().RecoveredJobs; n > 0 {
+			log.Printf("recovered %d journaled jobs (unfinished ones re-admitted with warm starts)", n)
+		}
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -141,5 +177,11 @@ func run() error {
 	log.Printf("drained: %d done, %d failed, %d canceled (engine: %d compiles, %d cache hits)",
 		st.Counters["srv.jobs.done"], st.Counters["srv.jobs.failed"],
 		st.Counters["srv.jobs.canceled"], st.Engine.Compiles, st.Engine.Hits)
+	if jr != nil {
+		// Every job is terminal and journaled by now; sync and seal.
+		if err := jr.Close(); err != nil {
+			log.Printf("journal close: %v", err)
+		}
+	}
 	return nil
 }

@@ -230,6 +230,15 @@ type Options struct {
 	// field); pass an explicit &AnalyticalOptions{} to turn both off and
 	// recover the pre-seeding search behavior exactly.
 	Analytical *AnalyticalOptions
+	// WarmStart, when non-nil, is a previously found complete mapping for
+	// this same (workload, arch) problem — typically a crash-recovery
+	// checkpoint — installed as the initial alpha-beta incumbent after the
+	// analytic seed. It is rebound onto the search's compiled workload/arch
+	// instances and fully validated first; a warm start that does not fit
+	// degrades to a cold search (recorded in Result.CandidateErrors), it
+	// never fails the run. The resumed search therefore finishes equal or
+	// better than the checkpoint, never worse.
+	WarmStart *mapping.Mapping
 }
 
 // AnalyticalOptions groups the knobs of the analytical layer: the one-shot
@@ -417,6 +426,10 @@ type Result struct {
 	// failed to produce a valid mapping). Comparing it against Report.EDP
 	// shows how much the enumeration improved on the closed-form guess.
 	SeedEDP float64
+	// WarmStartEDP is the EDP of the Options.WarmStart mapping as
+	// re-evaluated by this search (0 when no warm start was given or it
+	// failed to install). Report.EDP ≤ WarmStartEDP by construction.
+	WarmStartEDP float64
 }
 
 // maxCandidateErrors caps Result.CandidateErrors so a systematically

@@ -64,7 +64,7 @@ func polish(ctx context.Context, sc *search, best *mapping.Mapping, bestScore, b
 		}
 		cur = top.m
 		curScore, curEnergyPJ, curCycles = top.score, top.energyPJ, top.cycles
-		sc.prog.incumbent("polish", -1, curScore, curEnergyPJ, curCycles)
+		sc.prog.incumbent("polish", -1, cur, curScore, curEnergyPJ, curCycles)
 	}
 	return cur, curEnergyPJ, curCycles, evals, errs, poll.Stop()
 }

@@ -7,6 +7,7 @@ import (
 
 	"sunstone/internal/anytime"
 	"sunstone/internal/faults"
+	"sunstone/internal/mapping"
 	"sunstone/internal/obs"
 )
 
@@ -99,8 +100,10 @@ func (p *progressEmitter) phasef(kind obs.ProgressKind, level int, format string
 
 // incumbent reports a (possibly) improved best-so-far. Only genuine
 // improvements emit, at a bounded rate — except the first incumbent, which
-// always fires.
-func (p *progressEmitter) incumbent(phase string, level int, score, energyPJ, cycles float64) {
+// always fires. m is the improved mapping itself; it rides on the event so
+// listeners (e.g. the server's checkpoint capture) can serialize the
+// best-so-far without a side channel.
+func (p *progressEmitter) incumbent(phase string, level int, m *mapping.Mapping, score, energyPJ, cycles float64) {
 	if p == nil || p.disabled || score >= p.score {
 		return
 	}
@@ -109,7 +112,9 @@ func (p *progressEmitter) incumbent(phase string, level int, score, energyPJ, cy
 	if !first && !p.lim.Allow(time.Now()) {
 		return
 	}
-	p.emit(p.event(obs.IncumbentImproved, phase, level))
+	ev := p.event(obs.IncumbentImproved, phase, level)
+	ev.Incumbent = m
+	p.emit(ev)
 }
 
 // takeErr returns the contained callback panic, if any, exactly once.

@@ -8,10 +8,12 @@ import (
 
 	"sunstone/internal/analytic"
 	"sunstone/internal/anytime"
+	"sunstone/internal/arch"
 	"sunstone/internal/faults"
 	"sunstone/internal/mapping"
 	"sunstone/internal/obs"
 	"sunstone/internal/order"
+	"sunstone/internal/tensor"
 )
 
 // This file is the direction-agnostic level-sequencing engine. Bottom-up and
@@ -167,7 +169,7 @@ func seedIncumbent(sc *search, inc *incumbent, res *Result, seed *mapping.Mappin
 		valid:     valid,
 	}) {
 		sc.best.publish(inc.score)
-		sc.prog.incumbent("seed", -1, inc.score, inc.energyPJ, inc.cycles)
+		sc.prog.incumbent("seed", -1, inc.m, inc.score, inc.energyPJ, inc.cycles)
 	}
 }
 
@@ -213,8 +215,78 @@ func (sc *search) seedAnalytic(inc *incumbent, res *Result) {
 		valid:     valid,
 	}) {
 		sc.best.publish(inc.score)
-		sc.prog.incumbent("analytic seed", -1, inc.score, inc.energyPJ, inc.cycles)
+		sc.prog.incumbent("analytic seed", -1, inc.m, inc.score, inc.energyPJ, inc.cycles)
 	}
+}
+
+// seedWarmStart installs Options.WarmStart — a previously found complete
+// mapping, typically a crash-recovery checkpoint — as the alpha-beta
+// incumbent, exactly like the analytic seed: evaluated on the driver
+// goroutine before any worker exists, so the published bound is part of the
+// deterministic prologue. Because the caller's mapping may bind different
+// (but equivalent) workload/arch instances than this search compiled, the
+// factors are rebound onto the compiled pair first. A warm start that fails
+// to rebind, validate, or evaluate degrades to a cold search — recorded as
+// a candidate error, never raised.
+func (sc *search) seedWarmStart(inc *incumbent, res *Result) {
+	warm, err := rebind(sc.opt.WarmStart, sc.comp.w, sc.comp.a)
+	if err != nil {
+		res.CandidateErrors = appendCapped(res.CandidateErrors, fmt.Errorf("warm start rejected: %w", err))
+		return
+	}
+	sc.ctr.Generated.Inc()
+	sc.ctr.Evaluated.Inc()
+	edp, energyPJ, cycles, valid, err := sc.safeEvalFast(sc.evs[0], warm)
+	if err != nil {
+		res.CandidateErrors = appendCapped(res.CandidateErrors, fmt.Errorf("warm start rejected: %w", err))
+		return
+	}
+	if valid {
+		res.WarmStartEDP = edp
+	}
+	if inc.observe(state{
+		completed: warm,
+		score:     sc.opt.Objective.scoreScalars(edp, energyPJ, cycles, valid),
+		energyPJ:  energyPJ,
+		cycles:    cycles,
+		valid:     valid,
+	}) {
+		sc.best.publish(inc.score)
+		sc.prog.incumbent("warm start", -1, inc.m, inc.score, inc.energyPJ, inc.cycles)
+	}
+}
+
+// rebind copies m's per-level factors onto the compiled workload/arch pair,
+// checking that the shapes line up: same level count, and every dimension
+// the mapping touches is declared by the workload. It then runs the full
+// legality validator, so an accepted warm start is a real member of this
+// search's mapping space.
+func rebind(m *mapping.Mapping, w *tensor.Workload, a *arch.Arch) (*mapping.Mapping, error) {
+	if len(m.Levels) != len(a.Levels) {
+		return nil, fmt.Errorf("mapping has %d levels, architecture has %d", len(m.Levels), len(a.Levels))
+	}
+	out := mapping.New(w, a)
+	for lvl := range m.Levels {
+		src := &m.Levels[lvl]
+		dst := &out.Levels[lvl]
+		for d, n := range src.Temporal {
+			if _, ok := w.Dims[d]; !ok {
+				return nil, fmt.Errorf("level %d: unknown dimension %s", lvl, d)
+			}
+			dst.Temporal[d] = n
+		}
+		for d, n := range src.Spatial {
+			if _, ok := w.Dims[d]; !ok {
+				return nil, fmt.Errorf("level %d: unknown dimension %s", lvl, d)
+			}
+			dst.Spatial[d] = n
+		}
+		dst.Order = append([]tensor.Dim(nil), src.Order...)
+	}
+	if err := out.Validate(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // appendCapped appends err to errs unless the cap is reached.
@@ -259,6 +331,9 @@ func runLevelSearch(ctx context.Context, sc *search) (Result, error) {
 	seedIncumbent(sc, &inc, &res, states[0].m)
 	if sc.analytical().Seed {
 		sc.seedAnalytic(&inc, &res)
+	}
+	if sc.opt.WarmStart != nil {
+		sc.seedWarmStart(&inc, &res)
 	}
 
 	budgetHit := false
@@ -366,7 +441,7 @@ func (sc *search) runStep(ctx context.Context, seq *sequencer, lvl int, states [
 		return nil, budgetHit, true, *res, errors.Join(append([]error{fmt.Errorf("%s: all candidates at level %d are invalid", sc.opt.Direction, lvl)}, res.CandidateErrors...)...)
 	}
 	if inc.observe(next[0]) {
-		sc.prog.incumbent(fmt.Sprintf("level %d (%s)", lvl, a.Levels[lvl].Name), lvl, inc.score, inc.energyPJ, inc.cycles)
+		sc.prog.incumbent(fmt.Sprintf("level %d (%s)", lvl, a.Levels[lvl].Name), lvl, inc.m, inc.score, inc.energyPJ, inc.cycles)
 	}
 	if r := anytime.FromContext(ctx); r != StopComplete {
 		out, err = inc.finish(sc, *res, r)

@@ -48,11 +48,19 @@ const (
 	// SiteProgress fires before each Options.Progress callback delivery;
 	// all kinds panic (contained by the progress emitter).
 	SiteProgress Site = "progress-callback"
+	// SiteJournal fires on every write-ahead-journal append and on every
+	// record read during crash recovery (internal/journal). Error-kind
+	// faults fail the write (durable appends retry, then surface as a 503
+	// before any job is acknowledged) or force a re-read on the recovery
+	// path; corrupt-kind faults flip a payload byte — after the CRC is
+	// computed on writes, in the read buffer on replays — so the
+	// checksum machinery must detect them; latency sleeps.
+	SiteJournal Site = "journal"
 )
 
 // Sites lists every injection site, in stack order.
 func Sites() []Site {
-	return []Site{SiteCompile, SiteExpand, SiteEvaluate, SiteCacheGet, SiteProgress}
+	return []Site{SiteCompile, SiteExpand, SiteEvaluate, SiteCacheGet, SiteProgress, SiteJournal}
 }
 
 // Kind classifies what a fired fault does.
@@ -181,6 +189,9 @@ func NewUniform(seed int64, rate float64) *Injector {
 		Rule{Site: SiteEvaluate, Kind: Latency, Rate: rate / 8, Delay: tiny},
 		Rule{Site: SiteCacheGet, Kind: Corrupt, Rate: rate},
 		Rule{Site: SiteProgress, Kind: Panic, Rate: rate},
+		Rule{Site: SiteJournal, Kind: Error, Rate: half},
+		Rule{Site: SiteJournal, Kind: Corrupt, Rate: half},
+		Rule{Site: SiteJournal, Kind: Latency, Rate: rate / 8, Delay: tiny},
 	)
 	if err != nil {
 		panic(err) // static rule set; unreachable
@@ -373,7 +384,7 @@ func ParseSpec(spec string) (*Injector, error) {
 // error so a CLI typo is self-documenting.
 const specGrammar = "spec = rule{,rule}[,seed=N] | all:mixed:rate[,seed=N]; " +
 	"rule = site:kind:rate[:delay]; " +
-	"site = compile | expand | evaluate | cache-get | progress-callback; " +
+	"site = compile | expand | evaluate | cache-get | progress-callback | journal; " +
 	"kind = error | panic | latency | corrupt; rate in [0, 1]; delay like 1ms"
 
 // specError builds a ParseSpec error that names the offending token and

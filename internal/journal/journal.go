@@ -1,0 +1,623 @@
+// Package journal implements the append-only write-ahead journal behind
+// sunstoned's -data-dir durability: job submissions, state transitions,
+// rate-limited best-so-far checkpoints, and terminal results are framed
+// as CRC32-checksummed records across rotating segment files, replayed
+// on boot, and compacted down to the live set so the directory stays
+// bounded.
+//
+// Record framing is a fixed 8-byte header followed by the JSON body:
+//
+//	[length uint32 LE][crc32(IEEE) of body uint32 LE][body]
+//
+// A record whose checksum does not match is corrupt. Corruption in the
+// final segment is treated as a torn tail — the file is truncated back
+// to the last good record and writing continues. Corruption in a sealed
+// (earlier) segment quarantines the rest of that segment: the good
+// prefix is kept, the remainder is skipped and counted, and replay moves
+// on to the next segment. Every write and every replay read consults the
+// faults.SiteJournal injection site, so the chaos machinery covers the
+// durability path end to end.
+package journal
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"sunstone/internal/faults"
+)
+
+// Kind tags what a record describes; the server defines the payloads.
+type Kind string
+
+const (
+	// KindSubmit records an accepted job submission (written durably
+	// before the submission is acknowledged to the client).
+	KindSubmit Kind = "submit"
+	// KindState records a job state transition (queued → running, or an
+	// abandonment); lossy-OK.
+	KindState Kind = "state"
+	// KindCheckpoint records the serialized best-so-far incumbent
+	// mapping for a running job; lossy-OK, later records supersede.
+	KindCheckpoint Kind = "checkpoint"
+	// KindResult records a job's terminal status (written durably).
+	KindResult Kind = "result"
+)
+
+// Record is one journal entry. Payload is an opaque JSON document owned
+// by the caller; the journal only frames and checksums it.
+type Record struct {
+	Kind    Kind            `json:"kind"`
+	Job     string          `json:"job,omitempty"`
+	Payload json.RawMessage `json:"payload,omitempty"`
+}
+
+// Fsync policies.
+const (
+	// FsyncAlways syncs after every append.
+	FsyncAlways = "always"
+	// FsyncInterval syncs on a background ticker (Options.FsyncEvery);
+	// durable appends still sync inline.
+	FsyncInterval = "interval"
+	// FsyncNever leaves syncing to the OS (durable appends still sync).
+	FsyncNever = "never"
+)
+
+// Options configures a journal directory.
+type Options struct {
+	// Dir is the journal directory; created if missing.
+	Dir string
+	// SegmentBytes rotates the active segment once it reaches this size
+	// (default 4 MiB).
+	SegmentBytes int64
+	// Fsync is one of FsyncAlways, FsyncInterval, FsyncNever (default
+	// interval). AppendDurable syncs inline regardless of policy: the
+	// sync is the commit point a submission ack stands on.
+	Fsync string
+	// FsyncEvery is the background sync period under FsyncInterval
+	// (default 100ms).
+	FsyncEvery time.Duration
+}
+
+func (o Options) withDefaults() (Options, error) {
+	if o.Dir == "" {
+		return o, errors.New("journal: Options.Dir required")
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	switch o.Fsync {
+	case "":
+		o.Fsync = FsyncInterval
+	case FsyncAlways, FsyncInterval, FsyncNever:
+	default:
+		return o, fmt.Errorf("journal: unknown fsync policy %q (want always|interval|never)", o.Fsync)
+	}
+	if o.FsyncEvery <= 0 {
+		o.FsyncEvery = 100 * time.Millisecond
+	}
+	return o, nil
+}
+
+// Stats is a snapshot of journal health, surfaced via /statz and expvar.
+type Stats struct {
+	Records            uint64 `json:"records"`
+	Bytes              int64  `json:"bytes"`
+	Fsyncs             uint64 `json:"fsyncs"`
+	AppendErrors       uint64 `json:"append_errors"`
+	CorruptTruncated   uint64 `json:"corrupt_truncated"`
+	CorruptQuarantined uint64 `json:"corrupt_quarantined"`
+	Replayed           uint64 `json:"replayed"`
+	Segments           int    `json:"segments"`
+	Compactions        uint64 `json:"compactions"`
+}
+
+const (
+	headerSize = 8
+	// maxRecord bounds a single record body; a declared length past it
+	// is treated as corruption, not an allocation request.
+	maxRecord = 16 << 20
+
+	// writeTries bounds the append verify-retry loop, readTries the
+	// replay retry loop. Replay retries exist so *injected* read faults
+	// (which re-read pristine bytes) never masquerade as real
+	// corruption: at 30% injection, 16 consecutive faulted attempts has
+	// probability 0.3^16 ≈ 4e-9.
+	writeTries = 8
+	readTries  = 16
+)
+
+var crcTable = crc32.IEEETable
+
+// Journal is an open journal directory. Safe for concurrent use.
+type Journal struct {
+	opt Options
+
+	mu        sync.Mutex
+	active    *os.File // current segment, opened read-write
+	activeIdx int
+	size      int64 // bytes in the active segment
+	sealed    int64 // bytes across sealed segments
+	segments  []int // sealed segment indices, ascending
+	dirty     bool  // unsynced writes pending (interval policy)
+	closed    bool
+
+	compact func() []Record // optional live-set snapshot for compaction
+
+	records     uint64
+	fsyncs      uint64
+	appendErrs  uint64
+	truncated   uint64
+	quarantined uint64
+	replayed    []Record
+	compactions uint64
+
+	stop chan struct{}
+	done chan struct{}
+}
+
+// Open opens (creating if needed) the journal in o.Dir, replays every
+// segment in order — truncating a torn tail, quarantining mid-file
+// corruption — and starts a fresh active segment. The replayed records
+// are held until TakeReplayed is called.
+func Open(o Options) (*Journal, error) {
+	o, err := o.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	if err := os.MkdirAll(o.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j := &Journal{opt: o, stop: make(chan struct{}), done: make(chan struct{})}
+	idxs, err := segmentIndices(o.Dir)
+	if err != nil {
+		return nil, err
+	}
+	next := 0
+	for i, idx := range idxs {
+		last := i == len(idxs)-1
+		recs, n, err := j.replaySegment(segmentPath(o.Dir, idx), last)
+		if err != nil {
+			return nil, err
+		}
+		j.replayed = append(j.replayed, recs...)
+		j.sealed += n
+		j.segments = append(j.segments, idx)
+		next = idx + 1
+	}
+	f, err := os.OpenFile(segmentPath(o.Dir, next), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	j.active = f
+	j.activeIdx = next
+	if o.Fsync == FsyncInterval {
+		go j.syncLoop()
+	} else {
+		close(j.done)
+	}
+	return j, nil
+}
+
+// TakeReplayed returns the records recovered at Open, in journal order,
+// and releases the journal's reference to them. Later calls return nil.
+func (j *Journal) TakeReplayed() []Record {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	r := j.replayed
+	j.replayed = nil
+	return r
+}
+
+// SetCompactor installs fn as the live-set snapshot used when a segment
+// rotation triggers compaction. fn runs without journal locks held on
+// the caller's side but with the journal's internal lock held — it must
+// not call back into the journal.
+func (j *Journal) SetCompactor(fn func() []Record) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.compact = fn
+}
+
+// Append writes rec with read-back verification but without an inline
+// fsync (the fsync policy governs when it reaches stable storage). Use
+// for lossy-OK records: checkpoints and state transitions.
+func (j *Journal) Append(rec Record) error {
+	return j.append(rec, false)
+}
+
+// AppendDurable writes rec with read-back verification and an inline
+// fsync regardless of policy; when it returns nil the record is the
+// caller's commit point. Use for submissions and terminal results.
+func (j *Journal) AppendDurable(rec Record) error {
+	return j.append(rec, true)
+}
+
+// Sync forces an fsync of the active segment.
+func (j *Journal) Sync() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncLocked()
+}
+
+// Close stops the background sync loop, syncs, and closes the active
+// segment. The journal is unusable afterwards.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	if j.closed {
+		j.mu.Unlock()
+		return nil
+	}
+	j.closed = true
+	j.mu.Unlock()
+	close(j.stop)
+	<-j.done
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	err := j.syncLocked()
+	if cerr := j.active.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// Stats returns a consistent snapshot of journal health.
+func (j *Journal) Stats() Stats {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Stats{
+		Records:            j.records,
+		Bytes:              j.sealed + j.size,
+		Fsyncs:             j.fsyncs,
+		AppendErrors:       j.appendErrs,
+		CorruptTruncated:   j.truncated,
+		CorruptQuarantined: j.quarantined,
+		Replayed:           uint64(len(j.replayed)),
+		Segments:           len(j.segments) + 1,
+		Compactions:        j.compactions,
+	}
+}
+
+func (j *Journal) append(rec Record, durable bool) error {
+	body, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: encode: %w", err)
+	}
+	if len(body) > maxRecord {
+		return fmt.Errorf("journal: record %d bytes exceeds %d cap", len(body), maxRecord)
+	}
+	frame := make([]byte, headerSize+len(body))
+	binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+	binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, crcTable))
+	copy(frame[headerSize:], body)
+
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.closed {
+		return errors.New("journal: closed")
+	}
+	if err := j.writeVerified(frame); err != nil {
+		j.appendErrs++
+		return err
+	}
+	j.records++
+	j.dirty = true
+	if durable || j.opt.Fsync == FsyncAlways {
+		if err := j.syncLocked(); err != nil {
+			j.appendErrs++
+			return err
+		}
+	}
+	if j.size >= j.opt.SegmentBytes {
+		j.rotateLocked()
+	}
+	return nil
+}
+
+// writeVerified appends frame to the active segment, reads it back, and
+// checks the stored checksum against the in-memory body. An injected
+// error fault fails the attempt outright; an injected corrupt fault
+// flips a byte of the on-disk copy (after the checksum was computed) so
+// the read-back catches it. Either way the file is truncated back to
+// the pre-attempt offset and the write retried with a fresh fault draw,
+// so a nil return means the bytes on disk are exactly frame.
+func (j *Journal) writeVerified(frame []byte) error {
+	start := j.size
+	var lastErr error
+	for try := 0; try < writeTries; try++ {
+		out := frame
+		ferr, corrupt := faults.Fire(faults.SiteJournal)
+		if ferr != nil {
+			lastErr = ferr
+			continue
+		}
+		if corrupt {
+			out = append([]byte(nil), frame...)
+			out[headerSize] ^= 0xff // flip a body byte after the checksum was taken
+		}
+		if _, err := j.active.WriteAt(out, start); err != nil {
+			lastErr = fmt.Errorf("journal: write: %w", err)
+			j.truncateActive(start)
+			continue
+		}
+		back := make([]byte, len(frame))
+		if _, err := j.active.ReadAt(back, start); err != nil {
+			lastErr = fmt.Errorf("journal: verify read: %w", err)
+			j.truncateActive(start)
+			continue
+		}
+		if crc32.Checksum(back[headerSize:], crcTable) != binary.LittleEndian.Uint32(frame[4:8]) {
+			lastErr = errors.New("journal: verify: checksum mismatch after write")
+			j.truncateActive(start)
+			continue
+		}
+		j.size = start + int64(len(frame))
+		return nil
+	}
+	j.truncateActive(start)
+	return fmt.Errorf("journal: append failed after %d tries: %w", writeTries, lastErr)
+}
+
+func (j *Journal) truncateActive(n int64) {
+	if err := j.active.Truncate(n); err == nil {
+		j.size = n
+	}
+}
+
+func (j *Journal) syncLocked() error {
+	if !j.dirty {
+		return nil
+	}
+	if err := j.active.Sync(); err != nil {
+		return fmt.Errorf("journal: fsync: %w", err)
+	}
+	j.dirty = false
+	j.fsyncs++
+	return nil
+}
+
+func (j *Journal) syncLoop() {
+	defer close(j.done)
+	t := time.NewTicker(j.opt.FsyncEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-j.stop:
+			return
+		case <-t.C:
+			j.mu.Lock()
+			_ = j.syncLocked()
+			j.mu.Unlock()
+		}
+	}
+}
+
+// rotateLocked seals the active segment, opens the next one, and — when
+// a compactor is installed — rewrites the live set into a single sealed
+// segment, deleting the rest. Compaction is strictly optional: any
+// fault or verification failure while building the compacted file
+// aborts it and keeps every existing segment.
+func (j *Journal) rotateLocked() {
+	_ = j.syncLocked()
+	next := j.activeIdx + 1
+	f, err := os.OpenFile(segmentPath(j.opt.Dir, next), os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		return // keep appending to the oversized segment; better than losing writes
+	}
+	_ = j.active.Close()
+	j.segments = append(j.segments, j.activeIdx)
+	j.sealed += j.size
+	j.active = f
+	j.activeIdx = next
+	j.size = 0
+	j.dirty = false
+	if j.compact != nil && len(j.segments) > 1 {
+		j.compactLocked()
+	}
+}
+
+// compactLocked rewrites the live set (from the installed compactor)
+// over the sealed segments: write to a temp file, verify every frame,
+// fsync, rename over the highest sealed index, then delete the lower
+// ones. A crash between rename and deletes only leaves stale lower
+// segments, whose records the compacted segment's replay supersedes.
+func (j *Journal) compactLocked() {
+	live := j.compact()
+	tmpPath := filepath.Join(j.opt.Dir, "wal-compact.tmp")
+	tmp, err := os.OpenFile(tmpPath, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return
+	}
+	abort := func() {
+		tmp.Close()
+		os.Remove(tmpPath)
+	}
+	var off int64
+	for _, rec := range live {
+		body, err := json.Marshal(rec)
+		if err != nil || len(body) > maxRecord {
+			abort()
+			return
+		}
+		if ferr, corrupt := faults.Fire(faults.SiteJournal); ferr != nil || corrupt {
+			abort()
+			return
+		}
+		frame := make([]byte, headerSize+len(body))
+		binary.LittleEndian.PutUint32(frame[0:4], uint32(len(body)))
+		binary.LittleEndian.PutUint32(frame[4:8], crc32.Checksum(body, crcTable))
+		copy(frame[headerSize:], body)
+		if _, err := tmp.WriteAt(frame, off); err != nil {
+			abort()
+			return
+		}
+		off += int64(len(frame))
+	}
+	if !verifyClean(tmp, off) {
+		abort()
+		return
+	}
+	if err := tmp.Sync(); err != nil {
+		abort()
+		return
+	}
+	tmp.Close()
+	target := j.segments[len(j.segments)-1]
+	if err := os.Rename(tmpPath, segmentPath(j.opt.Dir, target)); err != nil {
+		os.Remove(tmpPath)
+		return
+	}
+	for _, idx := range j.segments[:len(j.segments)-1] {
+		os.Remove(segmentPath(j.opt.Dir, idx))
+	}
+	j.segments = []int{target}
+	j.sealed = off
+	j.compactions++
+}
+
+// verifyClean scans [0, n) of f as frames and reports whether every
+// record checksums clean. No fault injection: this is the journal
+// verifying its own just-written bytes, not a recovery read.
+func verifyClean(f *os.File, n int64) bool {
+	var off int64
+	hdr := make([]byte, headerSize)
+	for off < n {
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			return false
+		}
+		ln := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		if ln > maxRecord || off+headerSize+ln > n {
+			return false
+		}
+		body := make([]byte, ln)
+		if _, err := f.ReadAt(body, off+headerSize); err != nil {
+			return false
+		}
+		if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			return false
+		}
+		off += headerSize + ln
+	}
+	return true
+}
+
+// replaySegment reads one segment's records. For the last segment on
+// disk, corruption is a torn tail: the file is truncated back to the
+// last good record. For sealed segments the good prefix is kept and the
+// remainder quarantined. Each record read consults the fault injector;
+// injected faults re-read the same pristine bytes (bounded retries), so
+// only bytes that are actually bad on disk count as corruption.
+func (j *Journal) replaySegment(path string, last bool) ([]Record, int64, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	defer f.Close()
+	end, err := f.Seek(0, io.SeekEnd)
+	if err != nil {
+		return nil, 0, fmt.Errorf("journal: %w", err)
+	}
+	var recs []Record
+	var off int64
+	hdr := make([]byte, headerSize)
+	for off < end {
+		rec, next, ok := readRecordAt(f, off, end, hdr)
+		if !ok {
+			if last {
+				if terr := f.Truncate(off); terr != nil {
+					return nil, 0, fmt.Errorf("journal: truncate torn tail: %w", terr)
+				}
+				j.truncated++
+				end = off
+			} else {
+				j.quarantined++
+			}
+			break
+		}
+		recs = append(recs, rec)
+		off = next
+	}
+	if !last {
+		end = off // quarantined bytes don't count toward live size
+	}
+	return recs, end, nil
+}
+
+// readRecordAt reads and validates one frame, retrying injected faults.
+func readRecordAt(f *os.File, off, end int64, hdr []byte) (Record, int64, bool) {
+	for try := 0; try < readTries; try++ {
+		ferr, corrupt := faults.Fire(faults.SiteJournal)
+		if ferr != nil {
+			continue
+		}
+		if off+headerSize > end {
+			return Record{}, 0, false // torn header
+		}
+		if _, err := f.ReadAt(hdr, off); err != nil {
+			continue
+		}
+		ln := int64(binary.LittleEndian.Uint32(hdr[0:4]))
+		if ln > maxRecord || off+headerSize+ln > end {
+			if corrupt {
+				continue // length field may be the injected flip; re-read
+			}
+			return Record{}, 0, false // torn or corrupt length
+		}
+		body := make([]byte, ln)
+		if _, err := f.ReadAt(body, off+headerSize); err != nil {
+			continue
+		}
+		if corrupt && ln > 0 {
+			body[int(off)%len(body)] ^= 0xff
+		}
+		if crc32.Checksum(body, crcTable) != binary.LittleEndian.Uint32(hdr[4:8]) {
+			if corrupt {
+				continue // injected; the bytes on disk may still be good
+			}
+			return Record{}, 0, false
+		}
+		var rec Record
+		if err := json.Unmarshal(body, &rec); err != nil {
+			if corrupt {
+				continue
+			}
+			return Record{}, 0, false
+		}
+		return rec, off + headerSize + ln, true
+	}
+	return Record{}, 0, false
+}
+
+func segmentPath(dir string, idx int) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%08d.log", idx))
+}
+
+func segmentIndices(dir string) ([]int, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	var idxs []int
+	for _, e := range ents {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, "wal-") || !strings.HasSuffix(name, ".log") {
+			continue
+		}
+		var idx int
+		if _, err := fmt.Sscanf(name, "wal-%08d.log", &idx); err != nil {
+			continue
+		}
+		idxs = append(idxs, idx)
+	}
+	sort.Ints(idxs)
+	return idxs, nil
+}

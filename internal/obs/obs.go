@@ -159,6 +159,15 @@ const (
 	// CtrSrvPanics counts panics recovered by the HTTP handler guard and
 	// the job workers (each converted into a structured failure).
 	CtrSrvPanics = "srv.panics.recovered"
+	// CtrSrvRecovered counts jobs re-admitted or restored from the
+	// write-ahead journal at boot.
+	CtrSrvRecovered = "srv.jobs.recovered"
+	// CtrSrvIdemHit counts submissions answered from an existing job via
+	// the Idempotency-Key header instead of being re-admitted.
+	CtrSrvIdemHit = "srv.idempotent.replayed"
+	// CtrSrvCheckpoint counts best-so-far incumbent checkpoints written to
+	// the journal.
+	CtrSrvCheckpoint = "srv.journal.checkpoints"
 )
 
 // SearchCounters is the typed handle set the optimizer hot paths increment.

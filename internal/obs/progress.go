@@ -49,6 +49,12 @@ type ProgressEvent struct {
 	Evaluated uint64
 	// Elapsed is the wall-clock time since the search started.
 	Elapsed time.Duration
+	// Incumbent carries the new best-so-far mapping (*mapping.Mapping) on
+	// IncumbentImproved events, nil otherwise. Typed any to keep obs free
+	// of scheduler dependencies. The mapping is shared with the search —
+	// callbacks must treat it as read-only and Clone before retaining it
+	// past the callback.
+	Incumbent any
 }
 
 // ProgressFunc receives progress events. Callbacks run synchronously on the

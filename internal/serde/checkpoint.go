@@ -1,0 +1,58 @@
+package serde
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"sunstone/internal/arch"
+	"sunstone/internal/mapping"
+	"sunstone/internal/tensor"
+)
+
+// CheckpointJSON is the journal payload for a best-so-far search
+// checkpoint: the incumbent mapping in the standard sunstone/v1 mapping
+// format plus the scalar figures of merit at capture time. Job ties the
+// payload back to the server's job record; the format stamp makes a
+// checkpoint self-describing if it outlives the journal that wrote it.
+type CheckpointJSON struct {
+	Format   string          `json:"format"`
+	Job      string          `json:"job"`
+	Score    float64         `json:"score"`
+	EDP      float64         `json:"edp"`
+	EnergyPJ float64         `json:"energy_pj"`
+	Cycles   float64         `json:"cycles"`
+	Mapping  json.RawMessage `json:"mapping"`
+}
+
+// EncodeCheckpoint renders a checkpoint record payload for job, wrapping
+// m in the sunstone/v1 mapping serialization.
+func EncodeCheckpoint(job string, m *mapping.Mapping, score, edp, energyPJ, cycles float64) ([]byte, error) {
+	mj, err := EncodeMapping(m)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: %w", err)
+	}
+	return json.Marshal(CheckpointJSON{
+		Format: FormatV1, Job: job,
+		Score: score, EDP: edp, EnergyPJ: energyPJ, Cycles: cycles,
+		Mapping: mj,
+	})
+}
+
+// DecodeCheckpoint parses a checkpoint payload and binds its mapping to
+// w and a (full legality validation included, like DecodeMapping).
+func DecodeCheckpoint(data []byte, w *tensor.Workload, a *arch.Arch) (CheckpointJSON, *mapping.Mapping, error) {
+	var cp CheckpointJSON
+	if err := json.Unmarshal(data, &cp); err != nil {
+		return cp, nil, fmt.Errorf("checkpoint JSON: %w", err)
+	}
+	switch cp.Format {
+	case FormatV1, "":
+	default:
+		return cp, nil, fmt.Errorf("checkpoint JSON: unknown format %q (this build reads %q)", cp.Format, FormatV1)
+	}
+	m, err := DecodeMapping(cp.Mapping, w, a)
+	if err != nil {
+		return cp, nil, fmt.Errorf("checkpoint JSON: %w", err)
+	}
+	return cp, m, nil
+}

@@ -366,6 +366,14 @@ type JobStatus struct {
 	// WatchdogFired records that the per-job watchdog canceled a stalled
 	// search; a done job with it set carries a best-so-far mapping.
 	WatchdogFired bool `json:"watchdog_fired,omitempty"`
+	// Recovered marks a job replayed from the write-ahead journal after a
+	// restart — either re-admitted (it was unfinished) or restored as a
+	// terminal record.
+	Recovered bool `json:"recovered,omitempty"`
+	// CheckpointEDP is the EDP of the job's last journaled best-so-far
+	// checkpoint (0 = none). A recovered job warm-starts from that
+	// checkpoint, so its final EDP is ≤ CheckpointEDP.
+	CheckpointEDP float64 `json:"checkpoint_edp,omitempty"`
 }
 
 // Event is one SSE frame on GET /v1/jobs/{id}/events: search progress
@@ -383,6 +391,30 @@ type Event struct {
 	Job *JobStatus `json:"job,omitempty"`
 }
 
+// sseFrame is one buffered SSE event: a monotonically increasing per-job
+// id (rendered as the SSE "id:" field so clients can resume with
+// Last-Event-ID) plus the marshaled Event payload.
+type sseFrame struct {
+	id   uint64
+	data []byte
+}
+
+// sseHistory bounds the per-job replay ring for reconnecting subscribers;
+// a client further behind than this replays from wherever the ring starts
+// (progress frames are advisory — the terminal frame is never dropped).
+const sseHistory = 128
+
+// checkpoint is a job's latest journaled best-so-far: the raw journal
+// payload (re-emitted verbatim by compaction) and the figures of merit at
+// capture time.
+type checkpoint struct {
+	payload  []byte
+	score    float64
+	edp      float64
+	energyPJ float64
+	cycles   float64
+}
+
 // job is the server-side record. Mutable fields are guarded by mu; lastBeat
 // and flags are atomics because the search goroutine touches them from its
 // progress callback.
@@ -396,6 +428,11 @@ type job struct {
 	a        *arch.Arch
 	opt      core.Options
 	deadline time.Time
+	// idemKey is the full dedupe-map key (tenant + NUL + Idempotency-Key)
+	// this job is registered under, "" when the client sent none.
+	idemKey string
+	// recovered marks a job re-admitted from the journal at boot.
+	recovered bool
 
 	mu        sync.Mutex
 	state     JobState
@@ -408,7 +445,23 @@ type job struct {
 	cause     core.FailureCause
 	mapping   []byte
 	cancel    func() // cancels the running search; nil until running
-	subs      map[chan []byte]struct{}
+	subs      map[chan sseFrame]struct{}
+	// evseq numbers SSE frames; history is the bounded replay ring;
+	// terminalID is the id the terminal frame carries (assigned when the
+	// subscriptions close, 0 until then).
+	evseq      uint64
+	history    []sseFrame
+	terminalID uint64
+	// ckpt is the latest best-so-far checkpoint (zero value = none);
+	// submitRec / resultRec are the job's raw journal payloads, kept so
+	// compaction can rewrite the live set.
+	ckpt      checkpoint
+	submitRec []byte
+	resultRec []byte
+	// restored, when non-nil, is the terminal status replayed from the
+	// journal for a job that finished in a previous process life; it is
+	// served verbatim and the job never runs again.
+	restored *JobStatus
 
 	userCanceled  atomic.Bool
 	watchdogFired atomic.Bool
@@ -420,9 +473,23 @@ func newJob(id, tenant string, w *tensor.Workload, a *arch.Arch, opt core.Option
 	return &job{
 		id: id, tenant: tenant, w: w, a: a, opt: opt, deadline: deadline,
 		state: JobQueued, submitted: now,
-		subs: make(map[chan []byte]struct{}),
+		subs: make(map[chan sseFrame]struct{}),
 		done: make(chan struct{}),
 	}
+}
+
+// restoredJob builds the in-memory shell of a journal-restored terminal
+// job: status is served from the snapshot, done is already closed.
+func restoredJob(st JobStatus) *job {
+	j := &job{
+		id: st.ID, tenant: st.Tenant, state: st.State,
+		subs: make(map[chan sseFrame]struct{}),
+		done: make(chan struct{}),
+	}
+	st.Recovered = true
+	j.restored = &st
+	close(j.done)
+	return j
 }
 
 // name is the display workload name: the single workload's, or the layer
@@ -446,6 +513,9 @@ func (j *job) sinceBeat() time.Duration {
 func (j *job) status() JobStatus {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if j.restored != nil {
+		return *j.restored
+	}
 	st := JobStatus{
 		ID: j.id, Tenant: j.tenant, State: j.state,
 		Workload: j.name(), Arch: j.a.Name,
@@ -492,24 +562,34 @@ func (j *job) status() JobStatus {
 		st.Cause = j.cause
 		st.WatchdogFired = j.watchdogFired.Load()
 	}
+	st.Recovered = j.recovered
+	st.CheckpointEDP = j.ckpt.edp
 	return st
 }
 
-// subscribe registers an SSE listener. The returned channel delivers
-// marshaled progress Events and is closed when the job reaches a terminal
-// state (a job already terminal returns an immediately-closed channel);
+// subscribe registers an SSE listener resuming after frame id lastID (0 =
+// from the start). The replay slice holds the buffered frames the client
+// missed — taken under the same lock that registers the channel, so the
+// handler sees every frame exactly once, no gap and no duplicate. The
+// channel is closed when the job reaches a terminal state (a job already
+// terminal returns an immediately-closed channel plus any missed replay);
 // call off to unsubscribe early.
-func (j *job) subscribe() (ch chan []byte, off func()) {
-	ch = make(chan []byte, 64)
+func (j *job) subscribe(lastID uint64) (ch chan sseFrame, replay []sseFrame, off func()) {
+	ch = make(chan sseFrame, 64)
 	j.mu.Lock()
+	for _, f := range j.history {
+		if f.id > lastID {
+			replay = append(replay, f)
+		}
+	}
 	if j.state.Terminal() {
 		j.mu.Unlock()
 		close(ch)
-		return ch, func() {}
+		return ch, replay, func() {}
 	}
 	j.subs[ch] = struct{}{}
 	j.mu.Unlock()
-	return ch, func() {
+	return ch, replay, func() {
 		j.mu.Lock()
 		if _, live := j.subs[ch]; live {
 			delete(j.subs, ch)
@@ -519,29 +599,47 @@ func (j *job) subscribe() (ch chan []byte, off func()) {
 	}
 }
 
-// publish fans one frame out to every subscriber, dropping frames for
-// subscribers whose buffers are full — a slow SSE reader loses intermediate
-// progress, never the terminal status (the handler renders that itself
-// after the channel closes).
+// publish numbers one frame, records it in the replay ring, and fans it
+// out to every subscriber, dropping frames for subscribers whose buffers
+// are full — a slow SSE reader loses intermediate progress, never the
+// terminal status (the handler renders that itself after the channel
+// closes, and a reconnect replays the ring via Last-Event-ID).
 func (j *job) publish(frame []byte) {
 	j.mu.Lock()
+	j.evseq++
+	f := sseFrame{id: j.evseq, data: frame}
+	if len(j.history) >= sseHistory {
+		j.history = append(j.history[:0], j.history[1:]...)
+	}
+	j.history = append(j.history, f)
 	for ch := range j.subs {
 		select {
-		case ch <- frame:
+		case ch <- f:
 		default:
 		}
 	}
 	j.mu.Unlock()
 }
 
-// closeSubs ends every subscription; called exactly once, at finalize.
+// closeSubs ends every subscription and stamps the terminal frame's id;
+// called exactly once, at finalize.
 func (j *job) closeSubs() {
 	j.mu.Lock()
+	j.evseq++
+	j.terminalID = j.evseq
 	for ch := range j.subs {
 		close(ch)
 		delete(j.subs, ch)
 	}
 	j.mu.Unlock()
+}
+
+// terminalFrameID returns the id assigned to the terminal SSE frame (0
+// until the job is finalized).
+func (j *job) terminalFrameID() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.terminalID
 }
 
 // progressFrame renders a search progress event as an SSE payload.

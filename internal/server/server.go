@@ -32,18 +32,22 @@
 package server
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"sunstone/internal/anytime"
 	"sunstone/internal/core"
+	"sunstone/internal/journal"
+	"sunstone/internal/mapping"
 	"sunstone/internal/obs"
 	"sunstone/internal/serde"
 )
@@ -90,6 +94,18 @@ type Config struct {
 	Retry *core.RetryPolicy
 	// Trace, when non-nil, receives a root span per job.
 	Trace *obs.Trace
+	// Journal, when non-nil, makes accepted jobs durable: every submission
+	// and terminal result is journaled (durably, before the client sees
+	// the acknowledgment), incumbent improvements are checkpointed while
+	// running, and New replays whatever the journal holds — terminal jobs
+	// come back as read-only records, unfinished ones are re-admitted with
+	// their original deadline and warm-started from their latest
+	// checkpoint. Nil keeps the fully in-memory behavior, bit-identical to
+	// a server without durability.
+	Journal *journal.Journal
+	// CheckpointEvery rate-limits per-job incumbent checkpoints (default
+	// 1s; meaningful only with Journal set).
+	CheckpointEvery time.Duration
 }
 
 func (c Config) withDefaults() Config {
@@ -128,6 +144,9 @@ func (c Config) withDefaults() Config {
 			c.MaxJobs = floor
 		}
 	}
+	if c.CheckpointEvery <= 0 {
+		c.CheckpointEvery = time.Second
+	}
 	return c
 }
 
@@ -150,9 +169,16 @@ type Server struct {
 	queue    chan *job
 	workerWG sync.WaitGroup
 
+	// jr is the optional write-ahead journal (Config.Journal). The lock
+	// order is journal-internal → s.mu → j.mu (the compactor snapshot runs
+	// under the journal's lock), so no journal append may ever be issued
+	// while holding s.mu or any job's mu.
+	jr *journal.Journal
+
 	mu       sync.Mutex
 	jobs     map[string]*job
-	order    []string // insertion order, for listing and eviction
+	order    []string          // insertion order, for listing and eviction
+	idem     map[string]string // tenant+NUL+Idempotency-Key → job id
 	draining bool
 
 	seq atomic.Int64
@@ -164,7 +190,12 @@ type Server struct {
 }
 
 // New builds a Server from cfg (zero fields defaulted). The server is ready
-// to serve immediately; its worker pool is running.
+// to serve immediately; its worker pool is running. With Config.Journal
+// set, New first replays the journal: terminal jobs are restored as
+// read-only records, unfinished ones are re-admitted (warm-started from
+// their latest checkpoint) ahead of any new submission — the queue is
+// widened past QueueDepth if the backlog needs it, so recovery can never
+// shed a previously accepted job.
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
@@ -173,13 +204,28 @@ func New(cfg Config) *Server {
 		retry:   core.DefaultRetryPolicy(),
 		buckets: newTenantBuckets(cfg.TenantRate, cfg.TenantBurst),
 		metrics: newMetrics(),
-		queue:   make(chan *job, cfg.QueueDepth),
 		jobs:    make(map[string]*job),
+		idem:    make(map[string]string),
+		jr:      cfg.Journal,
 	}
 	if cfg.Retry != nil {
 		s.retry = *cfg.Retry
 	}
 	s.jobsCtx, s.jobsCancel = context.WithCancel(context.Background())
+
+	pending := s.recover()
+	depth := cfg.QueueDepth
+	if len(pending) > depth {
+		depth = len(pending)
+	}
+	s.queue = make(chan *job, depth)
+	for _, j := range pending {
+		s.queue <- j
+		s.metrics.queueDepth.Add(1)
+	}
+	if s.jr != nil {
+		s.jr.SetCompactor(s.journalLiveSet)
+	}
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.guard(s.handleSubmit))
@@ -273,6 +319,12 @@ type Stats struct {
 	Jobs       int             `json:"jobs"`
 	Tenants    int             `json:"tenants"`
 	Draining   bool            `json:"draining"`
+	// Journal is the write-ahead journal's health (records, bytes, fsyncs,
+	// corruption counters); nil on a server running without durability.
+	Journal *journal.Stats `json:"journal,omitempty"`
+	// RecoveredJobs counts jobs re-admitted or restored from the journal
+	// at boot.
+	RecoveredJobs uint64 `json:"recovered_jobs,omitempty"`
 }
 
 // Stats snapshots the service: engine cache, counters, gauges.
@@ -289,6 +341,11 @@ func (s *Server) Stats() Stats {
 	for _, cv := range s.metrics.reg.Snapshot() {
 		st.Counters[cv.Name] = cv.Value
 	}
+	if s.jr != nil {
+		js := s.jr.Stats()
+		st.Journal = &js
+	}
+	st.RecoveredJobs = s.metrics.recovered.Load()
 	s.mu.Lock()
 	st.Jobs = len(s.jobs)
 	s.mu.Unlock()
@@ -312,13 +369,30 @@ func (s *Server) guard(h http.HandlerFunc) http.HandlerFunc {
 	}
 }
 
+// shedDraining rejects a submission during drain. Like the 429 shed
+// paths, the 503 carries Retry-After so well-behaved clients back off
+// uniformly; the hint is the drain grace — the earliest a replacement
+// process could plausibly be accepting again.
+func (s *Server) shedDraining(w http.ResponseWriter) {
+	s.metrics.shedDrain.Inc()
+	w.Header().Set("Retry-After", retryAfter(s.cfg.DrainGrace))
+	httpError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
-		s.metrics.shedDrain.Inc()
-		httpError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
+		s.shedDraining(w)
 		return
 	}
-	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	// The raw body is retained past decoding: it becomes the journal's
+	// submit payload, so recovery rebuilds the job from exactly the bytes
+	// the client sent.
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
 	dec.DisallowUnknownFields()
 	var req SubmitRequest
 	if err := dec.Decode(&req); err != nil {
@@ -350,29 +424,97 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if timeout > s.cfg.MaxTimeout {
 		timeout = s.cfg.MaxTimeout
 	}
-	id := fmt.Sprintf("j%06d", s.seq.Add(1))
-	j := newJob(id, tenant, wl, a, opt, now.Add(timeout), now)
-	if netw != nil {
-		j.net = netw
-		j.fused = req.Network.Fused
-		j.fopt = fopt
+	idemKey := r.Header.Get("Idempotency-Key")
+	mapKey := ""
+	if idemKey != "" {
+		mapKey = tenant + "\x00" + idemKey
 	}
 
 	s.mu.Lock()
 	if s.draining {
 		s.mu.Unlock()
-		s.metrics.shedDrain.Inc()
-		httpError(w, http.StatusServiceUnavailable, "draining: not accepting jobs")
+		s.shedDraining(w)
+		return
+	}
+	if mapKey != "" {
+		if prior, ok := s.idem[mapKey]; ok {
+			if jj := s.jobs[prior]; jj != nil {
+				s.mu.Unlock()
+				// A client retry of a submission already accepted (possibly
+				// in a previous process life — the dedupe map is rebuilt
+				// from the journal): answer with the existing job instead of
+				// double-admitting.
+				s.metrics.idemHits.Inc()
+				w.Header().Set("Location", "/v1/jobs/"+prior)
+				writeJSON(w, http.StatusOK, jj.status())
+				return
+			}
+			delete(s.idem, mapKey) // the prior job was evicted; admit fresh
+		}
+	}
+	if len(s.queue) == cap(s.queue) {
+		s.mu.Unlock()
+		s.metrics.shedQueue.Inc()
+		w.Header().Set("Retry-After", retryAfter(time.Second))
+		httpError(w, http.StatusTooManyRequests, "job queue full")
+		return
+	}
+	id := fmt.Sprintf("j%06d", s.seq.Add(1))
+	j := newJob(id, tenant, wl, a, opt, now.Add(timeout), now)
+	j.idemKey = mapKey
+	if netw != nil {
+		j.net = netw
+		j.fused = req.Network.Fused
+		j.fopt = fopt
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	if mapKey != "" {
+		s.idem[mapKey] = id
+	}
+	s.evictLocked()
+	s.mu.Unlock()
+
+	// Durability commit point: the submission is journaled (fsynced) before
+	// the client sees the acknowledgment, so an accepted job can never be
+	// lost to a crash. Journal failure means no ack — the registration is
+	// rolled back and the client told to retry.
+	if s.jr != nil {
+		payload, merr := json.Marshal(submitRecord{
+			Tenant: tenant, IdemKey: idemKey,
+			SubmittedMS: now.UnixMilli(), DeadlineMS: j.deadline.UnixMilli(),
+			Request: body,
+		})
+		if merr == nil {
+			j.mu.Lock()
+			j.submitRec = payload
+			j.mu.Unlock()
+			merr = s.jr.AppendDurable(journal.Record{Kind: journal.KindSubmit, Job: id, Payload: payload})
+		}
+		if merr != nil {
+			s.rollback(j, false)
+			w.Header().Set("Retry-After", retryAfter(time.Second))
+			httpError(w, http.StatusServiceUnavailable, "journal unavailable: "+merr.Error())
+			return
+		}
+	}
+
+	s.mu.Lock()
+	if s.draining {
+		// The queue channel is closed; sending would panic. The journal
+		// holds a submit record for a job that was never acknowledged, so
+		// an abandon marker keeps a restart from resurrecting it.
+		s.mu.Unlock()
+		s.rollback(j, true)
+		s.shedDraining(w)
 		return
 	}
 	select {
 	case s.queue <- j:
-		s.jobs[id] = j
-		s.order = append(s.order, id)
-		s.evictLocked()
 		s.mu.Unlock()
 	default:
 		s.mu.Unlock()
+		s.rollback(j, true)
 		s.metrics.shedQueue.Inc()
 		w.Header().Set("Retry-After", retryAfter(time.Second))
 		httpError(w, http.StatusTooManyRequests, "job queue full")
@@ -382,6 +524,30 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.metrics.queueDepth.Add(1)
 	w.Header().Set("Location", "/v1/jobs/"+id)
 	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+// rollback unwinds a registered-but-never-acknowledged job. With abandon
+// set (the submit record already reached the journal) a durable abandon
+// marker is written so recovery will not resurrect a job whose client was
+// told "retry".
+func (s *Server) rollback(j *job, abandon bool) {
+	s.mu.Lock()
+	delete(s.jobs, j.id)
+	for i, id := range s.order {
+		if id == j.id {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			break
+		}
+	}
+	if j.idemKey != "" && s.idem[j.idemKey] == j.id {
+		delete(s.idem, j.idemKey)
+	}
+	s.mu.Unlock()
+	if abandon && s.jr != nil {
+		if payload, err := json.Marshal(stateRecord{State: stateAbandoned}); err == nil {
+			_ = s.jr.AppendDurable(journal.Record{Kind: journal.KindState, Job: j.id, Payload: payload})
+		}
+	}
 }
 
 // evictLocked drops the oldest terminal job records past MaxJobs. Live jobs
@@ -396,6 +562,9 @@ func (s *Server) evictLocked() {
 			terminal := jj.state.Terminal()
 			jj.mu.Unlock()
 			if terminal {
+				if jj.idemKey != "" && s.idem[jj.idemKey] == id {
+					delete(s.idem, jj.idemKey)
+				}
 				delete(s.jobs, id)
 				s.order = append(s.order[:i], s.order[i+1:]...)
 				evicted = true
@@ -474,7 +643,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "streaming unsupported")
 		return
 	}
-	ch, off := j.subscribe()
+	// A reconnecting subscriber resumes where it left off: frames carry
+	// SSE ids, the job keeps a bounded replay ring, and Last-Event-ID
+	// selects the frames the client has not seen. A client that already
+	// consumed the terminal frame gets a status snapshot and a clean end
+	// of stream instead of a duplicate completion.
+	var lastID uint64
+	if v := r.Header.Get("Last-Event-ID"); v != "" {
+		if n, perr := strconv.ParseUint(v, 10, 64); perr == nil {
+			lastID = n
+		}
+	}
+	ch, replay, off := j.subscribe(lastID)
 	defer off()
 	h := w.Header()
 	h.Set("Content-Type", "text/event-stream")
@@ -483,6 +663,9 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusOK)
 	if b, err := json.Marshal(j.status()); err == nil {
 		writeSSE(w, "status", b)
+	}
+	for _, f := range replay {
+		writeSSEFrame(w, f.id, "progress", f.data)
 	}
 	fl.Flush()
 	ping := time.NewTicker(15 * time.Second)
@@ -493,14 +676,18 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			if !live {
 				// Terminal: the channel close happens after finalize, so
 				// the status rendered here is final — mapping included.
+				tid := j.terminalFrameID()
+				if tid != 0 && lastID >= tid {
+					return // this client already replayed the terminal frame
+				}
 				st := j.status()
 				if b, err := json.Marshal(Event{Kind: "terminal", Job: &st}); err == nil {
-					writeSSE(w, "done", b)
+					writeSSEFrame(w, tid, "done", b)
 				}
 				fl.Flush()
 				return
 			}
-			writeSSE(w, "progress", frame)
+			writeSSEFrame(w, frame.id, "progress", frame.data)
 			fl.Flush()
 		case <-ping.C:
 			io.WriteString(w, ": ping\n\n")
@@ -540,6 +727,11 @@ func (s *Server) runJob(j *job) {
 	j.state = JobRunning
 	j.started = time.Now()
 	j.mu.Unlock()
+	if s.jr != nil {
+		if payload, err := json.Marshal(stateRecord{State: stateRunning, MS: time.Now().UnixMilli()}); err == nil {
+			_ = s.jr.Append(journal.Record{Kind: journal.KindState, Job: j.id, Payload: payload})
+		}
+	}
 	s.metrics.running.Add(1)
 	defer s.metrics.running.Add(-1)
 
@@ -568,8 +760,16 @@ func (s *Server) runJob(j *job) {
 	if rem := time.Until(j.deadline); rem > 0 {
 		opt.Timeout = rem
 	}
+	// ckptLim rate-bounds checkpoint writes; only the progress callback's
+	// goroutine (the search driver) touches it.
+	ckptLim := obs.Limiter{MinInterval: s.cfg.CheckpointEvery}
 	opt.Progress = func(ev obs.ProgressEvent) {
 		j.beat()
+		if s.jr != nil && j.w != nil && ev.Kind == obs.IncumbentImproved {
+			if m, ok := ev.Incumbent.(*mapping.Mapping); ok && m != nil && ckptLim.Allow(time.Now()) {
+				s.writeCheckpoint(j, m, ev)
+			}
+		}
 		if f := progressFrame(ev); f != nil {
 			j.publish(f)
 		}
@@ -664,8 +864,14 @@ func (s *Server) watch(j *job, cancel context.CancelFunc) (stop func()) {
 }
 
 // finalize records a job's terminal state, accumulates its search-flow
-// counters, and releases waiters (done channel, SSE subscribers).
+// counters, journals the terminal result, and releases waiters (done
+// channel, SSE subscribers).
 func (s *Server) finalize(j *job, res core.Result, err error) {
+	// Durability contract: a job that ever journaled a checkpoint finishes
+	// no worse than that checkpoint. Chaos can degrade the resilient chain
+	// (or a resumed deadline can expire) past the journaled best — promote
+	// the checkpoint back to the result when that happens.
+	res, err = s.promoteCheckpoint(j, res, err)
 	j.mu.Lock()
 	j.finished = time.Now()
 	j.res = res
@@ -698,6 +904,20 @@ func (s *Server) finalize(j *job, res core.Result, err error) {
 	}
 	j.mu.Unlock()
 	s.metrics.addSearch(res.Stats)
+	// The terminal record reaches stable storage before waiters are
+	// released: once a client observes completion, a restart replays the
+	// same terminal status instead of re-running the job (no double
+	// completion). Append happens outside s.mu/j.mu — see the lock-order
+	// note on Server.jr.
+	if s.jr != nil {
+		st := j.status()
+		if b, merr := json.Marshal(st); merr == nil {
+			j.mu.Lock()
+			j.resultRec = b
+			j.mu.Unlock()
+			_ = s.jr.AppendDurable(journal.Record{Kind: journal.KindResult, Job: j.id, Payload: b})
+		}
+	}
 	close(j.done)
 	j.closeSubs()
 }
@@ -709,6 +929,7 @@ type metrics struct {
 
 	admitted, shedTenant, shedQueue, shedDrain *obs.Counter
 	done, failed, canceled, watchdog, panics   *obs.Counter
+	recovered, idemHits, checkpoints           *obs.Counter
 
 	queueDepth, running obs.Gauge
 
@@ -732,6 +953,9 @@ func newMetrics() *metrics {
 		canceled:    reg.Counter(obs.CtrSrvCanceled),
 		watchdog:    reg.Counter(obs.CtrSrvWatchdog),
 		panics:      reg.Counter(obs.CtrSrvPanics),
+		recovered:   reg.Counter(obs.CtrSrvRecovered),
+		idemHits:    reg.Counter(obs.CtrSrvIdemHit),
+		checkpoints: reg.Counter(obs.CtrSrvCheckpoint),
 		search:      obs.NewSearchCounters(reg),
 		cacheHits:   reg.Counter(obs.CtrCacheHits),
 		cacheMisses: reg.Counter(obs.CtrCacheMisses),
@@ -768,6 +992,17 @@ func httpError(w http.ResponseWriter, code int, msg string) {
 
 func writeSSE(w io.Writer, event string, data []byte) {
 	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
+// writeSSEFrame renders an event with an SSE id line, the hook
+// Last-Event-ID resumption hangs off. id 0 (a restored job's terminal
+// frame, which predates this process's sequence) omits the line.
+func writeSSEFrame(w io.Writer, id uint64, event string, data []byte) {
+	if id == 0 {
+		writeSSE(w, event, data)
+		return
+	}
+	fmt.Fprintf(w, "id: %d\nevent: %s\ndata: %s\n\n", id, event, data)
 }
 
 // retryAfter renders a wait as a whole-seconds Retry-After value (min 1).

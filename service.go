@@ -1,6 +1,7 @@
 package sunstone
 
 import (
+	"sunstone/internal/journal"
 	"sunstone/internal/server"
 )
 
@@ -42,7 +43,31 @@ type (
 	SubmitOptions = server.SubmitOptions
 	// JobEvent is one SSE frame of GET /v1/jobs/{id}/events.
 	JobEvent = server.Event
+	// Journal is the durable write-ahead job log behind sunstoned's
+	// -data-dir mode: crash-safe record of submissions, best-so-far search
+	// checkpoints, and terminal results. Open with OpenJournal and hand it
+	// to ServerConfig.Journal; the server replays it on construction and
+	// re-admits unfinished jobs.
+	Journal = journal.Journal
+	// JournalOptions parameterizes OpenJournal (directory, segment size,
+	// fsync policy).
+	JournalOptions = journal.Options
+	// JournalStats is the journal health block surfaced under /statz.
+	JournalStats = journal.Stats
 )
+
+// Journal fsync policies for JournalOptions.Fsync.
+const (
+	FsyncAlways   = journal.FsyncAlways
+	FsyncInterval = journal.FsyncInterval
+	FsyncNever    = journal.FsyncNever
+)
+
+// OpenJournal opens (or creates) the write-ahead journal directory in
+// o.Dir, replaying any existing segments: torn or corrupt tails are
+// truncated, mid-file corruption is quarantined and counted, and the
+// surviving records are held for the next NewServer to recover from.
+func OpenJournal(o JournalOptions) (*Journal, error) { return journal.Open(o) }
 
 // Job lifecycle states.
 const (
